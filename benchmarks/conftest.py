@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table / figure has one benchmark that regenerates it at the
+``SMALL`` experiment scale (pass ``--bench-scale`` to change it).  The
+substrate is built once per session; each benchmark measures only the
+experiment-specific work, mirroring how the paper's pipeline would be re-run
+on fixed input data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, ExperimentScale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="small",
+        choices=[scale.value for scale in ExperimentScale],
+        help="experiment scale used by the benchmark harness",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> ExperimentScale:
+    return ExperimentScale(request.config.getoption("--bench-scale"))
+
+
+@pytest.fixture(scope="session")
+def context(bench_scale) -> ExperimentContext:
+    """The shared experiment context.
+
+    The substrate is built eagerly here so its construction cost does not
+    pollute the first benchmark's timing.
+    """
+    ctx = ExperimentContext(scale=bench_scale, seed=1)
+    ctx.internet
+    ctx.aggregate_tuples
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def run_once():
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def _run(benchmark, function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

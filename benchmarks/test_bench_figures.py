@@ -1,0 +1,49 @@
+"""Benchmarks regenerating the paper's figures (2, 3, 4, 5, 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure2, figure3, figure4, figure5, figure6
+from repro.sanitize.sources import CommunitySource
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure2_roc_threshold_sweep(benchmark, run_once, context):
+    result = run_once(benchmark, figure2.run, context, thresholds=(0.6, 0.8, 0.99))
+    print("\n" + result.format_text())
+    for scenario in ("random-p", "random-pp"):
+        points = result.curve(scenario, "tagging")
+        assert points[0].false_positive_rate >= points[-1].false_positive_rate
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure3_incremental_day_stability(benchmark, run_once, context):
+    result = run_once(benchmark, figure3.run, context, days=3)
+    print("\n" + result.format_text())
+    shares = [result.stability_share(code) for code in ("tf", "tc", "sf", "sc")]
+    assert any(share > 0.5 for share in shares if share)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure4_longitudinal(benchmark, run_once, context):
+    result = run_once(benchmark, figure4.run, context, labels=("q1", "q2", "q3", "q4"))
+    print("\n" + result.format_text())
+    assert len(result.series) == 4
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure5_peer_community_types(benchmark, run_once, context):
+    result = run_once(benchmark, figure5.run, context)
+    print("\n" + result.format_text())
+    assert result.total_of("sc", CommunitySource.PEER) == 0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure6_cone_cdfs(benchmark, run_once, context):
+    result = run_once(benchmark, figure6.run, context)
+    print("\n" + result.format_text())
+    tagger = result.distribution("tagging", "tagger")
+    silent = result.distribution("tagging", "silent")
+    if len(tagger) and len(silent):
+        assert tagger.median() >= silent.median()

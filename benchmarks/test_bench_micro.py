@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the individual pipeline stages.
+
+These measure throughput of the substrates (MRT codec, routing, propagation,
+sanitation, inference) in isolation so regressions can be located quickly.
+Unlike the table/figure benchmarks they use multiple rounds, since a single
+invocation is cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.column import ColumnInference
+from repro.datasets.synthetic import AGGREGATE_PROJECTS
+from repro.mrt.decoder import decode_records
+from repro.mrt.encoder import MRTEncoder
+from repro.bgp.messages import PathAttributes
+from repro.sanitize.filters import Sanitizer
+from repro.topology.cone import CustomerCones
+from repro.topology.routing import RoutingEngine
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_mrt_encode_decode(benchmark, context):
+    internet = context.internet
+    peers = internet.collector_peers(["isolario"])[:5]
+    sample = []
+    for peer in peers:
+        for route in list(internet.paths_by_peer[peer].values())[:200]:
+            sample.append((peer, route.path))
+
+    def round_trip():
+        encoder = MRTEncoder()
+        encoder.write_peer_index_table(peers)
+        for index, (peer, path) in enumerate(sample):
+            attributes = PathAttributes(as_path=path, communities=internet.propagator.output(path))
+            prefix = internet.topology.prefixes_of(path.origin)[0]
+            encoder.write_rib_entry(prefix, [(peer, 0, attributes)], sequence=index)
+        return len(decode_records(encoder.getvalue()))
+
+    records = benchmark(round_trip)
+    assert records == len(sample) + 1
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_valley_free_routing_single_peer(benchmark, context):
+    internet = context.internet
+    engine = RoutingEngine(internet.topology)
+    peer = internet.collector_peers(["ripe"])[0]
+    paths = benchmark(engine.best_paths_from_peer, peer)
+    assert len(paths) > len(internet.topology) * 0.9
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_customer_cone_computation(benchmark, context):
+    topology = context.internet.topology
+
+    def compute():
+        return CustomerCones(topology.relationships, topology.asns()).cone_sizes()
+
+    sizes = benchmark(compute)
+    assert max(sizes.values()) > 10
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_propagation_output(benchmark, context):
+    internet = context.internet
+    peer = internet.collector_peers(["ripe"])[0]
+    paths = [route.path for route in internet.paths_by_peer[peer].values()]
+
+    def propagate():
+        return sum(len(internet.propagator.output(path)) for path in paths)
+
+    total = benchmark(propagate)
+    assert total >= 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_sanitizer_throughput(benchmark, context):
+    internet = context.internet
+    archive = internet.archive_for("isolario").generate_day(0)
+
+    def sanitize():
+        sanitizer = Sanitizer(
+            asn_registry=internet.topology.asn_registry,
+            prefix_allocation=internet.topology.prefix_allocation,
+        )
+        return len(sanitizer.to_unique_tuples(archive.observations))
+
+    unique = benchmark(sanitize)
+    assert unique > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_column_inference_aggregate(benchmark, run_once, context):
+    tuples = context.aggregate_tuples
+    result = run_once(benchmark, ColumnInference().run, tuples)
+    assert result.summary()["tagger"] > 0

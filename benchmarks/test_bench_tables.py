@@ -1,0 +1,56 @@
+"""Benchmarks regenerating the paper's tables (1, 2, 3, 4, 5/6).
+
+Each benchmark prints the reproduced rows so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+doubles as the experiment report generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1, table2, table3, table4, table5_6
+from repro.usage.scenarios import ScenarioName
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table1_dataset_overview(benchmark, run_once, context):
+    result = run_once(benchmark, table1.run, context)
+    print("\n" + result.format_text())
+    aggregate = result.column("dMay21")
+    assert aggregate.unique_tuples > 0
+    assert aggregate.leaf_ases / aggregate.as_after_cleaning > 0.5
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table2_scenario_performance(benchmark, run_once, context):
+    result = run_once(benchmark, table2.run, context, iterations=1)
+    print("\n" + result.format_text())
+    for scenario in ("alltc", "alltf", "random"):
+        assert result.row(scenario).tagging_precision == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table3_real_data_classification(benchmark, run_once, context):
+    result = run_once(benchmark, table3.run, context)
+    print("\n" + result.format_text())
+    assert result.count("dMay21", "silent") > result.count("dMay21", "tagger")
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table4_peering_validation(benchmark, run_once, context):
+    result = run_once(benchmark, table4.run, context)
+    print("\n" + result.format_text())
+    for experiment in result.experiments:
+        assert experiment.absent_cleaner_share >= experiment.present_cleaner_share
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table5_6_confusion_matrices(benchmark, run_once, context):
+    result = run_once(
+        benchmark, table5_6.run, context, scenarios=(ScenarioName.RANDOM, ScenarioName.RANDOM_P)
+    )
+    print("\n" + result.format_text())
+    assert result.tagging["random"].cell("tagger", "silent") == 0

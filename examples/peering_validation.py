@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Active validation with a controlled origin (paper Section 7.4, Table 4).
+
+Reproduces the PEERING-testbed methodology: attach a testbed AS (AS 47065) as
+a customer of several PoP provider networks, announce a prefix with a unique
+pair of communities per PoP, and check the resulting collector observations
+against the passively inferred classification:
+
+* paths that *lost* our communities should contain an inferred cleaner,
+* paths that still *carry* them should not.
+
+Run with::
+
+    python examples/peering_validation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ColumnInference
+from repro.datasets import SyntheticConfig, SyntheticInternet
+from repro.eval import PeeringExperiment
+
+
+def main() -> None:
+    print("building synthetic Internet and passive classification...")
+    internet = SyntheticInternet.build(SyntheticConfig.small(seed=31))
+    classification = ColumnInference().run(internet.tuples_for_aggregate())
+    print(f"  classified {classification.summary()['cleaner']} cleaner ASes passively")
+
+    print("\nrunning three announcement experiments (12 PoPs each):")
+    header = f"{'experiment':<14}{'paths w/ comms':>16}{'cleaner on path':>17}{'paths w/o comms':>17}{'cleaner on path':>17}"
+    print(header)
+    print("-" * len(header))
+    for index, label in enumerate(("2021-05-19", "2021-07-15", "2021-08-15")):
+        experiment = PeeringExperiment(
+            internet.topology,
+            internet.roles,
+            internet.paths_by_peer,
+            n_pops=12,
+            seed=100 + index * 13,
+        )
+        validation = experiment.validate(classification, experiment=label)
+        print(
+            f"{label:<14}"
+            f"{validation.present_total:>16}"
+            f"{validation.present_with_cleaner:>13} ({validation.present_cleaner_share:>4.0%})"
+            f"{validation.absent_total:>13}"
+            f"{validation.absent_with_cleaner:>13} ({validation.absent_cleaner_share:>4.0%})"
+        )
+
+    print(
+        "\ninterpretation: community-absent paths should overwhelmingly contain an\n"
+        "inferred cleaner, community-present paths should (almost) never - the same\n"
+        "consistency check the paper uses to validate its inferences in the wild."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""BGP data model.
+
+This package provides the fundamental data types the rest of the library is
+built on:
+
+* :mod:`repro.bgp.asn` -- AS numbers, the 16/32-bit split, private and
+  reserved ranges, and a synthetic allocation registry.
+* :mod:`repro.bgp.prefix` -- IPv4/IPv6 prefixes and a prefix allocation
+  registry used during sanitation.
+* :mod:`repro.bgp.community` -- regular (RFC 1997) and large (RFC 8092)
+  community values, well-known communities, and community sets.
+* :mod:`repro.bgp.path` -- AS paths, including AS_SET segments and
+  prepending, and the leaf/transit distinction.
+* :mod:`repro.bgp.messages` -- BGP UPDATE messages and RIB entries carrying
+  path attributes.
+* :mod:`repro.bgp.announcement` -- the ``(path, comm)`` observation tuples
+  consumed by the inference algorithm.
+"""
+
+from repro.bgp.asn import (
+    ASN,
+    ASNRegistry,
+    AS_TRANS,
+    MAX_ASN_16BIT,
+    MAX_ASN_32BIT,
+    is_16bit,
+    is_32bit_only,
+    is_private_asn,
+    is_public_asn,
+    is_reserved_asn,
+)
+from repro.bgp.prefix import Prefix, PrefixAllocation, parse_prefix
+from repro.bgp.community import (
+    Community,
+    LargeCommunity,
+    CommunitySet,
+    WellKnownCommunity,
+    parse_community,
+)
+from repro.bgp.path import ASPath, PathSegment, SegmentType
+from repro.bgp.messages import (
+    BGPUpdate,
+    RIBEntry,
+    Origin,
+    PathAttributes,
+)
+from repro.bgp.announcement import RouteObservation, PathCommTuple
+
+__all__ = [
+    "ASN",
+    "ASNRegistry",
+    "AS_TRANS",
+    "MAX_ASN_16BIT",
+    "MAX_ASN_32BIT",
+    "is_16bit",
+    "is_32bit_only",
+    "is_private_asn",
+    "is_public_asn",
+    "is_reserved_asn",
+    "Prefix",
+    "PrefixAllocation",
+    "parse_prefix",
+    "Community",
+    "LargeCommunity",
+    "CommunitySet",
+    "WellKnownCommunity",
+    "parse_community",
+    "ASPath",
+    "PathSegment",
+    "SegmentType",
+    "BGPUpdate",
+    "RIBEntry",
+    "Origin",
+    "PathAttributes",
+    "RouteObservation",
+    "PathCommTuple",
+]

@@ -1,0 +1,155 @@
+"""Autonomous System Numbers.
+
+The paper (Section 3) relies on the distinction between
+
+* 16-bit and 32-bit ASNs -- 32-bit ASes cannot encode their own ASN in the
+  upper field of a regular community, which motivates the inclusion of large
+  communities in the analysis,
+* public and private/reserved ASNs -- communities whose upper field is a
+  non-public ASN are classified as ``private`` and ignored by the inference
+  algorithm, and
+* allocated and unallocated ASNs -- routing information containing
+  unallocated ASNs is removed during sanitation (Section 4.1).
+
+This module implements those predicates plus :class:`ASNRegistry`, a
+synthetic stand-in for the RIR delegation files the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Set, Tuple
+
+#: An AS number is represented as a plain ``int`` throughout the library.
+ASN = int
+
+#: Largest 16-bit (2-byte) ASN.
+MAX_ASN_16BIT: ASN = 0xFFFF
+
+#: Largest 32-bit (4-byte) ASN.
+MAX_ASN_32BIT: ASN = 0xFFFF_FFFF
+
+#: AS_TRANS (RFC 6793): placeholder ASN used by old speakers for 4-byte ASNs.
+AS_TRANS: ASN = 23456
+
+#: Private-use 16-bit range (RFC 6996).
+PRIVATE_16BIT_RANGE: Tuple[ASN, ASN] = (64512, 65534)
+
+#: Private-use 32-bit range (RFC 6996).
+PRIVATE_32BIT_RANGE: Tuple[ASN, ASN] = (4200000000, 4294967294)
+
+#: Documentation ranges (RFC 5398).
+DOCUMENTATION_RANGES: Tuple[Tuple[ASN, ASN], ...] = (
+    (64496, 64511),
+    (65536, 65551),
+)
+
+#: Individually reserved ASNs (RFC 7607, RFC 6793, last ASNs of each space).
+RESERVED_ASNS: frozenset = frozenset({0, AS_TRANS, 65535, MAX_ASN_32BIT})
+
+
+def is_16bit(asn: ASN) -> bool:
+    """Return ``True`` if *asn* fits into 2 bytes."""
+    return 0 <= asn <= MAX_ASN_16BIT
+
+
+def is_32bit_only(asn: ASN) -> bool:
+    """Return ``True`` if *asn* requires a 4-byte representation."""
+    return MAX_ASN_16BIT < asn <= MAX_ASN_32BIT
+
+
+def is_valid_asn(asn: ASN) -> bool:
+    """Return ``True`` if *asn* is inside the 32-bit ASN space."""
+    return 0 <= asn <= MAX_ASN_32BIT
+
+
+def is_reserved_asn(asn: ASN) -> bool:
+    """Return ``True`` for ASNs reserved by the IETF (AS 0, AS_TRANS, ...)."""
+    if asn in RESERVED_ASNS:
+        return True
+    return any(lo <= asn <= hi for lo, hi in DOCUMENTATION_RANGES)
+
+
+def is_private_asn(asn: ASN) -> bool:
+    """Return ``True`` for private-use ASNs (RFC 6996) and reserved ASNs.
+
+    The paper's ``private`` community source group covers communities whose
+    upper field is "a non-public ASN, i.e., private, reserved, not assigned
+    or allocated" (Section 3.2); allocation status is handled separately by
+    :class:`ASNRegistry`.
+    """
+    if is_reserved_asn(asn):
+        return True
+    lo, hi = PRIVATE_16BIT_RANGE
+    if lo <= asn <= hi:
+        return True
+    lo, hi = PRIVATE_32BIT_RANGE
+    return lo <= asn <= hi
+
+
+def is_public_asn(asn: ASN) -> bool:
+    """Return ``True`` if *asn* is a valid, non-private, non-reserved ASN."""
+    return is_valid_asn(asn) and not is_private_asn(asn)
+
+
+@dataclass
+class ASNRegistry:
+    """Synthetic ASN allocation registry.
+
+    Stand-in for the RIR delegation files ("current allocation information
+    from the regional registries", Section 4.1).  The registry knows which
+    public ASNs are *allocated*; sanitation drops routing information that
+    contains unallocated ASNs.
+
+    The registry is typically populated by the topology generator
+    (:mod:`repro.topology.generator`), which registers every ASN it creates.
+    """
+
+    allocated: Set[ASN] = field(default_factory=set)
+
+    def allocate(self, asn: ASN) -> None:
+        """Mark *asn* as allocated.
+
+        Raises :class:`ValueError` for ASNs outside the public space, since a
+        registry only ever hands out public numbers.
+        """
+        if not is_public_asn(asn):
+            raise ValueError(f"cannot allocate non-public ASN {asn}")
+        self.allocated.add(asn)
+
+    def allocate_many(self, asns: Iterable[ASN]) -> None:
+        """Mark every ASN in *asns* as allocated."""
+        for asn in asns:
+            self.allocate(asn)
+
+    def deallocate(self, asn: ASN) -> None:
+        """Remove *asn* from the registry (no-op if absent)."""
+        self.allocated.discard(asn)
+
+    def is_allocated(self, asn: ASN) -> bool:
+        """Return ``True`` if *asn* is registered as allocated."""
+        return asn in self.allocated
+
+    def is_routable(self, asn: ASN) -> bool:
+        """Return ``True`` if *asn* may legitimately appear in an AS path."""
+        return is_public_asn(asn) and self.is_allocated(asn)
+
+    def __contains__(self, asn: object) -> bool:
+        return isinstance(asn, int) and self.is_allocated(asn)
+
+    def __len__(self) -> int:
+        return len(self.allocated)
+
+    def __iter__(self) -> Iterator[ASN]:
+        return iter(sorted(self.allocated))
+
+    @classmethod
+    def from_asns(cls, asns: Iterable[ASN]) -> "ASNRegistry":
+        """Build a registry with every ASN in *asns* allocated."""
+        registry = cls()
+        registry.allocate_many(asns)
+        return registry
+
+    def count_32bit(self) -> int:
+        """Number of allocated ASNs that require 4 bytes (Table 1 row)."""
+        return sum(1 for asn in self.allocated if is_32bit_only(asn))

@@ -1,0 +1,117 @@
+"""BGP update messages and RIB entries.
+
+The paper consumes two kinds of archived routing data (Section 4): BGP
+**update messages** (announcements and withdrawals) and **RIB snapshots**
+(table dumps).  Both reduce to the same analytic unit — an AS path plus the
+community attribute observed at a collector peer — but carrying both shapes
+lets the pipeline exercise the same parsing, sanitation, and aggregation
+steps the paper's tooling performs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bgp.asn import ASN
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import Prefix
+
+
+class Origin(enum.IntEnum):
+    """BGP ORIGIN attribute values (RFC 4271)."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The subset of BGP path attributes the analysis cares about."""
+
+    as_path: ASPath
+    communities: CommunitySet = field(default_factory=CommunitySet.empty)
+    origin: Origin = Origin.IGP
+    next_hop: int = 0  # IPv4 next hop as integer; purely decorative here
+    local_pref: Optional[int] = None
+    med: Optional[int] = None
+
+    def with_communities(self, communities: CommunitySet) -> "PathAttributes":
+        """Return a copy with the community attribute replaced."""
+        return PathAttributes(
+            as_path=self.as_path,
+            communities=communities,
+            origin=self.origin,
+            next_hop=self.next_hop,
+            local_pref=self.local_pref,
+            med=self.med,
+        )
+
+
+@dataclass(frozen=True)
+class BGPUpdate:
+    """A BGP UPDATE as received by a route collector from a peer.
+
+    ``announced`` prefixes share the single set of path attributes;
+    ``withdrawn`` prefixes carry none (RFC 4271).  A withdrawal-only update
+    has ``attributes is None``.
+    """
+
+    peer_asn: ASN
+    timestamp: int
+    announced: Tuple[Prefix, ...] = ()
+    withdrawn: Tuple[Prefix, ...] = ()
+    attributes: Optional[PathAttributes] = None
+
+    def __post_init__(self) -> None:
+        if self.announced and self.attributes is None:
+            raise ValueError("announcements require path attributes")
+        if not isinstance(self.announced, tuple):
+            object.__setattr__(self, "announced", tuple(self.announced))
+        if not isinstance(self.withdrawn, tuple):
+            object.__setattr__(self, "withdrawn", tuple(self.withdrawn))
+
+    @property
+    def is_announcement(self) -> bool:
+        """``True`` if at least one prefix is announced."""
+        return bool(self.announced)
+
+    @property
+    def is_withdrawal(self) -> bool:
+        """``True`` if at least one prefix is withdrawn."""
+        return bool(self.withdrawn)
+
+    @property
+    def as_path(self) -> Optional[ASPath]:
+        """The AS path of the announcement, if any."""
+        return self.attributes.as_path if self.attributes else None
+
+    @property
+    def communities(self) -> CommunitySet:
+        """The community attribute (empty for withdrawal-only updates)."""
+        if self.attributes is None:
+            return CommunitySet.empty()
+        return self.attributes.communities
+
+
+@dataclass(frozen=True)
+class RIBEntry:
+    """A single route from a RIB snapshot (one prefix, one peer)."""
+
+    peer_asn: ASN
+    prefix: Prefix
+    attributes: PathAttributes
+    timestamp: int = 0
+
+    @property
+    def as_path(self) -> ASPath:
+        """The AS path of the installed route."""
+        return self.attributes.as_path
+
+    @property
+    def communities(self) -> CommunitySet:
+        """The community attribute of the installed route."""
+        return self.attributes.communities

@@ -1,0 +1,128 @@
+"""Command-line interface.
+
+Mirrors the tooling the paper released alongside its dataset: point the tool
+at MRT archives (RIBs and/or updates), run sanitation and the column-based
+inference, and write the per-AS classification database.
+
+Usage::
+
+    python -m repro classify rib.mrt updates.mrt -o classification.txt
+    python -m repro classify --threshold 0.95 --format json dump.mrt
+    python -m repro demo --scale tiny           # no input data: run on the synthetic Internet
+    python -m repro show classification.txt --asn 3356
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.collectors.archive import observations_from_mrt
+from repro.core.column import ColumnInference
+from repro.core.export import ClassificationDatabase
+from repro.core.pipeline import InferencePipeline
+from repro.core.thresholds import Thresholds
+
+
+def _write_database(database: ClassificationDatabase, output: Optional[str], fmt: str) -> None:
+    """Write the database to a file or stdout in the chosen format."""
+    text = database.to_json() if fmt == "json" else database.dumps()
+    if output:
+        Path(output).write_text(text)
+    else:
+        sys.stdout.write(text)
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    """``classify``: run the pipeline on MRT files."""
+    observations = []
+    for filename in args.inputs:
+        blob = Path(filename).read_bytes()
+        observations.extend(observations_from_mrt(blob, collector=Path(filename).name))
+    pipeline = InferencePipeline(thresholds=Thresholds.uniform(args.threshold))
+    outcome = pipeline.run_from_observations(observations)
+    database = ClassificationDatabase.from_result(outcome.result)
+    _write_database(database, args.output, args.format)
+    print(
+        f"classified {len(database)} ASes from {outcome.observations_in} observations "
+        f"({outcome.unique_tuples} unique tuples)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """``demo``: run the pipeline on the synthetic Internet (no input files)."""
+    from repro.experiments.context import ExperimentContext, ExperimentScale
+
+    context = ExperimentContext(scale=ExperimentScale(args.scale), seed=args.seed)
+    result = ColumnInference(Thresholds.uniform(args.threshold)).run(context.aggregate_tuples)
+    database = ClassificationDatabase.from_result(result)
+    _write_database(database, args.output, args.format)
+    print(f"classified {len(database)} ASes on the synthetic Internet", file=sys.stderr)
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """``show``: inspect an exported classification database."""
+    text = Path(args.database).read_text()
+    database = (
+        ClassificationDatabase.from_json(text)
+        if text.lstrip().startswith("[")
+        else ClassificationDatabase.loads(text)
+    )
+    if args.asn is not None:
+        record = database.get(args.asn)
+        if record is None:
+            print(f"AS{args.asn}: not in database")
+            return 1
+        counters = record.counters
+        print(
+            f"AS{args.asn}: class={record.classification.code} "
+            f"t={counters.tagger} s={counters.silent} f={counters.forward} c={counters.cleaner}"
+        )
+        return 0
+    print(f"{len(database)} ASes")
+    for code, count in sorted(database.counts_by_code().items()):
+        print(f"  {code}: {count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    classify = subparsers.add_parser("classify", help="classify MRT archives")
+    classify.add_argument("inputs", nargs="+", help="MRT files (RIBs and/or updates)")
+    classify.add_argument("-o", "--output", help="output file (default: stdout)")
+    classify.add_argument("--format", choices=("text", "json"), default="text")
+    classify.add_argument("--threshold", type=float, default=0.99)
+    classify.set_defaults(handler=cmd_classify)
+
+    demo = subparsers.add_parser("demo", help="classify the synthetic Internet")
+    demo.add_argument("--scale", choices=("tiny", "small", "default", "large"), default="tiny")
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("-o", "--output", help="output file (default: stdout)")
+    demo.add_argument("--format", choices=("text", "json"), default="text")
+    demo.add_argument("--threshold", type=float, default=0.99)
+    demo.set_defaults(handler=cmd_demo)
+
+    show = subparsers.add_parser("show", help="inspect an exported database")
+    show.add_argument("database", help="database file written by classify/demo")
+    show.add_argument("--asn", type=int, default=None, help="show a single AS")
+    show.set_defaults(handler=cmd_show)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

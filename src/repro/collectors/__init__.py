@@ -1,0 +1,29 @@
+"""Route collector simulation.
+
+The paper's input data comes from four route collector projects (RIPE RIS,
+RouteViews, Isolario, PCH) that archive RIB snapshots and BGP update streams
+received from their peer ASes.  This package models those projects over the
+generated topology:
+
+* :mod:`repro.collectors.collector` -- collectors, collector peers, and
+  collector projects,
+* :mod:`repro.collectors.projects` -- the default four-project layout with
+  paper-like characteristics (PCH: many peers but updates only),
+* :mod:`repro.collectors.archive` -- generation of per-day RIB snapshots and
+  update streams (with churn) as route observations and, optionally, as
+  binary MRT archives.
+"""
+
+from repro.collectors.collector import Collector, CollectorProject
+from repro.collectors.projects import DEFAULT_PROJECT_NAMES, build_default_projects
+from repro.collectors.archive import ArchiveConfig, CollectorArchive, DayArchive
+
+__all__ = [
+    "Collector",
+    "CollectorProject",
+    "DEFAULT_PROJECT_NAMES",
+    "build_default_projects",
+    "ArchiveConfig",
+    "CollectorArchive",
+    "DayArchive",
+]

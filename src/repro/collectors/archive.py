@@ -1,0 +1,269 @@
+"""Per-day collector archives: RIB snapshots and update streams.
+
+Turns the routing substrate (best paths from every collector peer) and the
+community usage model into the data a collector project archives for one day:
+
+* one or more RIB snapshots per collector (every peer exports its best route
+  per prefix, with the community set produced by the propagation model), and
+* an update stream: re-announcements and flaps of a subset of routes spread
+  over the day.
+
+The archive can be materialised either directly as
+:class:`repro.bgp.announcement.RouteObservation` objects (fast path used by
+most experiments) or as binary MRT blobs (via :mod:`repro.mrt`) to exercise
+the full decode-sanitize-infer pipeline end to end.
+
+A light *realism noise* layer optionally adds private and stray communities,
+which real collector data is full of (Table 1 reports them explicitly and
+Figure 5 counts them at peer ASes); these communities are ignored by the
+inference but must flow through the pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.announcement import RouteObservation
+from repro.bgp.asn import ASN
+from repro.bgp.community import CommunitySet, make_community
+from repro.bgp.messages import BGPUpdate, PathAttributes
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import Prefix
+from repro.collectors.collector import Collector, CollectorProject
+from repro.mrt.decoder import MRTDecoder
+from repro.mrt.encoder import MRTEncoder
+from repro.mrt.records import BGP4MPMessage, PeerIndexTable, RIBEntryRecord
+from repro.topology.generator import Topology
+from repro.topology.routing import ValleyFreePath
+from repro.usage.propagation import CommunityPropagator
+
+#: 2021-05-19 00:00:00 UTC, the paper's primary measurement day.
+DEFAULT_EPOCH = 1621382400
+
+
+@dataclass
+class ArchiveConfig:
+    """Knobs controlling the volume and churn of the generated archives."""
+
+    #: RIB snapshots written per day (RIPE: every 8h; we default to 2).
+    rib_snapshots_per_day: int = 2
+    #: Share of (peer, origin, prefix) routes that also appear in updates.
+    update_share: float = 0.35
+    #: Re-announcements per updated route per day (min, max).
+    updates_per_route: Tuple[int, int] = (1, 3)
+    #: Probability that a route is missing from a given day entirely
+    #: (session resets, route unavailability) — drives day-to-day churn.
+    p_route_missing: float = 0.02
+    #: Probability that an observation additionally carries a private
+    #: community / a stray community (realism noise).
+    p_private_community: float = 0.03
+    p_stray_community: float = 0.02
+    seed: int = 0
+    #: Unix timestamp of day 0.
+    epoch: int = DEFAULT_EPOCH
+
+
+@dataclass
+class DayArchive:
+    """One day of archived data for one collector project."""
+
+    project: str
+    day: int
+    observations: List[RouteObservation]
+    rib_entry_count: int
+    update_message_count: int
+
+    @property
+    def total_entries(self) -> int:
+        """RIB entries plus update messages (the Table 1 "Entries total" row)."""
+        return self.rib_entry_count + self.update_message_count
+
+
+class CollectorArchive:
+    """Generates per-day archives for one collector project."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        project: CollectorProject,
+        paths_by_peer: Dict[ASN, Dict[ASN, ValleyFreePath]],
+        propagator: CommunityPropagator,
+        *,
+        config: Optional[ArchiveConfig] = None,
+    ) -> None:
+        self.topology = topology
+        self.project = project
+        self.paths_by_peer = paths_by_peer
+        self.propagator = propagator
+        self.config = config or ArchiveConfig()
+        self._output_cache: Dict[ASPath, CommunitySet] = {}
+        self._stray_candidates: List[ASN] = sorted(topology.ases)
+
+    # -- helpers ---------------------------------------------------------------
+    def _output_for(self, path: ASPath) -> CommunitySet:
+        """Community set exported by the peer for *path* (memoised)."""
+        cached = self._output_cache.get(path)
+        if cached is None:
+            cached = self.propagator.output(path)
+            self._output_cache[path] = cached
+        return cached
+
+    def _route_present(self, day: int, peer: ASN, origin: ASN) -> bool:
+        """Deterministic per-day availability of a (peer, origin) route."""
+        if self.config.p_route_missing <= 0:
+            return True
+        rng = random.Random(f"{self.config.seed}:{day}:{peer}:{origin}")
+        return rng.random() >= self.config.p_route_missing
+
+    def _realism_noise(self, rng: random.Random, path: ASPath, communities: CommunitySet) -> CommunitySet:
+        """Optionally add private / stray communities to an observation."""
+        config = self.config
+        if config.p_private_community > 0 and rng.random() < config.p_private_community:
+            communities = communities.add(make_community(64512 + rng.randint(0, 100), rng.randint(1, 500)))
+        if config.p_stray_community > 0 and rng.random() < config.p_stray_community:
+            stray_asn = rng.choice(self._stray_candidates)
+            if stray_asn not in path:
+                communities = communities.add(make_community(stray_asn, rng.randint(1, 500)))
+        return communities
+
+    # -- day generation -------------------------------------------------------------
+    def generate_day(self, day: int = 0) -> DayArchive:
+        """Generate the archive of *day* for the whole project."""
+        config = self.config
+        day_start = config.epoch + day * 86400
+        rng = random.Random(f"{config.seed}:{self.project.name}:{day}")
+        observations: List[RouteObservation] = []
+        rib_entries = 0
+        update_messages = 0
+
+        for collector in self.project.collectors:
+            for peer in collector.peer_asns:
+                per_origin = self.paths_by_peer.get(peer, {})
+                for origin, best in per_origin.items():
+                    if not self._route_present(day, peer, origin):
+                        continue
+                    communities = self._output_for(best.path)
+                    for prefix in self.topology.prefixes_of(origin):
+                        noisy = self._realism_noise(rng, best.path, communities)
+                        if self.project.provides_ribs:
+                            for snapshot in range(config.rib_snapshots_per_day):
+                                rib_entries += 1
+                                if snapshot == 0:
+                                    observations.append(
+                                        RouteObservation(
+                                            collector=collector.name,
+                                            peer_asn=peer,
+                                            prefix=prefix,
+                                            path=best.path,
+                                            communities=noisy,
+                                            timestamp=day_start + snapshot * (86400 // max(1, config.rib_snapshots_per_day)),
+                                            from_rib=True,
+                                        )
+                                    )
+                        if rng.random() < config.update_share:
+                            count = rng.randint(*config.updates_per_route)
+                            update_messages += count
+                            observations.append(
+                                RouteObservation(
+                                    collector=collector.name,
+                                    peer_asn=peer,
+                                    prefix=prefix,
+                                    path=best.path,
+                                    communities=noisy,
+                                    timestamp=day_start + rng.randint(0, 86399),
+                                    from_rib=False,
+                                )
+                            )
+        return DayArchive(
+            project=self.project.name,
+            day=day,
+            observations=observations,
+            rib_entry_count=rib_entries,
+            update_message_count=update_messages,
+        )
+
+    def generate_days(self, days: int) -> List[DayArchive]:
+        """Generate several consecutive days of archives."""
+        return [self.generate_day(day) for day in range(days)]
+
+    # -- MRT materialisation -----------------------------------------------------------
+    def day_to_mrt(self, archive: DayArchive) -> Dict[str, bytes]:
+        """Encode a day archive into binary MRT blobs, one per collector."""
+        blobs: Dict[str, bytes] = {}
+        by_collector: Dict[str, List[RouteObservation]] = {}
+        for observation in archive.observations:
+            by_collector.setdefault(observation.collector, []).append(observation)
+        for collector in self.project.collectors:
+            observations = by_collector.get(collector.name, [])
+            encoder = MRTEncoder()
+            encoder.write_peer_index_table(
+                list(collector.peer_asns), timestamp=self.config.epoch + archive.day * 86400
+            )
+            sequence = 0
+            for observation in observations:
+                attributes = PathAttributes(
+                    as_path=observation.path, communities=observation.communities
+                )
+                if observation.from_rib:
+                    encoder.write_rib_entry(
+                        observation.prefix,
+                        [(observation.peer_asn, observation.timestamp, attributes)],
+                        sequence=sequence,
+                        timestamp=observation.timestamp,
+                    )
+                    sequence += 1
+                else:
+                    encoder.write_update(
+                        BGPUpdate(
+                            peer_asn=observation.peer_asn,
+                            timestamp=observation.timestamp,
+                            announced=(observation.prefix,),
+                            attributes=attributes,
+                        )
+                    )
+            blobs[collector.name] = encoder.getvalue()
+        return blobs
+
+
+def observations_from_mrt(blob: bytes, collector: str) -> List[RouteObservation]:
+    """Decode one collector's MRT blob back into route observations."""
+    decoder = MRTDecoder(blob)
+    observations: List[RouteObservation] = []
+    peer_table: Optional[PeerIndexTable] = None
+    for record in decoder:
+        if isinstance(record, PeerIndexTable):
+            peer_table = record
+        elif isinstance(record, RIBEntryRecord):
+            if peer_table is None:
+                raise ValueError("RIB record before PEER_INDEX_TABLE")
+            for entry in record.to_rib_entries(peer_table):
+                observations.append(
+                    RouteObservation(
+                        collector=collector,
+                        peer_asn=entry.peer_asn,
+                        prefix=entry.prefix,
+                        path=entry.as_path,
+                        communities=entry.communities,
+                        timestamp=entry.timestamp,
+                        from_rib=True,
+                    )
+                )
+        elif isinstance(record, BGP4MPMessage) and record.update is not None:
+            update = record.update
+            if update.attributes is None:
+                continue
+            for prefix in update.announced:
+                observations.append(
+                    RouteObservation(
+                        collector=collector,
+                        peer_asn=update.peer_asn,
+                        prefix=prefix,
+                        path=update.attributes.as_path,
+                        communities=update.attributes.communities,
+                        timestamp=update.timestamp,
+                        from_rib=False,
+                    )
+                )
+    return observations

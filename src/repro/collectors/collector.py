@@ -1,0 +1,74 @@
+"""Collectors and collector projects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.bgp.asn import ASN
+
+
+@dataclass(frozen=True)
+class Collector:
+    """A single route collector ("looking glass") with its peer ASes.
+
+    A peer AS maintains a BGP session with the collector and exports its best
+    routes; the collector archives them.  One AS can peer with collectors of
+    several projects (the paper notes this explicitly), which simply means
+    the same ASN appears in several peer lists.
+    """
+
+    name: str
+    project: str
+    peer_asns: Tuple[ASN, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.peer_asns, tuple):
+            object.__setattr__(self, "peer_asns", tuple(self.peer_asns))
+
+    def __len__(self) -> int:
+        return len(self.peer_asns)
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self.peer_asns
+
+
+@dataclass
+class CollectorProject:
+    """A collector project (RIPE RIS, RouteViews, ...)."""
+
+    name: str
+    collectors: List[Collector] = field(default_factory=list)
+    #: Whether the project publishes RIB snapshots that include communities
+    #: (PCH does not, which is why the paper treats it separately).
+    provides_ribs: bool = True
+
+    def add_collector(self, collector: Collector) -> None:
+        """Attach a collector to this project."""
+        if collector.project != self.name:
+            raise ValueError(
+                f"collector {collector.name!r} belongs to project {collector.project!r}"
+            )
+        self.collectors.append(collector)
+
+    def peer_asns(self) -> Set[ASN]:
+        """The union of the peers of every collector of the project."""
+        peers: Set[ASN] = set()
+        for collector in self.collectors:
+            peers.update(collector.peer_asns)
+        return peers
+
+    def collector_names(self) -> List[str]:
+        """Names of the project's collectors."""
+        return [collector.name for collector in self.collectors]
+
+    def __len__(self) -> int:
+        return len(self.collectors)
+
+
+def merge_peer_sets(projects: Iterable[CollectorProject]) -> Set[ASN]:
+    """The union of collector peers across several projects."""
+    peers: Set[ASN] = set()
+    for project in projects:
+        peers.update(project.peer_asns())
+    return peers

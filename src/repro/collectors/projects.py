@@ -1,0 +1,88 @@
+"""Default collector project layout.
+
+Builds four projects whose relative characteristics follow Table 1:
+
+* **ripe** -- many collectors, large peer set, RIBs + updates,
+* **routeviews** -- many collectors, mid-sized peer set, RIBs + updates,
+* **isolario** -- few collectors, smallest peer set, RIBs + updates,
+* **pch** -- the largest peer set but *updates only* (its RIBs lack the
+  community attribute, so the paper excludes it from most analyses).
+
+Peer counts scale with the size of the generated topology (roughly 1-2% of
+ASes peer with collectors, as in the real Internet), and the per-project peer
+sets overlap, since real ASes frequently peer with several projects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bgp.asn import ASN
+from repro.collectors.collector import Collector, CollectorProject
+from repro.topology.generator import Topology
+
+#: The canonical project names in the order the paper reports them.
+DEFAULT_PROJECT_NAMES: Tuple[str, ...] = ("ripe", "routeviews", "isolario", "pch")
+
+#: Relative peer-set sizes, normalised to the RIPE peer count.
+_PEER_SHARE: Dict[str, float] = {
+    "ripe": 1.0,
+    "routeviews": 0.55,
+    "isolario": 0.21,
+    "pch": 1.7,
+}
+
+#: Number of collectors per project (scaled down from reality).
+_COLLECTOR_COUNT: Dict[str, int] = {
+    "ripe": 6,
+    "routeviews": 8,
+    "isolario": 3,
+    "pch": 10,
+}
+
+
+def build_default_projects(
+    topology: Topology,
+    *,
+    seed: int = 7,
+    peer_fraction: float = 0.015,
+) -> Dict[str, CollectorProject]:
+    """Create the four default projects over *topology*.
+
+    *peer_fraction* controls how many distinct ASes peer with the RIPE-like
+    project; the other projects are sized relative to it.  Peer sets are
+    drawn with overlap so the aggregated dataset gains fewer peers than the
+    sum of the parts, as in the paper.
+    """
+    rng = random.Random(seed)
+    base_count = max(6, int(len(topology) * peer_fraction))
+
+    projects: Dict[str, CollectorProject] = {}
+    for index, name in enumerate(DEFAULT_PROJECT_NAMES):
+        count = max(4, int(base_count * _PEER_SHARE[name]))
+        peers = topology.select_collector_peers(count, seed=seed + index * 101)
+        project = CollectorProject(name=name, provides_ribs=(name != "pch"))
+        collectors = _COLLECTOR_COUNT[name]
+        # Spread the project's peers over its collectors (peers may appear at
+        # several collectors of the same project, as in reality).
+        for collector_index in range(collectors):
+            sample_size = max(2, len(peers) // collectors + rng.randint(0, 3))
+            sample_size = min(sample_size, len(peers))
+            collector_peers = tuple(sorted(rng.sample(peers, sample_size)))
+            project.add_collector(
+                Collector(
+                    name=f"{name}-{collector_index:02d}",
+                    project=name,
+                    peer_asns=collector_peers,
+                )
+            )
+        # Guarantee every selected peer appears at least once in the project.
+        covered = project.peer_asns()
+        missing = [asn for asn in peers if asn not in covered]
+        if missing:
+            project.add_collector(
+                Collector(name=f"{name}-extra", project=name, peer_asns=tuple(missing))
+            )
+        projects[name] = project
+    return projects

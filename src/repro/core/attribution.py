@@ -1,0 +1,88 @@
+"""Community value attribution (paper Section 8, future work).
+
+The paper's outlook asks not only *whether* an AS is a tagger but *which*
+communities it adds.  This module implements that extension on top of a
+finished classification: every community observed in the input whose upper
+field names an AS that
+
+* was classified as a tagger, and
+* appears on the corresponding AS path with all upstream ASes classified as
+  forward (so the community plausibly travelled from that AS to the
+  collector unmodified),
+
+is attributed to that AS.  The result is a per-AS dictionary of community
+values with occurrence counts, which downstream users can feed into
+signalling-vs-informational analyses or automated community filtering.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.asn import ASN
+from repro.bgp.community import AnyCommunity
+from repro.core.classes import ForwardingClass, TaggingClass
+from repro.core.results import ClassificationResult
+
+
+class CommunityAttribution:
+    """Attributes observed community values to inferred tagger ASes."""
+
+    def __init__(self, result: ClassificationResult) -> None:
+        self.result = result
+        self._values: Dict[ASN, Counter] = defaultdict(Counter)
+        self._observations: int = 0
+
+    # -- construction ------------------------------------------------------------------
+    def ingest(self, tuples: Iterable[PathCommTuple]) -> "CommunityAttribution":
+        """Attribute the communities of every tuple; returns ``self``."""
+        for item in tuples:
+            self._ingest_one(item)
+        return self
+
+    def _ingest_one(self, item: PathCommTuple) -> None:
+        self._observations += 1
+        asns = item.path.asns
+        # Position of each ASN on the path (first occurrence; sanitized paths
+        # contain no duplicates).
+        positions = {asn: index for index, asn in enumerate(asns)}
+        for community in item.communities:
+            upper = community.upper
+            position = positions.get(upper)
+            if position is None:
+                continue  # stray or private relative to this path
+            if self.result.classification_of(upper).tagging is not TaggingClass.TAGGER:
+                continue
+            if not self._upstream_all_forward(asns, position):
+                continue
+            self._values[upper][community] += 1
+
+    def _upstream_all_forward(self, asns: Sequence[ASN], position: int) -> bool:
+        """All ASes between the collector and *position* are inferred forward."""
+        for index in range(position):
+            forwarding = self.result.classification_of(asns[index]).forwarding
+            if forwarding is not ForwardingClass.FORWARD:
+                return False
+        return True
+
+    # -- queries -------------------------------------------------------------------------
+    def communities_of(self, asn: ASN) -> Dict[AnyCommunity, int]:
+        """The communities attributed to *asn* with their occurrence counts."""
+        return dict(self._values.get(asn, Counter()))
+
+    def distinct_values(self, asn: ASN) -> int:
+        """Number of distinct community values attributed to *asn*."""
+        return len(self._values.get(asn, ()))
+
+    def attributed_ases(self) -> List[ASN]:
+        """Every AS that received at least one attributed community."""
+        return sorted(self._values)
+
+    def top_values(self, asn: ASN, count: int = 5) -> List[AnyCommunity]:
+        """The most frequently attributed community values of *asn*."""
+        return [community for community, _ in self._values.get(asn, Counter()).most_common(count)]
+
+    def __len__(self) -> int:
+        return len(self._values)

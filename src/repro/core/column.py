@@ -1,0 +1,168 @@
+"""The column-based inference algorithm (paper Section 5.6, Listing 1).
+
+The algorithm iterates over the input ``(path, comm)`` tuples **by path
+index** (column) rather than path by path (row).  For every column ``x`` it
+performs two passes:
+
+1. **count tagging** -- for every tuple whose path is long enough and whose
+   upstream ASes satisfy Cond1, increase ``t[A_x]`` when a community with
+   upper field ``A_x`` is present in ``output(A_1)``, else ``s[A_x]``;
+2. **count forwarding** -- additionally require a qualifying downstream
+   tagger ``A_t`` (Cond2) and increase ``f[A_x]`` when ``A_t``'s community is
+   present, else ``c[A_x]``.
+
+Knowledge gained at lower indices (starting with the trivially observable
+collector peers at index 1) feeds the condition checks at higher indices.
+The loop stops as soon as a column produces no new evidence, which in
+practice happens around index 7 (the paper makes the same observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.asn import ASN
+from repro.core.conditions import cond1, find_downstream_tagger
+from repro.core.counters import CounterStore
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+
+
+@dataclass
+class ColumnInferenceReport:
+    """Diagnostics about one inference run (coverage per column)."""
+
+    columns_processed: int = 0
+    tagging_counts_per_column: List[int] = field(default_factory=list)
+    forwarding_counts_per_column: List[int] = field(default_factory=list)
+
+    @property
+    def total_tagging_counts(self) -> int:
+        """Total number of tagging counter increments."""
+        return sum(self.tagging_counts_per_column)
+
+    @property
+    def total_forwarding_counts(self) -> int:
+        """Total number of forwarding counter increments."""
+        return sum(self.forwarding_counts_per_column)
+
+
+class ColumnInference:
+    """Runs the paper's column-based inference over ``(path, comm)`` tuples."""
+
+    def __init__(
+        self,
+        thresholds: Optional[Thresholds] = None,
+        *,
+        max_columns: Optional[int] = None,
+        stop_when_stalled: bool = True,
+    ) -> None:
+        self.thresholds = thresholds or Thresholds()
+        self.max_columns = max_columns
+        self.stop_when_stalled = stop_when_stalled
+        self.report = ColumnInferenceReport()
+
+    # -- public API --------------------------------------------------------------------
+    def run(self, tuples: Sequence[PathCommTuple]) -> ClassificationResult:
+        """Infer the community usage classification for every observed AS."""
+        store = CounterStore(self.thresholds)
+        observed: Set[ASN] = set()
+        if not tuples:
+            return ClassificationResult(store=store, observed_ases=observed, algorithm="column")
+
+        # Pre-compute the upper-field sets once; membership tests dominate the
+        # inner loops.
+        prepared: List[Tuple[Tuple[ASN, ...], FrozenSet[ASN]]] = []
+        max_length = 0
+        for item in tuples:
+            asns = item.path.asns
+            observed.update(asns)
+            prepared.append((asns, frozenset(item.communities.upper_fields())))
+            if len(asns) > max_length:
+                max_length = len(asns)
+
+        limit = max_length if self.max_columns is None else min(max_length, self.max_columns)
+        self.report = ColumnInferenceReport()
+
+        for column in range(1, limit + 1):
+            tagging_increments = self._count_tagging_column(prepared, column, store)
+            forwarding_increments = self._count_forwarding_column(prepared, column, store)
+            self.report.columns_processed = column
+            self.report.tagging_counts_per_column.append(tagging_increments)
+            self.report.forwarding_counts_per_column.append(forwarding_increments)
+            if (
+                self.stop_when_stalled
+                and column > 1
+                and tagging_increments == 0
+                and forwarding_increments == 0
+            ):
+                break
+
+        return ClassificationResult(store=store, observed_ases=observed, algorithm="column")
+
+    # -- per-column passes ----------------------------------------------------------------
+    @staticmethod
+    def _cond1_holds(asns: Tuple[ASN, ...], index: int, store: CounterStore) -> bool:
+        """Cond1 for a raw ASN tuple (avoids re-wrapping into ASPath)."""
+        is_forward = store.is_forward
+        for i in range(index - 1):
+            if not is_forward(asns[i]):
+                return False
+        return True
+
+    def _count_tagging_column(
+        self,
+        prepared: Sequence[Tuple[Tuple[ASN, ...], FrozenSet[ASN]]],
+        column: int,
+        store: CounterStore,
+    ) -> int:
+        """Phase 1 of one column: count tagging evidence.  Returns increments."""
+        increments = 0
+        for asns, uppers in prepared:
+            if len(asns) < column:
+                continue
+            if column > 1 and not self._cond1_holds(asns, column, store):
+                continue
+            asn = asns[column - 1]
+            if asn in uppers:
+                store.count_tagger(asn)
+            else:
+                store.count_silent(asn)
+            increments += 1
+        return increments
+
+    def _count_forwarding_column(
+        self,
+        prepared: Sequence[Tuple[Tuple[ASN, ...], FrozenSet[ASN]]],
+        column: int,
+        store: CounterStore,
+    ) -> int:
+        """Phase 2 of one column: count forwarding evidence.  Returns increments."""
+        increments = 0
+        is_tagger = store.is_tagger
+        is_forward = store.is_forward
+        for asns, uppers in prepared:
+            if len(asns) < column:
+                continue
+            if column > 1 and not self._cond1_holds(asns, column, store):
+                continue
+            # Cond2: nearest downstream tagger reachable through forward ASes.
+            tagger_asn: Optional[ASN] = None
+            for position in range(column, len(asns)):
+                candidate = asns[position]
+                if is_tagger(candidate):
+                    tagger_asn = candidate
+                    break
+                if not is_forward(candidate):
+                    break
+            if tagger_asn is None:
+                continue
+            asn = asns[column - 1]
+            if tagger_asn in uppers:
+                store.count_forward(asn)
+            else:
+                store.count_cleaner(asn)
+            increments += 1
+        return increments

@@ -1,0 +1,56 @@
+"""The counting conditions Cond1 and Cond2 (paper Section 5.2).
+
+Both conditions are evaluated against the knowledge (counters) accumulated so
+far; they gate whether evidence may be counted for an AS at a given path
+index:
+
+* **Cond1** -- every upstream AS (closer to the collector) must already be
+  known to be a forward AS, otherwise the community output of the AS under
+  consideration is hidden and nothing can be said about it.
+* **Cond2** -- a downstream tagger must exist that is reachable through
+  forward ASes only; only then does the presence or absence of that tagger's
+  community reveal the forwarding behaviour of the AS under consideration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bgp.asn import ASN
+from repro.bgp.path import ASPath
+from repro.core.counters import CounterStore
+
+
+def cond1(path: ASPath, index: int, store: CounterStore) -> bool:
+    """Cond1: ``is_forward(A_i)`` for every upstream ``A_i`` (``i < index``).
+
+    *index* is 1-based (the paper's ``x``).  At ``index == 1`` there is no
+    upstream AS and the condition holds trivially.
+    """
+    asns = path.asns
+    for i in range(index - 1):
+        if not store.is_forward(asns[i]):
+            return False
+    return True
+
+
+def find_downstream_tagger(path: ASPath, index: int, store: CounterStore) -> Optional[int]:
+    """The 1-based index of the nearest qualifying downstream tagger.
+
+    Scans downstream of *index* for the first AS ``A_t`` with
+    ``is_tagger(A_t)``; every AS strictly between *index* and ``t`` must be a
+    forward AS.  Returns ``None`` when no such tagger exists (Cond2 fails).
+    """
+    asns = path.asns
+    for t in range(index + 1, len(asns) + 1):
+        candidate = asns[t - 1]
+        if store.is_tagger(candidate):
+            return t
+        if not store.is_forward(candidate):
+            return None
+    return None
+
+
+def cond2(path: ASPath, index: int, store: CounterStore) -> bool:
+    """Cond2: a downstream tagger reachable through forward ASes exists."""
+    return find_downstream_tagger(path, index, store) is not None

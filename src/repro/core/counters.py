@@ -1,0 +1,186 @@
+"""Per-AS evidence counters (paper Section 5.3).
+
+Four counters are maintained per AS:
+
+* ``t`` / ``s`` -- occurrences counted as tagger / silent evidence,
+* ``f`` / ``c`` -- occurrences counted as forward / cleaner evidence.
+
+The threshold queries ``is_tagger(A)`` etc. evaluate the share of the
+respective counter against the configured threshold; they are used both
+*during* counting (Cond1 / Cond2 need the knowledge gained so far) and for
+the final classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.bgp.asn import ASN
+from repro.core.classes import ForwardingClass, TaggingClass, UsageClassification
+from repro.core.thresholds import Thresholds
+
+
+@dataclass
+class ASCounters:
+    """The four evidence counters of a single AS."""
+
+    tagger: int = 0
+    silent: int = 0
+    forward: int = 0
+    cleaner: int = 0
+
+    # -- tagging ----------------------------------------------------------------
+    @property
+    def tagging_total(self) -> int:
+        """Total tagging evidence (``t + s``)."""
+        return self.tagger + self.silent
+
+    def tagger_share(self) -> float:
+        """``t / (t + s)``, or 0.0 without evidence."""
+        total = self.tagging_total
+        return self.tagger / total if total else 0.0
+
+    def silent_share(self) -> float:
+        """``s / (t + s)``, or 0.0 without evidence."""
+        total = self.tagging_total
+        return self.silent / total if total else 0.0
+
+    # -- forwarding ----------------------------------------------------------------
+    @property
+    def forwarding_total(self) -> int:
+        """Total forwarding evidence (``f + c``)."""
+        return self.forward + self.cleaner
+
+    def forward_share(self) -> float:
+        """``f / (f + c)``, or 0.0 without evidence."""
+        total = self.forwarding_total
+        return self.forward / total if total else 0.0
+
+    def cleaner_share(self) -> float:
+        """``c / (f + c)``, or 0.0 without evidence."""
+        total = self.forwarding_total
+        return self.cleaner / total if total else 0.0
+
+    def merge(self, other: "ASCounters") -> "ASCounters":
+        """Element-wise sum of two counter sets (used to merge datasets)."""
+        return ASCounters(
+            tagger=self.tagger + other.tagger,
+            silent=self.silent + other.silent,
+            forward=self.forward + other.forward,
+            cleaner=self.cleaner + other.cleaner,
+        )
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        """``(t, s, f, c)`` for compact comparisons in tests."""
+        return (self.tagger, self.silent, self.forward, self.cleaner)
+
+
+class CounterStore:
+    """The counters of all ASes plus the threshold queries over them."""
+
+    def __init__(self, thresholds: Optional[Thresholds] = None) -> None:
+        self.thresholds = thresholds or Thresholds()
+        self._counters: Dict[ASN, ASCounters] = {}
+
+    # -- mutation -------------------------------------------------------------------
+    def counters_for(self, asn: ASN) -> ASCounters:
+        """The (mutable) counters of *asn*, created on first access."""
+        counters = self._counters.get(asn)
+        if counters is None:
+            counters = ASCounters()
+            self._counters[asn] = counters
+        return counters
+
+    def count_tagger(self, asn: ASN) -> None:
+        """Record one piece of tagger evidence (``t[A]++``)."""
+        self.counters_for(asn).tagger += 1
+
+    def count_silent(self, asn: ASN) -> None:
+        """Record one piece of silent evidence (``s[A]++``)."""
+        self.counters_for(asn).silent += 1
+
+    def count_forward(self, asn: ASN) -> None:
+        """Record one piece of forward evidence (``f[A]++``)."""
+        self.counters_for(asn).forward += 1
+
+    def count_cleaner(self, asn: ASN) -> None:
+        """Record one piece of cleaner evidence (``c[A]++``)."""
+        self.counters_for(asn).cleaner += 1
+
+    # -- lookup ----------------------------------------------------------------------
+    def get(self, asn: ASN) -> ASCounters:
+        """The counters of *asn* (zeroes if the AS was never counted)."""
+        return self._counters.get(asn, ASCounters())
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __iter__(self) -> Iterator[ASN]:
+        return iter(self._counters)
+
+    def items(self) -> Iterable[Tuple[ASN, ASCounters]]:
+        return self._counters.items()
+
+    # -- threshold queries (Section 5.3) ------------------------------------------------
+    def is_tagger(self, asn: ASN) -> bool:
+        """``t[A] / (t[A] + s[A]) >= tagger_threshold`` (with evidence)."""
+        counters = self._counters.get(asn)
+        if counters is None or counters.tagging_total == 0:
+            return False
+        return counters.tagger_share() >= self.thresholds.tagger
+
+    def is_silent(self, asn: ASN) -> bool:
+        """``s[A] / (t[A] + s[A]) >= silent_threshold`` (with evidence)."""
+        counters = self._counters.get(asn)
+        if counters is None or counters.tagging_total == 0:
+            return False
+        return counters.silent_share() >= self.thresholds.silent
+
+    def is_forward(self, asn: ASN) -> bool:
+        """``f[A] / (f[A] + c[A]) >= forward_threshold`` (with evidence)."""
+        counters = self._counters.get(asn)
+        if counters is None or counters.forwarding_total == 0:
+            return False
+        return counters.forward_share() >= self.thresholds.forward
+
+    def is_cleaner(self, asn: ASN) -> bool:
+        """``c[A] / (f[A] + c[A]) >= cleaner_threshold`` (with evidence)."""
+        counters = self._counters.get(asn)
+        if counters is None or counters.forwarding_total == 0:
+            return False
+        return counters.cleaner_share() >= self.thresholds.cleaner
+
+    # -- classification (Section 5.5) ------------------------------------------------------
+    def get_tagging(self, asn: ASN) -> TaggingClass:
+        """``get_tagging(A)``: tagger, silent, undecided, or none."""
+        counters = self._counters.get(asn)
+        if counters is None or counters.tagging_total == 0:
+            return TaggingClass.NONE
+        if self.is_tagger(asn):
+            return TaggingClass.TAGGER
+        if self.is_silent(asn):
+            return TaggingClass.SILENT
+        return TaggingClass.UNDECIDED
+
+    def get_forwarding(self, asn: ASN) -> ForwardingClass:
+        """``get_forwarding(A)``: forward, cleaner, undecided, or none."""
+        counters = self._counters.get(asn)
+        if counters is None or counters.forwarding_total == 0:
+            return ForwardingClass.NONE
+        if self.is_forward(asn):
+            return ForwardingClass.FORWARD
+        if self.is_cleaner(asn):
+            return ForwardingClass.CLEANER
+        return ForwardingClass.UNDECIDED
+
+    def get_class(self, asn: ASN) -> UsageClassification:
+        """``get_class(A)``: the two-character classification of *asn*."""
+        return UsageClassification(self.get_tagging(asn), self.get_forwarding(asn))
+
+    def classify_all(self) -> Dict[ASN, UsageClassification]:
+        """Classification of every AS with at least one counter."""
+        return {asn: self.get_class(asn) for asn in self._counters}

@@ -1,0 +1,200 @@
+"""Export and import of the classification database.
+
+The paper publishes its per-AS inferences as a public resource (Section 1,
+[5]).  This module provides the equivalent for this reproduction: a stable,
+line-oriented text format (and a JSON variant) containing, per AS, the
+two-character classification, the four evidence counters, and the evidence
+shares, so downstream tooling (hijack detection, community filtering, ...)
+can consume the inferences without running the pipeline.
+
+Format (one AS per line, ``|``-separated)::
+
+    # as-community-usage v1
+    # asn|class|t|s|f|c
+    3356|tf|412|3|371|0
+    64496|sn|0|57|0|0
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, TextIO, Tuple
+
+from repro.bgp.asn import ASN
+from repro.core.classes import UsageClassification
+from repro.core.counters import ASCounters, CounterStore
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+
+#: Format magic written as the first header line.
+FORMAT_HEADER = "# as-community-usage v1"
+
+
+@dataclass(frozen=True)
+class ClassificationRecord:
+    """One exported AS: classification plus raw evidence."""
+
+    asn: ASN
+    classification: UsageClassification
+    counters: ASCounters
+
+    def to_line(self) -> str:
+        """Serialise to the ``|``-separated line format."""
+        c = self.counters
+        return f"{self.asn}|{self.classification.code}|{c.tagger}|{c.silent}|{c.forward}|{c.cleaner}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "ClassificationRecord":
+        """Parse one data line."""
+        parts = line.strip().split("|")
+        if len(parts) != 6:
+            raise ValueError(f"malformed classification line: {line!r}")
+        asn = int(parts[0])
+        classification = UsageClassification.from_code(parts[1])
+        counters = ASCounters(
+            tagger=int(parts[2]), silent=int(parts[3]), forward=int(parts[4]), cleaner=int(parts[5])
+        )
+        return cls(asn=asn, classification=classification, counters=counters)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "asn": self.asn,
+            "class": self.classification.code,
+            "tagger_count": self.counters.tagger,
+            "silent_count": self.counters.silent,
+            "forward_count": self.counters.forward,
+            "cleaner_count": self.counters.cleaner,
+        }
+
+
+class ClassificationDatabase:
+    """An exported (or imported) set of per-AS classification records."""
+
+    def __init__(self, records: Optional[Mapping[ASN, ClassificationRecord]] = None) -> None:
+        self._records: Dict[ASN, ClassificationRecord] = dict(records or {})
+
+    # -- construction ----------------------------------------------------------------
+    @classmethod
+    def from_result(cls, result: ClassificationResult) -> "ClassificationDatabase":
+        """Build a database from a finished classification result."""
+        records: Dict[ASN, ClassificationRecord] = {}
+        for asn in sorted(result.observed_ases):
+            records[asn] = ClassificationRecord(
+                asn=asn,
+                classification=result.classification_of(asn),
+                counters=result.counters_of(asn),
+            )
+        return cls(records)
+
+    # -- mapping protocol --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._records
+
+    def __iter__(self) -> Iterator[ASN]:
+        return iter(sorted(self._records))
+
+    def get(self, asn: ASN) -> Optional[ClassificationRecord]:
+        """The record of *asn*, or ``None``."""
+        return self._records.get(asn)
+
+    def classification_of(self, asn: ASN) -> Optional[UsageClassification]:
+        """Shortcut: the classification of *asn*, or ``None``."""
+        record = self._records.get(asn)
+        return record.classification if record else None
+
+    def records(self) -> List[ClassificationRecord]:
+        """All records, sorted by ASN."""
+        return [self._records[asn] for asn in sorted(self._records)]
+
+    def counts_by_code(self) -> Dict[str, int]:
+        """Number of ASes per two-character classification code."""
+        counts: Dict[str, int] = {}
+        for record in self._records.values():
+            counts[record.classification.code] = counts.get(record.classification.code, 0) + 1
+        return counts
+
+    # -- text format ---------------------------------------------------------------------
+    def dump(self, stream: TextIO) -> None:
+        """Write the database in the line format."""
+        stream.write(FORMAT_HEADER + "\n")
+        stream.write("# asn|class|t|s|f|c\n")
+        for record in self.records():
+            stream.write(record.to_line() + "\n")
+
+    def dumps(self) -> str:
+        """The line format as a string."""
+        from io import StringIO
+
+        buffer = StringIO()
+        self.dump(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def load(cls, stream: TextIO) -> "ClassificationDatabase":
+        """Read a database from the line format."""
+        records: Dict[ASN, ClassificationRecord] = {}
+        first_line = True
+        for raw in stream:
+            line = raw.strip()
+            if first_line:
+                first_line = False
+                if line != FORMAT_HEADER:
+                    raise ValueError(f"unexpected header {line!r}; expected {FORMAT_HEADER!r}")
+                continue
+            if not line or line.startswith("#"):
+                continue
+            record = ClassificationRecord.from_line(line)
+            records[record.asn] = record
+        return cls(records)
+
+    @classmethod
+    def loads(cls, text: str) -> "ClassificationDatabase":
+        """Read a database from a string in the line format."""
+        from io import StringIO
+
+        return cls.load(StringIO(text))
+
+    # -- JSON format ---------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise to JSON (list of per-AS objects)."""
+        return json.dumps([record.to_dict() for record in self.records()], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClassificationDatabase":
+        """Parse the JSON serialisation."""
+        records: Dict[ASN, ClassificationRecord] = {}
+        for entry in json.loads(text):
+            record = ClassificationRecord(
+                asn=int(entry["asn"]),
+                classification=UsageClassification.from_code(entry["class"]),
+                counters=ASCounters(
+                    tagger=int(entry.get("tagger_count", 0)),
+                    silent=int(entry.get("silent_count", 0)),
+                    forward=int(entry.get("forward_count", 0)),
+                    cleaner=int(entry.get("cleaner_count", 0)),
+                ),
+            )
+            records[record.asn] = record
+        return cls(records)
+
+    # -- round trip back into a result ------------------------------------------------------
+    def to_result(self, thresholds: Optional[Thresholds] = None) -> ClassificationResult:
+        """Rebuild a :class:`ClassificationResult` from the exported counters.
+
+        Because the export keeps the raw counters, re-deriving the classes
+        with the same thresholds reproduces the original classification; with
+        different thresholds this doubles as an offline re-thresholding tool.
+        """
+        store = CounterStore(thresholds or Thresholds())
+        for record in self._records.values():
+            counters = store.counters_for(record.asn)
+            counters.tagger = record.counters.tagger
+            counters.silent = record.counters.silent
+            counters.forward = record.counters.forward
+            counters.cleaner = record.counters.cleaner
+        return ClassificationResult(store=store, observed_ases=set(self._records), algorithm="imported")

@@ -1,0 +1,118 @@
+"""End-to-end inference pipeline.
+
+Chains the stages the paper's measurement system performs:
+
+1. decode MRT archives (optional -- callers may start from observations),
+2. sanitize the observations (Section 4.1),
+3. deduplicate into unique ``(path, comm)`` tuples,
+4. run the column-based inference (Section 5),
+5. summarise the classification.
+
+The pipeline object is what the examples and the Table 3 experiment drive;
+each stage can also be used on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.bgp.announcement import PathCommTuple, RouteObservation
+from repro.bgp.asn import ASNRegistry
+from repro.bgp.prefix import PrefixAllocation
+from repro.collectors.archive import observations_from_mrt
+from repro.core.column import ColumnInference
+from repro.core.results import ClassificationResult
+from repro.core.row import RowInference
+from repro.core.thresholds import Thresholds
+from repro.sanitize.filters import SanitationConfig, SanitationStats, Sanitizer
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced."""
+
+    result: ClassificationResult
+    tuples: List[PathCommTuple]
+    sanitation: SanitationStats
+    observations_in: int
+
+    @property
+    def unique_tuples(self) -> int:
+        """Number of unique ``(path, comm)`` tuples after sanitation."""
+        return len(self.tuples)
+
+    def summary(self) -> Dict[str, int]:
+        """Flat summary combining sanitation and classification figures."""
+        return {
+            "observations_in": self.observations_in,
+            "unique_tuples": self.unique_tuples,
+            **self.result.summary(),
+        }
+
+
+class InferencePipeline:
+    """Raw collector data in, per-AS community usage classification out."""
+
+    def __init__(
+        self,
+        *,
+        thresholds: Optional[Thresholds] = None,
+        asn_registry: Optional[ASNRegistry] = None,
+        prefix_allocation: Optional[PrefixAllocation] = None,
+        sanitation: Optional[SanitationConfig] = None,
+        algorithm: str = "column",
+    ) -> None:
+        if algorithm not in ("column", "row"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.thresholds = thresholds or Thresholds()
+        self.asn_registry = asn_registry
+        self.prefix_allocation = prefix_allocation
+        self.sanitation_config = sanitation or SanitationConfig()
+        self.algorithm = algorithm
+
+    # -- stage helpers --------------------------------------------------------------------
+    def _make_sanitizer(self) -> Sanitizer:
+        return Sanitizer(
+            asn_registry=self.asn_registry,
+            prefix_allocation=self.prefix_allocation,
+            config=self.sanitation_config,
+        )
+
+    def _make_inference(self):
+        if self.algorithm == "row":
+            return RowInference(self.thresholds)
+        return ColumnInference(self.thresholds)
+
+    # -- entry points ----------------------------------------------------------------------
+    def run_from_observations(self, observations: Sequence[RouteObservation]) -> PipelineResult:
+        """Sanitize, deduplicate, and classify a list of observations."""
+        sanitizer = self._make_sanitizer()
+        tuples = sanitizer.to_unique_tuples(observations)
+        inference = self._make_inference()
+        result = inference.run(tuples)
+        return PipelineResult(
+            result=result,
+            tuples=tuples,
+            sanitation=sanitizer.stats,
+            observations_in=len(observations),
+        )
+
+    def run_from_tuples(self, tuples: Sequence[PathCommTuple]) -> PipelineResult:
+        """Classify pre-sanitized ``(path, comm)`` tuples directly."""
+        inference = self._make_inference()
+        result = inference.run(list(tuples))
+        stats = SanitationStats(observations_in=len(tuples), observations_out=len(tuples))
+        return PipelineResult(
+            result=result,
+            tuples=list(tuples),
+            sanitation=stats,
+            observations_in=len(tuples),
+        )
+
+    def run_from_mrt(self, blobs: Mapping[str, bytes]) -> PipelineResult:
+        """Decode per-collector MRT blobs, then sanitize and classify."""
+        observations: List[RouteObservation] = []
+        for collector, blob in blobs.items():
+            observations.extend(observations_from_mrt(blob, collector))
+        return self.run_from_observations(observations)

@@ -1,0 +1,67 @@
+"""The row-based baseline (paper Section 5.7, Listing 2).
+
+The baseline processes one ``(path, comm)`` tuple at a time, without the
+Cond1 / Cond2 safeguards:
+
+* **tagging pass** -- for every AS on the path, count tagger evidence when a
+  community carrying its ASN is present, silent evidence otherwise;
+* **forwarding pass** -- walking the path from the origin towards the peer,
+  when the community of the downstream neighbour ``A_{x+1}`` is missing the
+  AS ``A_x`` receives cleaner evidence; when it is present every AS between
+  the collector and ``A_{x+1}`` receives forward evidence (they all must
+  have forwarded it).
+
+The paper argues (and Section 6 shows) that this approach cannot distinguish
+hidden behaviour from silence/cleaning and is therefore prone to
+misclassification; it is included as the comparison baseline and exercised by
+the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.asn import ASN
+from repro.core.counters import CounterStore
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+
+
+class RowInference:
+    """Runs the row-based baseline over ``(path, comm)`` tuples."""
+
+    def __init__(self, thresholds: Optional[Thresholds] = None) -> None:
+        self.thresholds = thresholds or Thresholds()
+
+    def run(self, tuples: Sequence[PathCommTuple]) -> ClassificationResult:
+        """Infer classifications with the row-based counting rules."""
+        store = CounterStore(self.thresholds)
+        observed: Set[ASN] = set()
+
+        prepared: List[Tuple[Tuple[ASN, ...], FrozenSet[ASN]]] = []
+        for item in tuples:
+            asns = item.path.asns
+            observed.update(asns)
+            prepared.append((asns, frozenset(item.communities.upper_fields())))
+
+        # PHASE 1: tagging evidence for every AS of every path.
+        for asns, uppers in prepared:
+            for asn in asns:
+                if asn in uppers:
+                    store.count_tagger(asn)
+                else:
+                    store.count_silent(asn)
+
+        # PHASE 2: forwarding evidence, walking each path origin -> peer.
+        for asns, uppers in prepared:
+            n = len(asns)
+            for x in range(n - 1, 0, -1):  # x = n-1 .. 1 (1-based indices)
+                downstream = asns[x]  # A_{x+1}
+                if downstream not in uppers:
+                    store.count_cleaner(asns[x - 1])
+                else:
+                    for j in range(x):
+                        store.count_forward(asns[j])
+
+        return ClassificationResult(store=store, observed_ases=observed, algorithm="row")

@@ -1,0 +1,17 @@
+"""Dataset construction.
+
+* :mod:`repro.datasets.synthetic` -- builds the complete synthetic Internet
+  (topology, collector projects, routing, realistic community usage) that
+  stands in for the paper's May 2021 collector data,
+* :mod:`repro.datasets.stats` -- the Table 1 dataset-overview statistics.
+"""
+
+from repro.datasets.synthetic import SyntheticConfig, SyntheticInternet
+from repro.datasets.stats import DatasetStatistics, compute_statistics
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticInternet",
+    "DatasetStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,157 @@
+"""Dataset overview statistics (paper Table 1).
+
+Given the day archives of one collector project (or of the aggregate), this
+module computes the same rows the paper reports: raw entry counts, unique
+``(path, comm)`` tuples, AS counts before and after cleaning (with leaf and
+32-bit breakdowns), collector peers, community counts (total, large, unique),
+and the unique upper-field counts with and without private / stray
+communities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.announcement import RouteObservation
+from repro.bgp.asn import ASN, ASNRegistry, is_32bit_only
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.collectors.archive import DayArchive
+from repro.sanitize.filters import Sanitizer
+from repro.sanitize.sources import CommunitySource, classify_community
+
+
+@dataclass
+class DatasetStatistics:
+    """The Table 1 column of one dataset."""
+
+    name: str
+    entries_total: int = 0
+    rib_entries: int = 0
+    unique_tuples: int = 0
+    as_numbers: int = 0
+    as_after_cleaning: int = 0
+    leaf_ases: int = 0
+    ases_32bit: int = 0
+    collector_peers: int = 0
+    communities_total: int = 0
+    communities_large: int = 0
+    unique_communities: int = 0
+    unique_large_communities: int = 0
+    unique_upper_regular: int = 0
+    unique_upper_large: int = 0
+    unique_upper_both: int = 0
+    unique_upper_wo_private: int = 0
+    unique_upper_wo_stray: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dictionary in the paper's row order."""
+        return {
+            "Entries total": self.entries_total,
+            "incl. RIB entries": self.rib_entries,
+            "Uniq. (path, comm)": self.unique_tuples,
+            "AS numbers": self.as_numbers,
+            "After cleaning": self.as_after_cleaning,
+            "incl. Leaf ASes": self.leaf_ases,
+            "incl. 32-bit ASes": self.ases_32bit,
+            "Collector peers": self.collector_peers,
+            "Communities": self.communities_total,
+            "incl. large": self.communities_large,
+            "Unique communities": self.unique_communities,
+            "incl. large (unique)": self.unique_large_communities,
+            "Uniq. upper field (regular)": self.unique_upper_regular,
+            "Uniq. upper field (large)": self.unique_upper_large,
+            "Uniq. upper field (both)": self.unique_upper_both,
+            "w/o private": self.unique_upper_wo_private,
+            "w/o stray": self.unique_upper_wo_stray,
+        }
+
+
+def compute_statistics(
+    name: str,
+    archives: Sequence[DayArchive],
+    *,
+    registry: Optional[ASNRegistry] = None,
+    sanitizer: Optional[Sanitizer] = None,
+) -> DatasetStatistics:
+    """Compute the Table 1 statistics for one dataset.
+
+    *archives* may come from a single project or from several projects (the
+    aggregate column); entries and communities are counted across all of
+    them, while unique counts are deduplicated globally.
+    """
+    stats = DatasetStatistics(name=name)
+    sanitizer = sanitizer or Sanitizer(asn_registry=registry)
+
+    unique_tuples: Set[Tuple[ASPath, CommunitySet]] = set()
+    raw_ases: Set[ASN] = set()
+    clean_ases: Set[ASN] = set()
+    transit_ases: Set[ASN] = set()
+    peers: Set[ASN] = set()
+    unique_regular: Set = set()
+    unique_large: Set = set()
+    upper_regular: Set[ASN] = set()
+    upper_large: Set[ASN] = set()
+    upper_non_private: Set[ASN] = set()
+    upper_non_stray: Set[ASN] = set()
+
+    for archive in archives:
+        stats.entries_total += archive.total_entries
+        stats.rib_entries += archive.rib_entry_count
+        for observation in archive.observations:
+            raw_ases.update(observation.path.asns)
+            peers.add(observation.peer_asn)
+
+            clean_path = sanitizer.sanitize_path(observation.path, observation.peer_asn)
+            if clean_path is None:
+                continue
+            clean_ases.update(clean_path.asns)
+            if len(clean_path) >= 2:
+                transit_ases.update(clean_path.asns[:-1])
+            unique_tuples.add((clean_path, observation.communities))
+
+            # Per-entry community accounting mirrors the paper: every
+            # occurrence counts towards the totals, uniqueness is global.
+            for community in observation.communities:
+                stats.communities_total += 1
+                if community.is_large:
+                    stats.communities_large += 1
+                    unique_large.add(community)
+                    upper_large.add(community.upper)
+                else:
+                    unique_regular.add(community)
+                    upper_regular.add(community.upper)
+                source = classify_community(community, clean_path, registry=registry)
+                if source is not CommunitySource.PRIVATE:
+                    upper_non_private.add(community.upper)
+                    if source is not CommunitySource.STRAY:
+                        upper_non_stray.add(community.upper)
+
+    stats.unique_tuples = len(unique_tuples)
+    stats.as_numbers = len(raw_ases)
+    stats.as_after_cleaning = len(clean_ases)
+    stats.leaf_ases = len(clean_ases - transit_ases)
+    stats.ases_32bit = sum(1 for asn in clean_ases if is_32bit_only(asn))
+    stats.collector_peers = len(peers)
+    stats.unique_communities = len(unique_regular) + len(unique_large)
+    stats.unique_large_communities = len(unique_large)
+    stats.unique_upper_regular = len(upper_regular)
+    stats.unique_upper_large = len(upper_large)
+    stats.unique_upper_both = len(upper_regular | upper_large)
+    stats.unique_upper_wo_private = len(upper_non_private)
+    stats.unique_upper_wo_stray = len(upper_non_stray)
+    return stats
+
+
+def format_table(columns: Sequence[DatasetStatistics]) -> str:
+    """Render several dataset columns side by side (the Table 1 layout)."""
+    if not columns:
+        return ""
+    rows = list(columns[0].as_dict().keys())
+    header = f"{'Input data':<30}" + "".join(f"{c.name:>14}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        values = "".join(f"{c.as_dict()[row]:>14,}" for c in columns)
+        lines.append(f"{row:<30}" + values)
+    return "\n".join(lines)

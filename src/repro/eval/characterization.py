@@ -1,0 +1,158 @@
+"""AS characterisation (paper Sections 7.2 and 7.3, Figures 5 and 6).
+
+* :func:`peer_community_types` counts, for every fully classified collector
+  peer, how many peer / foreign / stray / private communities appear in its
+  exported community sets -- the data behind Figure 5 and the paper's
+  consistency check that e.g. silent peers show (almost) no peer communities.
+* :func:`cone_cdf_by_class` produces the customer-cone-size CDFs per inferred
+  tagging and forwarding class -- Figure 6, which shows that taggers,
+  forwarders, and cleaners are predominantly large networks while silent and
+  unclassified ASes sit at the edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.asn import ASN
+from repro.core.classes import ForwardingClass, TaggingClass
+from repro.core.results import ClassificationResult
+from repro.sanitize.sources import CommunitySource, classify_community
+from repro.topology.cone import CustomerCones
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: community types at fully classified peer ASes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PeerCommunityProfile:
+    """Community-type counts of one collector peer."""
+
+    peer: ASN
+    classification: str
+    counts: Dict[CommunitySource, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Total communities observed for this peer."""
+        return sum(self.counts.values())
+
+    def count(self, source: CommunitySource) -> int:
+        """Communities of one source group."""
+        return self.counts.get(source, 0)
+
+
+def peer_community_types(
+    tuples: Iterable[PathCommTuple],
+    result: ClassificationResult,
+    *,
+    registry=None,
+) -> Dict[str, List[PeerCommunityProfile]]:
+    """Count community types at fully classified collector peers.
+
+    Returns one list of per-peer profiles per full classification code
+    (``tf``, ``tc``, ``sf``, ``sc``), each ordered by total community count
+    (the x-axis ordering of Figure 5).
+    """
+    fully = result.fully_classified_ases()
+    profiles: Dict[ASN, PeerCommunityProfile] = {}
+    for item in tuples:
+        peer = item.peer
+        classification = fully.get(peer)
+        if classification is None:
+            continue
+        profile = profiles.get(peer)
+        if profile is None:
+            profile = PeerCommunityProfile(
+                peer=peer,
+                classification=classification.code,
+                counts={source: 0 for source in CommunitySource},
+            )
+            profiles[peer] = profile
+        for community in item.communities:
+            source = classify_community(community, item.path, registry=registry)
+            profile.counts[source] += 1
+
+    grouped: Dict[str, List[PeerCommunityProfile]] = {"tf": [], "tc": [], "sf": [], "sc": []}
+    for profile in profiles.values():
+        grouped.setdefault(profile.classification, []).append(profile)
+    for code in grouped:
+        grouped[code].sort(key=lambda p: p.total)
+    return grouped
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: customer cone CDFs per inferred class
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ConeDistribution:
+    """The customer-cone-size distribution of one inferred class."""
+
+    label: str
+    sizes: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def cdf(self) -> List[Tuple[int, float]]:
+        """``(size, P[X <= size])`` points of the empirical CDF."""
+        if not self.sizes:
+            return []
+        ordered = sorted(self.sizes)
+        total = len(ordered)
+        points: List[Tuple[int, float]] = []
+        for index, size in enumerate(ordered, start=1):
+            if points and points[-1][0] == size:
+                points[-1] = (size, index / total)
+            else:
+                points.append((size, index / total))
+        return points
+
+    def proportion_leq(self, size: int) -> float:
+        """``P[cone size <= size]`` (e.g. share of leaf ASes at size 1)."""
+        if not self.sizes:
+            return 0.0
+        return sum(1 for s in self.sizes if s <= size) / len(self.sizes)
+
+    def proportion_greater(self, size: int) -> float:
+        """``P[cone size > size]``."""
+        return 1.0 - self.proportion_leq(size)
+
+    def median(self) -> float:
+        """Median cone size."""
+        if not self.sizes:
+            return 0.0
+        ordered = sorted(self.sizes)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return float(ordered[mid])
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def cone_cdf_by_class(
+    result: ClassificationResult,
+    cones: CustomerCones,
+) -> Dict[str, Dict[str, ConeDistribution]]:
+    """Customer-cone CDFs per inferred tagging and forwarding class.
+
+    Returns ``{"tagging": {...}, "forwarding": {...}}`` where the inner
+    dictionaries are keyed by class name (``tagger``, ``silent``,
+    ``undecided``, ``none`` and ``forward``, ``cleaner``, ``undecided``,
+    ``none``).
+    """
+    tagging: Dict[str, ConeDistribution] = {
+        cls.name.lower(): ConeDistribution(cls.name.lower()) for cls in TaggingClass
+    }
+    forwarding: Dict[str, ConeDistribution] = {
+        cls.name.lower(): ConeDistribution(cls.name.lower()) for cls in ForwardingClass
+    }
+    for asn in result.observed_ases:
+        size = cones.cone_size(asn)
+        classification = result.classification_of(asn)
+        tagging[classification.tagging.name.lower()].sizes.append(size)
+        forwarding[classification.forwarding.name.lower()].sizes.append(size)
+    return {"tagging": tagging, "forwarding": forwarding}

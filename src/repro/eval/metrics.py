@@ -1,0 +1,273 @@
+"""Scoring inference results against ground truth (Tables 2, 5, 6).
+
+Two views are provided:
+
+* :class:`ConfusionMatrix` -- assigned roles (split into consistent,
+  selective, hidden, and leaf groups) versus inferred classes, exactly the
+  shape of the appendix Tables 5 and 6;
+* :class:`PrecisionRecall` -- the paper's summary metrics: precision over
+  decided inferences (a selective tagger inferred as tagger counts as
+  correct -- it *is* a tagger), and recall over the consistent, visible
+  behaviours only ("not selective, hidden or missing"), with undecided and
+  none counted as false negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.asn import ASN
+from repro.core.classes import ForwardingClass, TaggingClass
+from repro.core.results import ClassificationResult
+from repro.usage.roles import ForwardingRole, TaggingRole
+from repro.usage.scenarios import GroundTruthDataset
+
+#: Column order of the confusion matrices (classification result).
+TAGGING_COLUMNS: Tuple[TaggingClass, ...] = (
+    TaggingClass.TAGGER,
+    TaggingClass.SILENT,
+    TaggingClass.UNDECIDED,
+    TaggingClass.NONE,
+)
+FORWARDING_COLUMNS: Tuple[ForwardingClass, ...] = (
+    ForwardingClass.FORWARD,
+    ForwardingClass.CLEANER,
+    ForwardingClass.UNDECIDED,
+    ForwardingClass.NONE,
+)
+
+
+@dataclass
+class ConfusionMatrix:
+    """Assigned-role rows versus inferred-class columns.
+
+    ``rows`` maps a row label (e.g. ``"tagger"``, ``"silent (hidden)"``,
+    ``"forward (leaf)"``) to a mapping of column label to count.
+    """
+
+    kind: str  # "tagging" or "forwarding"
+    rows: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def add(self, row: str, column: str, count: int = 1) -> None:
+        """Increment one cell."""
+        self.rows.setdefault(row, {})[column] = self.rows.get(row, {}).get(column, 0) + count
+
+    def cell(self, row: str, column: str) -> int:
+        """Read one cell (0 when absent)."""
+        return self.rows.get(row, {}).get(column, 0)
+
+    def row_total(self, row: str) -> int:
+        """Sum of one row."""
+        return sum(self.rows.get(row, {}).values())
+
+    def column_labels(self) -> List[str]:
+        """The column labels in reporting order."""
+        columns = TAGGING_COLUMNS if self.kind == "tagging" else FORWARDING_COLUMNS
+        return [c.name.lower() for c in columns]
+
+    def to_text(self) -> str:
+        """Human-readable rendering of the matrix."""
+        columns = self.column_labels()
+        width = max([len(r) for r in self.rows] + [14])
+        header = " " * (width + 2) + "  ".join(f"{c:>10}" for c in columns)
+        lines = [header]
+        for row, cells in self.rows.items():
+            values = "  ".join(f"{cells.get(c, 0):>10}" for c in columns)
+            lines.append(f"{row:<{width}}  {values}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision and recall of one behaviour dimension."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for reporting."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+        }
+
+
+@dataclass
+class ScenarioEvaluation:
+    """Full evaluation of one inference run against one ground-truth dataset."""
+
+    scenario: str
+    tagging: PrecisionRecall
+    forwarding: PrecisionRecall
+    tagging_matrix: ConfusionMatrix
+    forwarding_matrix: ConfusionMatrix
+    full_class_counts: Dict[str, int]
+    partial_tagging_counts: Dict[str, int]
+    none_undecided_counts: Dict[str, int]
+
+    def table2_row(self) -> Dict[str, object]:
+        """The scenario's row of Table 2 as a flat dictionary."""
+        row: Dict[str, object] = {
+            "scenario": self.scenario,
+            "tagging_recall": round(self.tagging.recall, 2),
+            "tagging_precision": round(self.tagging.precision, 2),
+            "forwarding_recall": round(self.forwarding.recall, 2),
+            "forwarding_precision": round(self.forwarding.precision, 2),
+        }
+        row.update({k: v for k, v in self.full_class_counts.items()})
+        row.update(self.partial_tagging_counts)
+        row.update(self.none_undecided_counts)
+        return row
+
+
+def _tagging_row_label(dataset: GroundTruthDataset, asn: ASN) -> str:
+    """The Table 5 row an AS belongs to (role + hidden/selective annotation)."""
+    role = dataset.roles.get(asn)
+    if role is None:
+        return "unknown"
+    if role.is_selective_tagger:
+        base = "selective"
+    else:
+        base = "tagger" if role.is_tagger else "silent"
+    if asn not in dataset.visibility.tagging_visible:
+        return f"{base} (hidden)"
+    return base
+
+
+def _forwarding_row_label(dataset: GroundTruthDataset, asn: ASN) -> str:
+    """The Table 6 row an AS belongs to (role + hidden/leaf annotation)."""
+    role = dataset.roles.get(asn)
+    if role is None:
+        return "unknown"
+    base = "forward" if role.is_forward else "cleaner"
+    if asn in dataset.visibility.leaf_ases:
+        return f"{base} (leaf)"
+    if asn not in dataset.visibility.forwarding_visible:
+        return f"{base} (hidden)"
+    return base
+
+
+def evaluate_scenario(
+    dataset: GroundTruthDataset, result: ClassificationResult
+) -> ScenarioEvaluation:
+    """Score *result* against the ground truth of *dataset*."""
+    tagging_matrix = ConfusionMatrix(kind="tagging")
+    forwarding_matrix = ConfusionMatrix(kind="forwarding")
+
+    tag_tp = tag_fp = tag_fn = 0
+    fwd_tp = fwd_fp = fwd_fn = 0
+
+    for asn in sorted(dataset.all_ases):
+        role = dataset.roles.get(asn)
+        if role is None:
+            continue
+        classification = result.classification_of(asn)
+
+        # -- confusion matrices (Tables 5 / 6) ---------------------------------
+        tagging_matrix.add(_tagging_row_label(dataset, asn), classification.tagging.name.lower())
+        forwarding_matrix.add(
+            _forwarding_row_label(dataset, asn), classification.forwarding.name.lower()
+        )
+
+        # -- precision: decided inferences vs. true role ------------------------
+        if classification.tagging is TaggingClass.TAGGER:
+            if role.is_tagger:
+                tag_tp += 1
+            else:
+                tag_fp += 1
+        elif classification.tagging is TaggingClass.SILENT:
+            if role.is_silent:
+                tag_tp += 1
+            else:
+                tag_fp += 1
+
+        if classification.forwarding is ForwardingClass.FORWARD:
+            if role.is_forward:
+                fwd_tp += 1
+            else:
+                fwd_fp += 1
+        elif classification.forwarding is ForwardingClass.CLEANER:
+            if role.is_cleaner:
+                fwd_tp += 1
+            else:
+                fwd_fp += 1
+
+        # -- recall: consistent, visible behaviours only -------------------------
+        if not role.is_selective_tagger and asn in dataset.visibility.tagging_visible:
+            expected = TaggingClass.from_role(role.tagging)
+            if classification.tagging is not expected:
+                tag_fn += 1
+        if asn in dataset.visibility.forwarding_visible and not role.is_selective_tagger:
+            expected_fwd = ForwardingClass.from_role(role.forwarding)
+            if classification.forwarding is not expected_fwd:
+                fwd_fn += 1
+
+    # Recall numerators only count visible consistent ASes that received the
+    # expected classification.
+    tag_recall_tp = sum(
+        1
+        for asn in dataset.visibility.tagging_visible
+        if (role := dataset.roles.get(asn)) is not None
+        and not role.is_selective_tagger
+        and result.classification_of(asn).tagging is TaggingClass.from_role(role.tagging)
+    )
+    fwd_recall_tp = sum(
+        1
+        for asn in dataset.visibility.forwarding_visible
+        if (role := dataset.roles.get(asn)) is not None
+        and not role.is_selective_tagger
+        and result.classification_of(asn).forwarding is ForwardingClass.from_role(role.forwarding)
+    )
+
+    tagging_pr = PrecisionRecall(
+        precision=tag_tp / (tag_tp + tag_fp) if (tag_tp + tag_fp) else 0.0,
+        recall=tag_recall_tp / (tag_recall_tp + tag_fn) if (tag_recall_tp + tag_fn) else 0.0,
+        true_positives=tag_tp,
+        false_positives=tag_fp,
+        false_negatives=tag_fn,
+    )
+    forwarding_pr = PrecisionRecall(
+        precision=fwd_tp / (fwd_tp + fwd_fp) if (fwd_tp + fwd_fp) else 0.0,
+        recall=fwd_recall_tp / (fwd_recall_tp + fwd_fn) if (fwd_recall_tp + fwd_fn) else 0.0,
+        true_positives=fwd_tp,
+        false_positives=fwd_fp,
+        false_negatives=fwd_fn,
+    )
+
+    # -- Table 2 count columns ------------------------------------------------------
+    full_counts = {f"full_{code}": 0 for code in ("tc", "sc", "tf", "sf")}
+    partial = {"partial_tn": 0, "partial_sn": 0, "partial_nc": 0, "partial_nf": 0}
+    none_undecided = {"nn": 0, "u*": 0, "*u": 0, "uu": 0}
+    for asn in dataset.all_ases:
+        classification = result.classification_of(asn)
+        code = classification.code
+        if classification.is_full:
+            full_counts[f"full_{code}"] += 1
+        elif code in ("tn", "sn", "nc", "nf"):
+            partial[f"partial_{code}"] += 1
+        if code == "nn":
+            none_undecided["nn"] += 1
+        elif classification.tagging is TaggingClass.UNDECIDED and classification.forwarding is ForwardingClass.UNDECIDED:
+            none_undecided["uu"] += 1
+        elif classification.tagging is TaggingClass.UNDECIDED:
+            none_undecided["u*"] += 1
+        elif classification.forwarding is ForwardingClass.UNDECIDED:
+            none_undecided["*u"] += 1
+
+    return ScenarioEvaluation(
+        scenario=dataset.name,
+        tagging=tagging_pr,
+        forwarding=forwarding_pr,
+        tagging_matrix=tagging_matrix,
+        forwarding_matrix=forwarding_matrix,
+        full_class_counts=full_counts,
+        partial_tagging_counts=partial,
+        none_undecided_counts=none_undecided,
+    )

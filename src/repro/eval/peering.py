@@ -1,0 +1,219 @@
+"""PEERING-testbed style active validation (paper Section 7.4, Table 4).
+
+The paper validates its inferences by announcing a /24 prefix from the
+PEERING testbed (AS 47065) through 12 Points of Presence, attaching a unique
+pair of communities per PoP, and then checking the collector data:
+
+* when the announced communities are **absent** from an observed
+  ``(path, comm)`` tuple there must be at least one inferred *cleaner* on the
+  path (otherwise the inference is contradicted);
+* when the communities are **present** the path must contain no inferred
+  cleaner.
+
+We reproduce the methodology inside the simulation: a testbed AS is attached
+as a customer of several PoP provider ASes, announcements with per-PoP
+community pairs propagate according to the *ground-truth* roles, and the
+resulting observations are checked against the classification produced from
+the regular (passive) dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.asn import ASN
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.path import ASPath
+from repro.core.classes import ForwardingClass
+from repro.core.results import ClassificationResult
+from repro.topology.generator import ASTier, Topology
+from repro.topology.routing import ValleyFreePath
+from repro.usage.roles import RoleAssignment
+
+#: The PEERING testbed ASN used in the paper's experiments.
+PEERING_ASN: ASN = 47065
+
+
+@dataclass(frozen=True)
+class PeeringObservation:
+    """One observed ``(path, comm)`` tuple for the testbed prefix."""
+
+    path: ASPath
+    communities: CommunitySet
+    pop_provider: ASN
+
+    @property
+    def has_testbed_communities(self) -> bool:
+        """``True`` when the announcement still carries our communities."""
+        return self.communities.has_upper(PEERING_ASN)
+
+
+@dataclass
+class PeeringValidationResult:
+    """The Table 4 numbers of one experiment run."""
+
+    experiment: str
+    #: Tuples still carrying our communities.
+    present_total: int = 0
+    present_with_cleaner: int = 0          # contradictions
+    present_with_undecided: int = 0
+    #: Tuples in which our communities were removed.
+    absent_total: int = 0
+    absent_with_cleaner: int = 0           # supporting the inference
+    absent_with_undecided_only: int = 0
+    absent_contradictions: int = 0
+
+    @property
+    def present_cleaner_share(self) -> float:
+        """Share of community-present paths that contain a cleaner (column a)."""
+        return self.present_with_cleaner / self.present_total if self.present_total else 0.0
+
+    @property
+    def absent_cleaner_share(self) -> float:
+        """Share of community-absent paths that contain a cleaner (column b)."""
+        return self.absent_with_cleaner / self.absent_total if self.absent_total else 0.0
+
+    def table4_row(self) -> Dict[str, object]:
+        """The experiment's Table 4 row."""
+        return {
+            "experiment": self.experiment,
+            "present_with_cleaner": f"{self.present_with_cleaner}/{self.present_total}",
+            "present_share": round(self.present_cleaner_share, 2),
+            "absent_with_cleaner": f"{self.absent_with_cleaner}/{self.absent_total}",
+            "absent_share": round(self.absent_cleaner_share, 2),
+        }
+
+
+class PeeringExperiment:
+    """Simulated PEERING announcement experiment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        roles: RoleAssignment,
+        paths_by_peer: Mapping[ASN, Mapping[ASN, ValleyFreePath]],
+        *,
+        testbed_asn: ASN = PEERING_ASN,
+        n_pops: int = 12,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.roles = roles
+        self.paths_by_peer = paths_by_peer
+        self.testbed_asn = testbed_asn
+        self.n_pops = n_pops
+        self.seed = seed
+        self.pop_providers = self._select_pops()
+
+    # -- experiment setup -------------------------------------------------------------
+    def _select_pops(self) -> List[ASN]:
+        """Choose PoP provider ASes: transit networks of mixed size."""
+        rng = random.Random(self.seed)
+        candidates = [
+            asn
+            for asn in self.topology.transit_asns()
+            if self.topology.ases[asn].tier
+            in (ASTier.LARGE_TRANSIT, ASTier.MID_TRANSIT, ASTier.SMALL_TRANSIT)
+        ]
+        count = min(self.n_pops, len(candidates))
+        return sorted(rng.sample(candidates, count)) if count else []
+
+    def pop_communities(self, pop_index: int) -> CommunitySet:
+        """The unique community pair attached at PoP number *pop_index*."""
+        return CommunitySet(
+            (
+                Community(self.testbed_asn, 100 + pop_index),
+                Community(self.testbed_asn, 200 + pop_index),
+            )
+        )
+
+    # -- announcement propagation -------------------------------------------------------
+    def _best_path_via_pops(self, peer: ASN) -> Optional[Tuple[ASPath, ASN, int]]:
+        """The path from *peer* to the testbed AS, routed via the best PoP.
+
+        The testbed AS is a customer of every PoP provider, so the peer's
+        route to the testbed is its best route to any PoP provider extended
+        by the testbed ASN (preferring the usual rank, then length).
+        """
+        per_origin = self.paths_by_peer.get(peer, {})
+        best: Optional[Tuple[int, int, ASN, ASPath]] = None
+        for index, pop in enumerate(self.pop_providers):
+            route = per_origin.get(pop)
+            if route is None:
+                continue
+            if self.testbed_asn in route.path:
+                continue
+            key = (route.preference_rank, len(route.path), pop)
+            if best is None or key < best[:3]:
+                best = (route.preference_rank, len(route.path), pop, route.path)
+        if best is None:
+            return None
+        pop = best[2]
+        extended = ASPath(best[3].asns + (self.testbed_asn,))
+        return extended, pop, self.pop_providers.index(pop)
+
+    def _communities_survive(self, path: ASPath) -> bool:
+        """Do the origin's communities reach the collector (ground truth)?
+
+        They do exactly when every AS between the collector and the origin is
+        a forward AS according to its ground-truth role.
+        """
+        for asn in path.asns[:-1]:
+            role = self.roles.get(asn)
+            if role is None or not role.is_forward:
+                return False
+        return True
+
+    def observations(self) -> List[PeeringObservation]:
+        """The testbed-prefix observations across all collector peers."""
+        result: List[PeeringObservation] = []
+        for peer in self.paths_by_peer:
+            routed = self._best_path_via_pops(peer)
+            if routed is None:
+                continue
+            path, pop, pop_index = routed
+            if self._communities_survive(path):
+                communities = self.pop_communities(pop_index)
+            else:
+                communities = CommunitySet.empty()
+            result.append(PeeringObservation(path=path, communities=communities, pop_provider=pop))
+        return result
+
+    # -- validation against inferences -----------------------------------------------------
+    def validate(
+        self, classification: ClassificationResult, *, experiment: str = "experiment-1"
+    ) -> PeeringValidationResult:
+        """Check the observed tuples against the passive classification."""
+        result = PeeringValidationResult(experiment=experiment)
+        seen: Set[Tuple[ASPath, CommunitySet]] = set()
+        for observation in self.observations():
+            key = (observation.path, observation.communities)
+            if key in seen:
+                continue
+            seen.add(key)
+            transit_asns = observation.path.asns[:-1]
+            has_cleaner = any(
+                classification.classification_of(asn).forwarding is ForwardingClass.CLEANER
+                for asn in transit_asns
+            )
+            has_undecided = any(
+                classification.classification_of(asn).forwarding is ForwardingClass.UNDECIDED
+                for asn in transit_asns
+            )
+            if observation.has_testbed_communities:
+                result.present_total += 1
+                if has_cleaner:
+                    result.present_with_cleaner += 1
+                elif has_undecided:
+                    result.present_with_undecided += 1
+            else:
+                result.absent_total += 1
+                if has_cleaner:
+                    result.absent_with_cleaner += 1
+                elif has_undecided:
+                    result.absent_with_undecided_only += 1
+                else:
+                    result.absent_contradictions += 1
+        return result

@@ -1,0 +1,122 @@
+"""Per-AS and whole-run reports.
+
+Combines the outputs of the pipeline into the two views a downstream user of
+the published dataset typically wants:
+
+* :class:`ASReport` -- everything known about a single AS: inferred classes,
+  raw evidence counters, customer cone size, and (optionally) the community
+  values attributed to it;
+* :func:`summarize_run` -- a compact markdown summary of a whole
+  classification run, suitable for dropping into a measurement notebook or a
+  paper appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bgp.asn import ASN, is_32bit_only
+from repro.bgp.community import AnyCommunity
+from repro.core.attribution import CommunityAttribution
+from repro.core.classes import ForwardingClass, TaggingClass, UsageClassification
+from repro.core.counters import ASCounters
+from repro.core.results import FULL_CLASS_CODES, ClassificationResult
+from repro.topology.cone import CustomerCones
+
+
+@dataclass(frozen=True)
+class ASReport:
+    """Everything the pipeline knows about one AS."""
+
+    asn: ASN
+    classification: UsageClassification
+    counters: ASCounters
+    cone_size: Optional[int] = None
+    attributed_communities: Sequence[AnyCommunity] = ()
+
+    @property
+    def is_32bit(self) -> bool:
+        """``True`` when the ASN requires four bytes."""
+        return is_32bit_only(self.asn)
+
+    def to_text(self) -> str:
+        """A short human-readable description."""
+        lines = [
+            f"AS{self.asn} ({'32-bit' if self.is_32bit else '16-bit'} ASN)",
+            f"  classification : {self.classification.code}"
+            f" (tagging={self.classification.tagging.name.lower()},"
+            f" forwarding={self.classification.forwarding.name.lower()})",
+            f"  evidence       : t={self.counters.tagger} s={self.counters.silent}"
+            f" f={self.counters.forward} c={self.counters.cleaner}",
+        ]
+        if self.cone_size is not None:
+            lines.append(f"  customer cone  : {self.cone_size} ASes")
+        if self.attributed_communities:
+            values = ", ".join(str(c) for c in self.attributed_communities)
+            lines.append(f"  communities    : {values}")
+        return "\n".join(lines)
+
+
+def build_as_report(
+    asn: ASN,
+    result: ClassificationResult,
+    *,
+    cones: Optional[CustomerCones] = None,
+    attribution: Optional[CommunityAttribution] = None,
+    max_communities: int = 5,
+) -> ASReport:
+    """Assemble the :class:`ASReport` of one AS from pipeline outputs."""
+    return ASReport(
+        asn=asn,
+        classification=result.classification_of(asn),
+        counters=result.counters_of(asn),
+        cone_size=cones.cone_size(asn) if cones is not None else None,
+        attributed_communities=tuple(
+            attribution.top_values(asn, count=max_communities) if attribution is not None else ()
+        ),
+    )
+
+
+def summarize_run(
+    result: ClassificationResult,
+    *,
+    cones: Optional[CustomerCones] = None,
+    title: str = "Community usage classification",
+) -> str:
+    """A markdown summary of one classification run.
+
+    Contains the tagging/forwarding class counts, the full-classification
+    counts, and (when cones are supplied) the median cone size per tagging
+    class -- the headline characterisation of the paper's Section 7.
+    """
+    tagging = result.tagging_counts()
+    forwarding = result.forwarding_counts()
+    full = result.full_class_counts()
+
+    lines = [f"# {title}", "", f"ASes observed: **{len(result.observed_ases)}**", ""]
+    lines.append("| tagging | ASes | forwarding | ASes |")
+    lines.append("|---|---|---|---|")
+    for tag_class, fwd_class in zip(TaggingClass, ForwardingClass):
+        lines.append(
+            f"| {tag_class.name.lower()} | {tagging[tag_class]} "
+            f"| {fwd_class.name.lower()} | {forwarding[fwd_class]} |"
+        )
+    lines.append("")
+    lines.append("| full classification | ASes |")
+    lines.append("|---|---|")
+    for code in FULL_CLASS_CODES:
+        lines.append(f"| {code} | {full[code]} |")
+
+    if cones is not None:
+        lines.append("")
+        lines.append("| tagging class | median customer cone |")
+        lines.append("|---|---|")
+        for tag_class in (TaggingClass.TAGGER, TaggingClass.SILENT):
+            members = result.ases_with_tagging(tag_class)
+            if not members:
+                continue
+            sizes = sorted(cones.cone_size(asn) for asn in members)
+            median = sizes[len(sizes) // 2]
+            lines.append(f"| {tag_class.name.lower()} | {median} |")
+    return "\n".join(lines)

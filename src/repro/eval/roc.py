@@ -1,0 +1,118 @@
+"""Threshold sensitivity and ROC curves (paper Section 6.3.1, Figure 2).
+
+The classification thresholds (default 99%) trade sensitivity against
+specificity.  The sweep re-runs the inference for a range of thresholds and
+computes, separately for the tagging and the forwarding classifier,
+
+* the **true-positive rate** -- share of ground-truth taggers (forward ASes)
+  classified as tagger (forward), and
+* the **false-positive rate** -- share of ground-truth silent (cleaner) ASes
+  classified as tagger (forward),
+
+restricted to ASes whose behaviour is visible at all (hidden ASes can never
+be classified and would only dilute both rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.classes import ForwardingClass, TaggingClass
+from repro.core.column import ColumnInference
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+from repro.usage.scenarios import GroundTruthDataset
+
+#: The threshold grid of Figure 2 (50% to 100% in 10-point steps).
+DEFAULT_THRESHOLD_GRID: Tuple[float, ...] = (0.51, 0.60, 0.70, 0.80, 0.90, 1.00)
+
+
+@dataclass(frozen=True)
+class ROCPoint:
+    """One point of a ROC curve."""
+
+    threshold: float
+    true_positive_rate: float
+    false_positive_rate: float
+    true_positives: int
+    false_positives: int
+    positives: int
+    negatives: int
+
+
+def _tagging_rates(dataset: GroundTruthDataset, result: ClassificationResult, threshold: float) -> ROCPoint:
+    """TPR/FPR of the tagging classifier (positive class: tagger)."""
+    tp = fp = positives = negatives = 0
+    for asn in dataset.visibility.tagging_visible:
+        role = dataset.roles.get(asn)
+        if role is None:
+            continue
+        classified_tagger = result.classification_of(asn).tagging is TaggingClass.TAGGER
+        if role.is_tagger:
+            positives += 1
+            if classified_tagger:
+                tp += 1
+        else:
+            negatives += 1
+            if classified_tagger:
+                fp += 1
+    return ROCPoint(
+        threshold=threshold,
+        true_positive_rate=tp / positives if positives else 0.0,
+        false_positive_rate=fp / negatives if negatives else 0.0,
+        true_positives=tp,
+        false_positives=fp,
+        positives=positives,
+        negatives=negatives,
+    )
+
+
+def _forwarding_rates(dataset: GroundTruthDataset, result: ClassificationResult, threshold: float) -> ROCPoint:
+    """TPR/FPR of the forwarding classifier (positive class: forward)."""
+    tp = fp = positives = negatives = 0
+    for asn in dataset.visibility.forwarding_visible:
+        role = dataset.roles.get(asn)
+        if role is None:
+            continue
+        classified_forward = result.classification_of(asn).forwarding is ForwardingClass.FORWARD
+        if role.is_forward:
+            positives += 1
+            if classified_forward:
+                tp += 1
+        else:
+            negatives += 1
+            if classified_forward:
+                fp += 1
+    return ROCPoint(
+        threshold=threshold,
+        true_positive_rate=tp / positives if positives else 0.0,
+        false_positive_rate=fp / negatives if negatives else 0.0,
+        true_positives=tp,
+        false_positives=fp,
+        positives=positives,
+        negatives=negatives,
+    )
+
+
+def threshold_sweep(
+    dataset: GroundTruthDataset,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLD_GRID,
+) -> Dict[str, List[ROCPoint]]:
+    """Run the inference for every threshold and return both ROC curves.
+
+    Returns ``{"tagging": [...], "forwarding": [...]}`` with one
+    :class:`ROCPoint` per threshold value, ordered as given.
+    """
+    curves: Dict[str, List[ROCPoint]] = {"tagging": [], "forwarding": []}
+    for value in thresholds:
+        inference = ColumnInference(Thresholds.uniform(value))
+        result = inference.run(dataset.tuples)
+        curves["tagging"].append(_tagging_rates(dataset, result, value))
+        curves["forwarding"].append(_forwarding_rates(dataset, result, value))
+    return curves
+
+
+def roc_series(points: Iterable[ROCPoint]) -> List[Tuple[float, float]]:
+    """The (FPR, TPR) series of a curve, e.g. for plotting or reporting."""
+    return [(p.false_positive_rate, p.true_positive_rate) for p in points]

@@ -1,0 +1,120 @@
+"""Temporal stability of the inferences (paper Section 7.1.1).
+
+Two analyses:
+
+* **incremental days** (Figure 3) -- run the inference on one day of data,
+  then on one+two days, and so on; for every full classification (tf, tc,
+  sf, sc) count how many ASes are *new* (first time in that class), *stable*
+  (in the class every day since day 1), and *recurring* (seen before, absent
+  in between, back again);
+* **longitudinal** (Figure 4) -- independent snapshots (the paper uses one
+  day every three months over two years) and the number of fully classified
+  ASes per class and snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.asn import ASN
+from repro.core.results import FULL_CLASS_CODES, ClassificationResult
+
+
+@dataclass(frozen=True)
+class DayClassCounts:
+    """New / stable / recurring counts for one class on one day."""
+
+    day: int
+    code: str
+    new: int
+    stable: int
+    recurring: int
+
+    @property
+    def total(self) -> int:
+        """Total ASes in the class on this day."""
+        return self.new + self.stable + self.recurring
+
+
+@dataclass
+class IncrementalDayAnalysis:
+    """Figure 3: how classifications evolve as more days are added."""
+
+    #: Per day (0-based), the set of ASes per full class code.
+    memberships: List[Dict[str, Set[ASN]]] = field(default_factory=list)
+
+    @classmethod
+    def from_results(cls, results: Sequence[ClassificationResult]) -> "IncrementalDayAnalysis":
+        """Build the analysis from per-cumulative-day inference results."""
+        analysis = cls()
+        for result in results:
+            per_class: Dict[str, Set[ASN]] = {code: set() for code in FULL_CLASS_CODES}
+            for asn, classification in result.fully_classified_ases().items():
+                per_class[classification.code].add(asn)
+            analysis.memberships.append(per_class)
+        return analysis
+
+    def counts_for(self, code: str) -> List[DayClassCounts]:
+        """The Figure 3 bars (new / stable / recurring per day) for one class."""
+        result: List[DayClassCounts] = []
+        seen_before: Set[ASN] = set()
+        for day, membership in enumerate(self.memberships):
+            members = membership.get(code, set())
+            if day == 0:
+                result.append(
+                    DayClassCounts(day=day, code=code, new=len(members), stable=0, recurring=0)
+                )
+                seen_before = set(members)
+                continue
+            stable = {
+                asn
+                for asn in members
+                if all(asn in earlier.get(code, ()) for earlier in self.memberships[:day])
+            }
+            new = {asn for asn in members if asn not in seen_before}
+            recurring = members - stable - new
+            result.append(
+                DayClassCounts(
+                    day=day, code=code, new=len(new), stable=len(stable), recurring=len(recurring)
+                )
+            )
+            seen_before |= members
+        return result
+
+    def all_counts(self) -> Dict[str, List[DayClassCounts]]:
+        """The complete Figure 3 data, keyed by full class code."""
+        return {code: self.counts_for(code) for code in FULL_CLASS_CODES}
+
+    def stability_share(self, code: str) -> float:
+        """Share of the final day's members that were stable since day 1.
+
+        The paper reports 90-97% across the four classes.
+        """
+        counts = self.counts_for(code)
+        if not counts:
+            return 0.0
+        last = counts[-1]
+        return last.stable / last.total if last.total else 0.0
+
+
+@dataclass(frozen=True)
+class LongitudinalPoint:
+    """Figure 4: fully-classified AS counts of one snapshot."""
+
+    label: str
+    counts: Mapping[str, int]
+
+    def count(self, code: str) -> int:
+        """Number of ASes fully classified as *code* in this snapshot."""
+        return self.counts.get(code, 0)
+
+
+def longitudinal_series(
+    labelled_results: Sequence[Tuple[str, ClassificationResult]]
+) -> List[LongitudinalPoint]:
+    """Build the Figure 4 series from labelled snapshot results."""
+    series: List[LongitudinalPoint] = []
+    for label, result in labelled_results:
+        series.append(LongitudinalPoint(label=label, counts=result.full_class_counts()))
+    return series

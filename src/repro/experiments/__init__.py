@@ -1,0 +1,26 @@
+"""Experiment drivers.
+
+One module per table / figure of the paper's evaluation.  Every module
+exposes a ``run()`` function returning a structured result plus a
+``format_text()`` helper that renders the same rows/series the paper reports.
+:class:`repro.experiments.context.ExperimentContext` builds the shared
+synthetic Internet once and caches intermediate products (classifications,
+tuples) so the experiment suite and the benchmarks do not redo work.
+
+| Experiment | Module |
+|---|---|
+| Table 1  (dataset overview)            | :mod:`repro.experiments.table1` |
+| Table 2  (scenario performance)        | :mod:`repro.experiments.table2` |
+| Tables 5/6 (confusion matrices)        | :mod:`repro.experiments.table5_6` |
+| Figure 2 (ROC threshold sweep)         | :mod:`repro.experiments.figure2` |
+| Table 3  (real-data classification)    | :mod:`repro.experiments.table3` |
+| Figure 3 (incremental-day stability)   | :mod:`repro.experiments.figure3` |
+| Figure 4 (longitudinal view)           | :mod:`repro.experiments.figure4` |
+| Figure 5 (peer community types)        | :mod:`repro.experiments.figure5` |
+| Figure 6 (customer cone CDFs)          | :mod:`repro.experiments.figure6` |
+| Table 4  (PEERING validation)          | :mod:`repro.experiments.table4` |
+"""
+
+from repro.experiments.context import ExperimentContext, ExperimentScale
+
+__all__ = ["ExperimentContext", "ExperimentScale"]

@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` runs the experiment suite."""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Shared experiment context.
+
+Building the synthetic Internet, computing routes, and classifying the
+aggregate dataset are by far the most expensive steps; every experiment
+driver therefore works against an :class:`ExperimentContext` that constructs
+them lazily and exactly once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.asn import ASN
+from repro.bgp.path import ASPath
+from repro.core.column import ColumnInference
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+from repro.datasets.synthetic import AGGREGATE_PROJECTS, SyntheticConfig, SyntheticInternet
+from repro.topology.cone import CustomerCones
+from repro.usage.scenarios import ScenarioBuilder
+
+
+class ExperimentScale(enum.Enum):
+    """Preset scales for the experiment suite.
+
+    * ``TINY`` -- fastest; used by the test suite,
+    * ``SMALL`` -- used by the benchmark harness by default,
+    * ``DEFAULT`` -- the scale the numbers in EXPERIMENTS.md were produced at,
+    * ``LARGE`` -- larger topology for scaling studies.
+    """
+
+    TINY = "tiny"
+    SMALL = "small"
+    DEFAULT = "default"
+    LARGE = "large"
+
+    def synthetic_config(self, *, seed: int = 1) -> SyntheticConfig:
+        """The synthetic-Internet configuration of this scale."""
+        if self is ExperimentScale.TINY:
+            config = SyntheticConfig.small(seed=seed)
+            config.peer_fraction = 0.10
+            return config
+        if self is ExperimentScale.SMALL:
+            config = SyntheticConfig.small(seed=seed)
+            config.peer_fraction = 0.12
+            return config
+        if self is ExperimentScale.LARGE:
+            return SyntheticConfig.large(seed=seed)
+        config = SyntheticConfig.default(seed=seed)
+        config.peer_fraction = 0.05
+        return config
+
+    @property
+    def scenario_iterations(self) -> int:
+        """Number of random-scenario repetitions for Table 2 (paper: 10)."""
+        return {"tiny": 1, "small": 2, "default": 3, "large": 10}[self.value]
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily built shared state for all experiment drivers."""
+
+    scale: ExperimentScale = ExperimentScale.DEFAULT
+    seed: int = 1
+    thresholds: Thresholds = field(default_factory=Thresholds)
+
+    # -- substrate ---------------------------------------------------------------------
+    @cached_property
+    def internet(self) -> SyntheticInternet:
+        """The synthetic Internet of this context."""
+        return SyntheticInternet.build(self.scale.synthetic_config(seed=self.seed))
+
+    @cached_property
+    def cones(self) -> CustomerCones:
+        """Customer cones over the context's topology."""
+        return self.internet.cones()
+
+    @cached_property
+    def aggregate_tuples(self) -> List[PathCommTuple]:
+        """Unique ``(path, comm)`` tuples of the aggregated dataset."""
+        return self.internet.tuples_for_aggregate()
+
+    @cached_property
+    def aggregate_classification(self) -> ClassificationResult:
+        """Classification of the aggregated dataset (used by many figures)."""
+        return ColumnInference(self.thresholds).run(self.aggregate_tuples)
+
+    @cached_property
+    def scenario_paths(self) -> List[ASPath]:
+        """The AS-path substrate used by the Section 6 scenarios."""
+        peers = self.internet.collector_peers(list(AGGREGATE_PROJECTS))
+        return self.internet.paths_for_peers(peers)
+
+    def scenario_builder(self, *, seed: Optional[int] = None) -> ScenarioBuilder:
+        """A scenario builder over the context's path substrate."""
+        return ScenarioBuilder(
+            self.scenario_paths,
+            relationships=self.internet.topology.relationships,
+            seed=self.seed if seed is None else seed,
+        )
+
+    # -- per-project classifications ------------------------------------------------------
+    def classification_for_project(self, name: str) -> ClassificationResult:
+        """Classify a single collector project's tuples."""
+        tuples = self.internet.tuples_for_project(name)
+        return ColumnInference(self.thresholds).run(tuples)

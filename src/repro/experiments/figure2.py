@@ -1,0 +1,60 @@
+"""Figure 2: ROC curves under varying thresholds.
+
+Re-runs the inference on the random-p and random-pp scenarios for thresholds
+between 50% and 100% and reports the (FPR, TPR) series for the tagging and
+the forwarding classifiers.  The paper's observation — the inferences are not
+very sensitive to the threshold — shows up as short, steep curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.roc import DEFAULT_THRESHOLD_GRID, ROCPoint, threshold_sweep
+from repro.experiments.context import ExperimentContext, ExperimentScale
+from repro.usage.scenarios import ScenarioName
+
+#: The scenarios shown in Figure 2 (left: random-p, right: random-pp).
+SCENARIOS: Sequence[ScenarioName] = (ScenarioName.RANDOM_P, ScenarioName.RANDOM_PP)
+
+
+@dataclass
+class Figure2Result:
+    """ROC curves per scenario and classifier."""
+
+    curves: Dict[str, Dict[str, List[ROCPoint]]]
+
+    def curve(self, scenario: str, classifier: str) -> List[ROCPoint]:
+        """One ROC curve, e.g. ``curve("random-p", "tagging")``."""
+        return self.curves[scenario][classifier]
+
+    def format_text(self) -> str:
+        """Render the curves as threshold / FPR / TPR tables."""
+        lines: List[str] = []
+        for scenario, per_classifier in self.curves.items():
+            lines.append(f"== Figure 2 ({scenario}) ==")
+            for classifier, points in per_classifier.items():
+                lines.append(f"  [{classifier}]")
+                lines.append(f"    {'threshold':>10} {'FPR':>8} {'TPR':>8}")
+                for point in points:
+                    lines.append(
+                        f"    {point.threshold:>10.2f} {point.false_positive_rate:>8.3f} "
+                        f"{point.true_positive_rate:>8.3f}"
+                    )
+        return "\n".join(lines)
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    *,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLD_GRID,
+    scenarios: Sequence[ScenarioName] = SCENARIOS,
+) -> Figure2Result:
+    """Run the threshold sweep for both selective scenarios."""
+    context = context or ExperimentContext(scale=ExperimentScale.DEFAULT)
+    curves: Dict[str, Dict[str, List[ROCPoint]]] = {}
+    for scenario in scenarios:
+        dataset = context.scenario_builder().build(scenario, seed=context.seed)
+        curves[scenario.value] = threshold_sweep(dataset, thresholds)
+    return Figure2Result(curves=curves)

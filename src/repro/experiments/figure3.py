@@ -1,0 +1,69 @@
+"""Figure 3: stability when incrementally adding days of data.
+
+Runs the full pipeline on one day of RouteViews-like data, then on two
+cumulative days, and so on (five days total, following the paper), and counts
+new / stable / recurring ASes per full classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bgp.announcement import RouteObservation
+from repro.core.pipeline import InferencePipeline
+from repro.core.results import ClassificationResult, FULL_CLASS_CODES
+from repro.eval.stability import DayClassCounts, IncrementalDayAnalysis
+from repro.experiments.context import ExperimentContext, ExperimentScale
+
+
+@dataclass
+class Figure3Result:
+    """New / stable / recurring counts per class and cumulative day."""
+
+    analysis: IncrementalDayAnalysis
+    counts: Dict[str, List[DayClassCounts]]
+
+    def stability_share(self, code: str) -> float:
+        """Share of stable ASes on the final day (paper: 90-97%)."""
+        return self.analysis.stability_share(code)
+
+    def format_text(self) -> str:
+        """Render one bar-group per class."""
+        lines: List[str] = []
+        for code, per_day in self.counts.items():
+            lines.append(f"== {code} ==")
+            lines.append(f"  {'day':>5} {'new':>8} {'stable':>8} {'recurring':>10} {'total':>8}")
+            for day_counts in per_day:
+                lines.append(
+                    f"  {day_counts.day + 1:>5} {day_counts.new:>8} {day_counts.stable:>8}"
+                    f" {day_counts.recurring:>10} {day_counts.total:>8}"
+                )
+        return "\n".join(lines)
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    *,
+    days: int = 5,
+    project: str = "routeviews",
+) -> Figure3Result:
+    """Run the incremental-day stability analysis."""
+    context = context or ExperimentContext(scale=ExperimentScale.DEFAULT)
+    internet = context.internet
+    archive = internet.archive_for(project)
+
+    pipeline = InferencePipeline(
+        thresholds=context.thresholds,
+        asn_registry=internet.topology.asn_registry,
+        prefix_allocation=internet.topology.prefix_allocation,
+    )
+
+    cumulative: List[RouteObservation] = []
+    results: List[ClassificationResult] = []
+    for day in range(days):
+        cumulative.extend(archive.generate_day(day).observations)
+        results.append(pipeline.run_from_observations(cumulative).result)
+
+    analysis = IncrementalDayAnalysis.from_results(results)
+    return Figure3Result(analysis=analysis, counts=analysis.all_counts())

@@ -1,0 +1,49 @@
+"""Figure 5: community types at fully classified peer ASes.
+
+For every collector peer with a full classification (tf, tc, sf, sc), counts
+how many peer / foreign / stray / private communities appear in its exported
+community sets.  The expected pattern (and the paper's consistency check):
+peer communities only at taggers, foreign communities only at forward ASes,
+stray and private communities everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.eval.characterization import PeerCommunityProfile, peer_community_types
+from repro.experiments.context import ExperimentContext, ExperimentScale
+from repro.sanitize.sources import CommunitySource
+
+
+@dataclass
+class Figure5Result:
+    """Per-full-class lists of peer community profiles."""
+
+    profiles: Dict[str, List[PeerCommunityProfile]]
+
+    def total_of(self, code: str, source: CommunitySource) -> int:
+        """Total communities of one source type across all peers of a class."""
+        return sum(profile.count(source) for profile in self.profiles.get(code, []))
+
+    def format_text(self) -> str:
+        """Render aggregate counts per class and community type."""
+        sources = list(CommunitySource)
+        header = f"{'class':<8}{'peers':>8}" + "".join(f"{s.value:>12}" for s in sources)
+        lines = [header, "-" * len(header)]
+        for code, profiles in self.profiles.items():
+            counts = "".join(f"{self.total_of(code, s):>12,}" for s in sources)
+            lines.append(f"{code:<8}{len(profiles):>8}" + counts)
+        return "\n".join(lines)
+
+
+def run(context: Optional[ExperimentContext] = None) -> Figure5Result:
+    """Count community types at the aggregate dataset's classified peers."""
+    context = context or ExperimentContext(scale=ExperimentScale.DEFAULT)
+    profiles = peer_community_types(
+        context.aggregate_tuples,
+        context.aggregate_classification,
+        registry=context.internet.topology.asn_registry,
+    )
+    return Figure5Result(profiles=profiles)

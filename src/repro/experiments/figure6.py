@@ -1,0 +1,55 @@
+"""Figure 6: customer cone size distribution per inferred class.
+
+Computes CDFs of customer cone sizes for every tagging and forwarding class.
+The paper's headline characterisation: taggers, forward, and cleaner ASes are
+predominantly large networks, silent and unclassified ASes are mostly at the
+edge (cone size 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.eval.characterization import ConeDistribution, cone_cdf_by_class
+from repro.experiments.context import ExperimentContext, ExperimentScale
+
+
+@dataclass
+class Figure6Result:
+    """Cone distributions per tagging and forwarding class."""
+
+    distributions: Dict[str, Dict[str, ConeDistribution]]
+
+    def distribution(self, dimension: str, label: str) -> ConeDistribution:
+        """One distribution, e.g. ``distribution("tagging", "tagger")``."""
+        return self.distributions[dimension][label]
+
+    def leaf_share(self, dimension: str, label: str) -> float:
+        """Share of ASes with cone size 1 in one class."""
+        return self.distribution(dimension, label).proportion_leq(1)
+
+    def format_text(self) -> str:
+        """Render summary statistics of every distribution."""
+        lines = [
+            f"{'dimension':<12}{'class':<12}{'ASes':>8}{'cone=1':>10}{'cone>10':>10}{'median':>10}"
+        ]
+        lines.append("-" * len(lines[0]))
+        for dimension, per_class in self.distributions.items():
+            for label, distribution in per_class.items():
+                if not len(distribution):
+                    continue
+                lines.append(
+                    f"{dimension:<12}{label:<12}{len(distribution):>8}"
+                    f"{distribution.proportion_leq(1):>10.2f}"
+                    f"{distribution.proportion_greater(10):>10.2f}"
+                    f"{distribution.median():>10.1f}"
+                )
+        return "\n".join(lines)
+
+
+def run(context: Optional[ExperimentContext] = None) -> Figure6Result:
+    """Compute the cone CDFs for the aggregate classification."""
+    context = context or ExperimentContext(scale=ExperimentScale.DEFAULT)
+    distributions = cone_cdf_by_class(context.aggregate_classification, context.cones)
+    return Figure6Result(distributions=distributions)

@@ -1,0 +1,88 @@
+"""Run every experiment and print the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments --scale small
+    python -m repro.experiments --scale default --only table2 figure6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5_6,
+)
+from repro.experiments.context import ExperimentContext, ExperimentScale
+
+#: Experiment name -> module with ``run(context)`` and a ``format_text`` result.
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5_6": table5_6.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+}
+
+
+def run_all(
+    scale: ExperimentScale = ExperimentScale.DEFAULT,
+    *,
+    only: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    stream=None,
+) -> Dict[str, object]:
+    """Run the selected experiments and print their textual rendering."""
+    stream = stream or sys.stdout
+    context = ExperimentContext(scale=scale, seed=seed)
+    selected = list(only) if only else list(EXPERIMENTS)
+    results: Dict[str, object] = {}
+    for name in selected:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+        started = time.time()
+        result = runner(context)
+        results[name] = result
+        elapsed = time.time() - started
+        print(f"\n===== {name} ({elapsed:.1f}s) =====", file=stream)
+        print(result.format_text(), file=stream)
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ExperimentScale],
+        default=ExperimentScale.SMALL.value,
+        help="experiment scale preset",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="substrate random seed")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help=f"subset of experiments to run ({', '.join(sorted(EXPERIMENTS))})",
+    )
+    args = parser.parse_args(argv)
+    run_all(ExperimentScale(args.scale), only=args.only, seed=args.seed)
+    return 0

@@ -1,0 +1,79 @@
+"""Table 1: dataset overview.
+
+Generates one day of archives per collector project, aggregates RIPE,
+RouteViews, and Isolario into the d_May21 analogue, and computes the same
+statistics rows the paper reports (entries, unique tuples, AS counts,
+communities, unique upper fields with and without private/stray).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.collectors.archive import DayArchive
+from repro.datasets.stats import DatasetStatistics, compute_statistics, format_table
+from repro.datasets.synthetic import AGGREGATE_NAME, AGGREGATE_PROJECTS
+from repro.experiments.context import ExperimentContext, ExperimentScale
+from repro.sanitize.filters import Sanitizer
+
+
+@dataclass
+class Table1Result:
+    """All columns of Table 1."""
+
+    columns: List[DatasetStatistics]
+
+    def column(self, name: str) -> DatasetStatistics:
+        """Look up one dataset column by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(name)
+
+    def format_text(self) -> str:
+        """Render the table in the paper's layout."""
+        return format_table(self.columns)
+
+
+def run(context: Optional[ExperimentContext] = None, *, day: int = 0) -> Table1Result:
+    """Compute Table 1 for the context's synthetic collector data."""
+    context = context or ExperimentContext(scale=ExperimentScale.DEFAULT)
+    internet = context.internet
+    registry = internet.topology.asn_registry
+
+    columns: List[DatasetStatistics] = []
+    archives_by_project: Dict[str, List[DayArchive]] = {}
+    for name in internet.project_names(include_pch=True):
+        archive = internet.archive_for(name).generate_day(day)
+        archives_by_project[name] = [archive]
+        if name != "pch":
+            columns.append(
+                compute_statistics(
+                    name, [archive], registry=registry, sanitizer=Sanitizer(asn_registry=registry)
+                )
+            )
+
+    aggregate_archives = [
+        archive
+        for name in AGGREGATE_PROJECTS
+        for archive in archives_by_project.get(name, [])
+    ]
+    columns.append(
+        compute_statistics(
+            AGGREGATE_NAME,
+            aggregate_archives,
+            registry=registry,
+            sanitizer=Sanitizer(asn_registry=registry),
+        )
+    )
+    if "pch" in archives_by_project:
+        columns.append(
+            compute_statistics(
+                "pch",
+                archives_by_project["pch"],
+                registry=registry,
+                sanitizer=Sanitizer(asn_registry=registry),
+            )
+        )
+    return Table1Result(columns=columns)

@@ -1,0 +1,134 @@
+"""Table 2: classification results and performance per scenario.
+
+Runs the column-based inference on the six ground-truth scenarios (alltc,
+alltf, random, random+noise, random-p, random-pp), averaging the random
+scenarios over several role-assignment iterations, and reports precision,
+recall, and the full / partial / none-undecided classification counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.column import ColumnInference
+from repro.eval.metrics import ScenarioEvaluation, evaluate_scenario
+from repro.experiments.context import ExperimentContext, ExperimentScale
+from repro.usage.scenarios import ScenarioName
+
+#: Scenario order of the paper's Table 2.
+SCENARIO_ORDER: Sequence[ScenarioName] = (
+    ScenarioName.ALLTC,
+    ScenarioName.ALLTF,
+    ScenarioName.RANDOM,
+    ScenarioName.RANDOM_NOISE,
+    ScenarioName.RANDOM_P,
+    ScenarioName.RANDOM_PP,
+)
+
+#: Scenarios whose random role assignment is repeated and averaged.
+RANDOMISED = {
+    ScenarioName.RANDOM,
+    ScenarioName.RANDOM_NOISE,
+    ScenarioName.RANDOM_P,
+    ScenarioName.RANDOM_PP,
+}
+
+
+@dataclass
+class Table2Row:
+    """One (averaged) scenario row."""
+
+    scenario: str
+    tagging_recall: float
+    tagging_precision: float
+    forwarding_recall: float
+    forwarding_precision: float
+    counts: Dict[str, float] = field(default_factory=dict)
+    iterations: int = 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict in the paper's column order."""
+        return {
+            "scenario": self.scenario,
+            "rec_tagging": round(self.tagging_recall, 2),
+            "prec_tagging": round(self.tagging_precision, 2),
+            "rec_forwarding": round(self.forwarding_recall, 2),
+            "prec_forwarding": round(self.forwarding_precision, 2),
+            **{k: round(v, 1) for k, v in self.counts.items()},
+        }
+
+
+@dataclass
+class Table2Result:
+    """All scenario rows plus the raw per-iteration evaluations."""
+
+    rows: List[Table2Row]
+    evaluations: Dict[str, List[ScenarioEvaluation]] = field(default_factory=dict)
+
+    def row(self, scenario: str) -> Table2Row:
+        """Look up a scenario row by name."""
+        for row in self.rows:
+            if row.scenario == scenario:
+                return row
+        raise KeyError(scenario)
+
+    def format_text(self) -> str:
+        """Render the table."""
+        if not self.rows:
+            return ""
+        keys = list(self.rows[0].as_dict().keys())
+        header = "".join(f"{k:>16}" for k in keys)
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            values = row.as_dict()
+            lines.append("".join(f"{values[k]!s:>16}" for k in keys))
+        return "\n".join(lines)
+
+
+def _average(evaluations: Sequence[ScenarioEvaluation], iterations: int) -> Table2Row:
+    """Average several evaluations of the same scenario into one row."""
+    count = len(evaluations)
+    counts: Dict[str, float] = {}
+    for evaluation in evaluations:
+        for mapping in (
+            evaluation.full_class_counts,
+            evaluation.partial_tagging_counts,
+            evaluation.none_undecided_counts,
+        ):
+            for key, value in mapping.items():
+                counts[key] = counts.get(key, 0.0) + value / count
+    return Table2Row(
+        scenario=evaluations[0].scenario,
+        tagging_recall=sum(e.tagging.recall for e in evaluations) / count,
+        tagging_precision=sum(e.tagging.precision for e in evaluations) / count,
+        forwarding_recall=sum(e.forwarding.recall for e in evaluations) / count,
+        forwarding_precision=sum(e.forwarding.precision for e in evaluations) / count,
+        counts=counts,
+        iterations=iterations,
+    )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    *,
+    scenarios: Sequence[ScenarioName] = SCENARIO_ORDER,
+    iterations: Optional[int] = None,
+) -> Table2Result:
+    """Run every scenario (with repetitions for the random ones)."""
+    context = context or ExperimentContext(scale=ExperimentScale.DEFAULT)
+    iterations = iterations if iterations is not None else context.scale.scenario_iterations
+
+    rows: List[Table2Row] = []
+    evaluations: Dict[str, List[ScenarioEvaluation]] = {}
+    for scenario in scenarios:
+        repeat = iterations if scenario in RANDOMISED else 1
+        per_scenario: List[ScenarioEvaluation] = []
+        for iteration in range(repeat):
+            builder = context.scenario_builder(seed=context.seed + iteration)
+            dataset = builder.build(scenario, seed=context.seed + iteration)
+            result = ColumnInference(context.thresholds).run(dataset.tuples)
+            per_scenario.append(evaluate_scenario(dataset, result))
+        evaluations[scenario.value] = per_scenario
+        rows.append(_average(per_scenario, repeat))
+    return Table2Result(rows=rows, evaluations=evaluations)

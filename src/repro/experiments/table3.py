@@ -1,0 +1,99 @@
+"""Table 3: classification results on (synthetic) real collector data.
+
+Applies the inference to every collector project individually and to the
+aggregate (RIPE + RouteViews + Isolario), reporting the number of ASes per
+inferred tagging class, forwarding class, and full classification.  The PCH
+column uses the PCH-like project, which provides no RIB data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.classes import ForwardingClass, TaggingClass
+from repro.core.results import ClassificationResult
+from repro.datasets.synthetic import AGGREGATE_NAME
+from repro.experiments.context import ExperimentContext, ExperimentScale
+
+#: Row labels in the paper's order.
+ROW_ORDER: Sequence[str] = (
+    "tagger",
+    "silent",
+    "tagging undecided",
+    "tagging none",
+    "forward",
+    "cleaner",
+    "forwarding undecided",
+    "forwarding none",
+    "tagger-forward",
+    "tagger-cleaner",
+    "silent-forward",
+    "silent-cleaner",
+)
+
+
+@dataclass
+class Table3Result:
+    """Per-dataset classification counts."""
+
+    columns: Dict[str, Dict[str, int]]
+    classifications: Dict[str, ClassificationResult]
+
+    def count(self, dataset: str, row: str) -> int:
+        """One cell of the table."""
+        return self.columns[dataset][row]
+
+    def format_text(self) -> str:
+        """Render the table in the paper's layout."""
+        names = list(self.columns)
+        header = f"{'Input data':<24}" + "".join(f"{name:>14}" for name in names)
+        lines = [header, "-" * len(header)]
+        for row in ROW_ORDER:
+            values = "".join(f"{self.columns[name][row]:>14,}" for name in names)
+            lines.append(f"{row:<24}" + values)
+        return "\n".join(lines)
+
+
+def _column_from(result: ClassificationResult) -> Dict[str, int]:
+    """The Table 3 rows of one classification result."""
+    tagging = result.tagging_counts()
+    forwarding = result.forwarding_counts()
+    full = result.full_class_counts()
+    return {
+        "tagger": tagging[TaggingClass.TAGGER],
+        "silent": tagging[TaggingClass.SILENT],
+        "tagging undecided": tagging[TaggingClass.UNDECIDED],
+        "tagging none": tagging[TaggingClass.NONE],
+        "forward": forwarding[ForwardingClass.FORWARD],
+        "cleaner": forwarding[ForwardingClass.CLEANER],
+        "forwarding undecided": forwarding[ForwardingClass.UNDECIDED],
+        "forwarding none": forwarding[ForwardingClass.NONE],
+        "tagger-forward": full["tf"],
+        "tagger-cleaner": full["tc"],
+        "silent-forward": full["sf"],
+        "silent-cleaner": full["sc"],
+    }
+
+
+def run(context: Optional[ExperimentContext] = None) -> Table3Result:
+    """Classify every project and the aggregate."""
+    context = context or ExperimentContext(scale=ExperimentScale.DEFAULT)
+    internet = context.internet
+
+    columns: Dict[str, Dict[str, int]] = {}
+    classifications: Dict[str, ClassificationResult] = {}
+    for name in internet.project_names(include_pch=False):
+        result = context.classification_for_project(name)
+        classifications[name] = result
+        columns[name] = _column_from(result)
+
+    aggregate = context.aggregate_classification
+    classifications[AGGREGATE_NAME] = aggregate
+    columns[AGGREGATE_NAME] = _column_from(aggregate)
+
+    if "pch" in internet.projects:
+        pch = context.classification_for_project("pch")
+        classifications["pch"] = pch
+        columns["pch"] = _column_from(pch)
+    return Table3Result(columns=columns, classifications=classifications)

@@ -1,0 +1,64 @@
+"""Tables 5 and 6 (appendix): confusion matrices per scenario.
+
+For every scenario, contrast the assigned ground-truth roles (split into
+consistent, selective, hidden, and leaf groups) with the inferred classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.column import ColumnInference
+from repro.eval.metrics import ConfusionMatrix, evaluate_scenario
+from repro.experiments.context import ExperimentContext, ExperimentScale
+from repro.usage.scenarios import ScenarioName
+
+#: Scenario order of the appendix tables.
+SCENARIO_ORDER: Sequence[ScenarioName] = (
+    ScenarioName.ALLTF,
+    ScenarioName.ALLTC,
+    ScenarioName.RANDOM,
+    ScenarioName.RANDOM_NOISE,
+    ScenarioName.RANDOM_P,
+    ScenarioName.RANDOM_PP,
+)
+
+
+@dataclass
+class ConfusionMatricesResult:
+    """Per-scenario tagging (Table 5) and forwarding (Table 6) matrices."""
+
+    tagging: Dict[str, ConfusionMatrix]
+    forwarding: Dict[str, ConfusionMatrix]
+
+    def format_text(self) -> str:
+        """Render both tables, scenario by scenario."""
+        lines: List[str] = ["== Table 5: tagging confusion matrices =="]
+        for name, matrix in self.tagging.items():
+            lines.append(f"\n[{name}]")
+            lines.append(matrix.to_text())
+        lines.append("\n== Table 6: forwarding confusion matrices ==")
+        for name, matrix in self.forwarding.items():
+            lines.append(f"\n[{name}]")
+            lines.append(matrix.to_text())
+        return "\n".join(lines)
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    *,
+    scenarios: Sequence[ScenarioName] = SCENARIO_ORDER,
+) -> ConfusionMatricesResult:
+    """Build the confusion matrices for every scenario."""
+    context = context or ExperimentContext(scale=ExperimentScale.DEFAULT)
+    tagging: Dict[str, ConfusionMatrix] = {}
+    forwarding: Dict[str, ConfusionMatrix] = {}
+    for scenario in scenarios:
+        builder = context.scenario_builder()
+        dataset = builder.build(scenario, seed=context.seed)
+        result = ColumnInference(context.thresholds).run(dataset.tuples)
+        evaluation = evaluate_scenario(dataset, result)
+        tagging[scenario.value] = evaluation.tagging_matrix
+        forwarding[scenario.value] = evaluation.forwarding_matrix
+    return ConfusionMatricesResult(tagging=tagging, forwarding=forwarding)

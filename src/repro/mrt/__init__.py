@@ -1,0 +1,52 @@
+"""MRT (Multi-Threaded Routing Toolkit, RFC 6396) wire format.
+
+The paper downloads RIBs and updates "encoded in the Multi-Threaded Routing
+Toolkit (MRT) format" (Section 4.1).  This package implements a binary
+encoder and decoder for the two record families the analysis needs:
+
+* ``TABLE_DUMP_V2`` — RIB snapshots (``PEER_INDEX_TABLE`` +
+  ``RIB_IPV4_UNICAST`` / ``RIB_IPV6_UNICAST`` entries), and
+* ``BGP4MP`` / ``BGP4MP_ET`` — archived BGP UPDATE messages
+  (``BGP4MP_MESSAGE`` and ``BGP4MP_MESSAGE_AS4`` subtypes).
+
+Path attributes ORIGIN, AS_PATH (2- and 4-byte ASNs), NEXT_HOP, COMMUNITIES,
+and LARGE_COMMUNITIES are supported, which is exactly the attribute set the
+classification pipeline consumes.
+"""
+
+from repro.mrt.constants import (
+    MRTType,
+    TableDumpV2Subtype,
+    BGP4MPSubtype,
+    PathAttributeType,
+    BGPMessageType,
+)
+from repro.mrt.records import (
+    MRTRecord,
+    PeerIndexTable,
+    PeerEntry,
+    RIBEntryRecord,
+    RIBAfiEntry,
+    BGP4MPMessage,
+)
+from repro.mrt.encoder import MRTEncoder, encode_records
+from repro.mrt.decoder import MRTDecoder, MRTDecodeError, decode_records
+
+__all__ = [
+    "MRTType",
+    "TableDumpV2Subtype",
+    "BGP4MPSubtype",
+    "PathAttributeType",
+    "BGPMessageType",
+    "MRTRecord",
+    "PeerIndexTable",
+    "PeerEntry",
+    "RIBEntryRecord",
+    "RIBAfiEntry",
+    "BGP4MPMessage",
+    "MRTEncoder",
+    "MRTDecoder",
+    "MRTDecodeError",
+    "encode_records",
+    "decode_records",
+]

@@ -1,0 +1,81 @@
+"""MRT and BGP wire-format constants (RFC 6396, RFC 4271, RFC 8092)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class MRTType(enum.IntEnum):
+    """MRT record types (RFC 6396 Section 4)."""
+
+    OSPFV2 = 11
+    TABLE_DUMP = 12
+    TABLE_DUMP_V2 = 13
+    BGP4MP = 16
+    BGP4MP_ET = 17
+    ISIS = 32
+    OSPFV3 = 48
+
+
+class TableDumpV2Subtype(enum.IntEnum):
+    """TABLE_DUMP_V2 subtypes (RFC 6396 Section 4.3)."""
+
+    PEER_INDEX_TABLE = 1
+    RIB_IPV4_UNICAST = 2
+    RIB_IPV4_MULTICAST = 3
+    RIB_IPV6_UNICAST = 4
+    RIB_IPV6_MULTICAST = 5
+    RIB_GENERIC = 6
+
+
+class BGP4MPSubtype(enum.IntEnum):
+    """BGP4MP subtypes (RFC 6396 Section 4.4)."""
+
+    BGP4MP_STATE_CHANGE = 0
+    BGP4MP_MESSAGE = 1
+    BGP4MP_MESSAGE_AS4 = 4
+    BGP4MP_STATE_CHANGE_AS4 = 5
+    BGP4MP_MESSAGE_LOCAL = 6
+    BGP4MP_MESSAGE_AS4_LOCAL = 7
+
+
+class BGPMessageType(enum.IntEnum):
+    """BGP message types (RFC 4271 Section 4.1)."""
+
+    OPEN = 1
+    UPDATE = 2
+    NOTIFICATION = 3
+    KEEPALIVE = 4
+
+
+class PathAttributeType(enum.IntEnum):
+    """BGP path attribute type codes."""
+
+    ORIGIN = 1
+    AS_PATH = 2
+    NEXT_HOP = 3
+    MULTI_EXIT_DISC = 4
+    LOCAL_PREF = 5
+    ATOMIC_AGGREGATE = 6
+    AGGREGATOR = 7
+    COMMUNITIES = 8
+    MP_REACH_NLRI = 14
+    MP_UNREACH_NLRI = 15
+    LARGE_COMMUNITIES = 32
+
+
+#: Path attribute flag bits.
+ATTR_FLAG_OPTIONAL = 0x80
+ATTR_FLAG_TRANSITIVE = 0x40
+ATTR_FLAG_PARTIAL = 0x20
+ATTR_FLAG_EXTENDED_LENGTH = 0x10
+
+#: Address family identifiers.
+AFI_IPV4 = 1
+AFI_IPV6 = 2
+
+#: The fixed 16-byte marker preceding every BGP message (RFC 4271).
+BGP_MARKER = b"\xff" * 16
+
+#: Size of the common MRT header in bytes.
+MRT_COMMON_HEADER_SIZE = 12

@@ -1,0 +1,213 @@
+"""The sanitation pipeline itself.
+
+:class:`Sanitizer` turns raw decoded collector data (RIB entries and update
+messages) into the deduplicated list of ``(path, comm)`` tuples that the
+inference algorithm consumes, applying the filtering and transformation steps
+of Section 4.1 and recording statistics about what was dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.announcement import PathCommTuple, RouteObservation
+from repro.bgp.asn import ASN, ASNRegistry, is_public_asn
+from repro.bgp.community import CommunitySet
+from repro.bgp.messages import BGPUpdate, RIBEntry
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import Prefix, PrefixAllocation
+
+
+@dataclass
+class SanitationConfig:
+    """Switches for the individual sanitation steps.
+
+    All steps default to the paper's behaviour; tests and ablations can turn
+    individual steps off to measure their effect.
+    """
+
+    drop_unallocated_prefixes: bool = True
+    drop_unallocated_asns: bool = True
+    drop_as_sets: bool = True
+    drop_loops: bool = True
+    prepend_peer_asn: bool = True
+    collapse_prepending: bool = True
+    max_path_length: Optional[int] = None
+
+
+@dataclass
+class SanitationStats:
+    """Counters describing what the sanitizer did."""
+
+    observations_in: int = 0
+    observations_out: int = 0
+    dropped_unallocated_prefix: int = 0
+    dropped_unallocated_asn: int = 0
+    dropped_as_set: int = 0
+    dropped_loop: int = 0
+    dropped_too_long: int = 0
+    dropped_empty_path: int = 0
+    peer_prepended: int = 0
+    prepending_collapsed: int = 0
+
+    @property
+    def dropped_total(self) -> int:
+        """Number of observations removed by any filter."""
+        return self.observations_in - self.observations_out
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for reporting."""
+        return {
+            "observations_in": self.observations_in,
+            "observations_out": self.observations_out,
+            "dropped_unallocated_prefix": self.dropped_unallocated_prefix,
+            "dropped_unallocated_asn": self.dropped_unallocated_asn,
+            "dropped_as_set": self.dropped_as_set,
+            "dropped_loop": self.dropped_loop,
+            "dropped_too_long": self.dropped_too_long,
+            "dropped_empty_path": self.dropped_empty_path,
+            "peer_prepended": self.peer_prepended,
+            "prepending_collapsed": self.prepending_collapsed,
+        }
+
+
+class Sanitizer:
+    """Applies the Section 4.1 sanitation steps to route observations."""
+
+    def __init__(
+        self,
+        *,
+        asn_registry: Optional[ASNRegistry] = None,
+        prefix_allocation: Optional[PrefixAllocation] = None,
+        config: Optional[SanitationConfig] = None,
+    ) -> None:
+        self.asn_registry = asn_registry
+        self.prefix_allocation = prefix_allocation
+        self.config = config or SanitationConfig()
+        self.stats = SanitationStats()
+
+    # -- single-observation path --------------------------------------------
+    def sanitize_path(self, path: ASPath, peer_asn: Optional[ASN] = None) -> Optional[ASPath]:
+        """Sanitize one AS path; return ``None`` if it must be dropped."""
+        config = self.config
+        if config.drop_as_sets and path.has_as_set:
+            self.stats.dropped_as_set += 1
+            return None
+        if len(path) == 0:
+            self.stats.dropped_empty_path += 1
+            return None
+
+        if config.prepend_peer_asn and peer_asn is not None and path.peer != peer_asn:
+            path = path.prepend_peer(peer_asn)
+            self.stats.peer_prepended += 1
+
+        if config.collapse_prepending and path.has_prepending:
+            path = path.collapse_prepending()
+            self.stats.prepending_collapsed += 1
+
+        if config.drop_loops and path.has_loop:
+            self.stats.dropped_loop += 1
+            return None
+
+        if config.drop_unallocated_asns:
+            for asn in path:
+                if not is_public_asn(asn) or (
+                    self.asn_registry is not None and not self.asn_registry.is_allocated(asn)
+                ):
+                    self.stats.dropped_unallocated_asn += 1
+                    return None
+
+        if config.max_path_length is not None and len(path) > config.max_path_length:
+            self.stats.dropped_too_long += 1
+            return None
+        return path
+
+    def sanitize_observation(self, observation: RouteObservation) -> Optional[RouteObservation]:
+        """Sanitize one observation; return ``None`` if it must be dropped."""
+        self.stats.observations_in += 1
+        if (
+            self.config.drop_unallocated_prefixes
+            and self.prefix_allocation is not None
+            and not self.prefix_allocation.is_allocated(observation.prefix)
+        ):
+            self.stats.dropped_unallocated_prefix += 1
+            return None
+
+        path = self.sanitize_path(observation.path, observation.peer_asn)
+        if path is None:
+            return None
+
+        self.stats.observations_out += 1
+        if path is observation.path:
+            return observation
+        return RouteObservation(
+            collector=observation.collector,
+            peer_asn=observation.peer_asn,
+            prefix=observation.prefix,
+            path=path,
+            communities=observation.communities,
+            timestamp=observation.timestamp,
+            from_rib=observation.from_rib,
+        )
+
+    # -- bulk paths -----------------------------------------------------------
+    def sanitize_observations(
+        self, observations: Iterable[RouteObservation]
+    ) -> Iterator[RouteObservation]:
+        """Yield the sanitized subset of *observations*."""
+        for observation in observations:
+            sanitized = self.sanitize_observation(observation)
+            if sanitized is not None:
+                yield sanitized
+
+    def to_unique_tuples(self, observations: Iterable[RouteObservation]) -> List[PathCommTuple]:
+        """Sanitize and deduplicate into unique ``(path, comm)`` tuples."""
+        seen: Set[Tuple[ASPath, CommunitySet]] = set()
+        result: List[PathCommTuple] = []
+        for observation in self.sanitize_observations(observations):
+            key = (observation.path, observation.communities)
+            if key in seen:
+                continue
+            seen.add(key)
+            result.append(PathCommTuple(observation.path, observation.communities))
+        return result
+
+
+def observations_from_rib_entries(
+    collector: str, entries: Iterable[RIBEntry]
+) -> Iterator[RouteObservation]:
+    """Convert decoded RIB entries into route observations."""
+    for entry in entries:
+        yield RouteObservation(
+            collector=collector,
+            peer_asn=entry.peer_asn,
+            prefix=entry.prefix,
+            path=entry.as_path,
+            communities=entry.communities,
+            timestamp=entry.timestamp,
+            from_rib=True,
+        )
+
+
+def observations_from_updates(
+    collector: str, updates: Iterable[BGPUpdate]
+) -> Iterator[RouteObservation]:
+    """Convert decoded update messages into route observations.
+
+    Withdrawal-only updates carry no path and yield nothing, matching how the
+    paper's pipeline uses announcements only.
+    """
+    for update in updates:
+        if not update.is_announcement or update.attributes is None:
+            continue
+        for prefix in update.announced:
+            yield RouteObservation(
+                collector=collector,
+                peer_asn=update.peer_asn,
+                prefix=prefix,
+                path=update.attributes.as_path,
+                communities=update.attributes.communities,
+                timestamp=update.timestamp,
+                from_rib=False,
+            )

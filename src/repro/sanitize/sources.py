@@ -1,0 +1,133 @@
+"""Community source groups (paper Section 3.2).
+
+Because any AS along the path may add, modify, or delete communities, the
+upper field of a community does not necessarily identify the tagging AS.  The
+paper therefore groups each community, *relative to the AS path it was
+observed with*, into one of four source groups:
+
+* **peer** — the upper field equals the collector peer ASN (``A_1``),
+* **foreign** — the upper field equals some other ASN on the path,
+* **stray** — the upper field is a public ASN that does not appear on the
+  path, and
+* **private** — the upper field is a non-public (private / reserved) ASN.
+
+The inference algorithm ignores stray and private communities; peer and
+foreign communities are assumed to have been set by the AS named in the upper
+field.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.bgp.asn import ASN, is_private_asn, is_public_asn
+from repro.bgp.community import AnyCommunity, CommunitySet
+from repro.bgp.path import ASPath
+
+
+class CommunitySource(enum.Enum):
+    """The four community source groups of Section 3.2."""
+
+    PEER = "peer"
+    FOREIGN = "foreign"
+    STRAY = "stray"
+    PRIVATE = "private"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_community(
+    community: AnyCommunity,
+    path: ASPath,
+    *,
+    registry=None,
+) -> CommunitySource:
+    """Classify one community relative to the AS path it appeared on.
+
+    An optional :class:`repro.bgp.asn.ASNRegistry` tightens the ``private``
+    group: public-but-unallocated upper fields are then also treated as
+    private ("not assigned or allocated", Section 3.2).
+    """
+    upper = community.upper
+    if not is_public_asn(upper):
+        return CommunitySource.PRIVATE
+    if registry is not None and not registry.is_allocated(upper):
+        return CommunitySource.PRIVATE
+    if upper == path.peer:
+        return CommunitySource.PEER
+    if upper in path:
+        return CommunitySource.FOREIGN
+    return CommunitySource.STRAY
+
+
+def classify_community_set(
+    communities: CommunitySet,
+    path: ASPath,
+    *,
+    registry=None,
+) -> Dict[CommunitySource, int]:
+    """Count the communities of a set per source group.
+
+    Returns a dict with all four groups present (zero when absent), which is
+    the shape Figure 5 consumes.
+    """
+    counts: Dict[CommunitySource, int] = {source: 0 for source in CommunitySource}
+    for community in communities:
+        counts[classify_community(community, path, registry=registry)] += 1
+    return counts
+
+
+def usable_for_inference(
+    community: AnyCommunity,
+    path: ASPath,
+    *,
+    registry=None,
+) -> bool:
+    """``True`` if the community may feed the inference (peer or foreign)."""
+    source = classify_community(community, path, registry=registry)
+    return source in (CommunitySource.PEER, CommunitySource.FOREIGN)
+
+
+def filter_usable(
+    communities: CommunitySet,
+    path: ASPath,
+    *,
+    registry=None,
+) -> CommunitySet:
+    """Return only the peer/foreign communities of *communities*."""
+    return CommunitySet(
+        c for c in communities if usable_for_inference(c, path, registry=registry)
+    )
+
+
+class CommunitySourceTally:
+    """Accumulates per-source community counts across many observations.
+
+    Used for the Table 1 "w/o private" / "w/o stray" rows and for the per-peer
+    breakdown behind Figure 5.
+    """
+
+    def __init__(self) -> None:
+        self.total: Counter = Counter()
+        self.unique_upper: Dict[CommunitySource, set] = {s: set() for s in CommunitySource}
+
+    def add(self, communities: CommunitySet, path: ASPath, *, registry=None) -> None:
+        """Account for one observation's community set."""
+        for community in communities:
+            source = classify_community(community, path, registry=registry)
+            self.total[source] += 1
+            self.unique_upper[source].add(community.upper)
+
+    def count(self, source: CommunitySource) -> int:
+        """Total communities observed in *source*."""
+        return self.total[source]
+
+    def unique_upper_fields(self, *sources: CommunitySource) -> int:
+        """Number of distinct upper fields across the given source groups."""
+        fields: set = set()
+        for source in sources or tuple(CommunitySource):
+            fields |= self.unique_upper[source]
+        return len(fields)

@@ -1,0 +1,39 @@
+"""AS-level topology substrate.
+
+The paper's algorithm operates on AS paths observed at route collectors and
+its scenarios additionally need business relationships (CAIDA serial-1 style)
+and customer cones.  Because the real May 2021 routing table and CAIDA data
+are not available offline, this package builds an Internet-like substitute:
+
+* :mod:`repro.topology.relationships` -- provider-customer / peer-peer edge
+  sets with CAIDA-format (de)serialisation,
+* :mod:`repro.topology.generator` -- a hierarchical Internet-like topology
+  generator (tier-1 clique, transit tiers, stub ASes, 32-bit ASNs, prefixes),
+* :mod:`repro.topology.routing` -- valley-free (Gao-Rexford) path computation
+  from every origin towards collector peers,
+* :mod:`repro.topology.cone` -- customer cone computation (Figure 6).
+"""
+
+from repro.topology.relationships import ASRelationships, Relationship
+from repro.topology.generator import (
+    ASInfo,
+    ASTier,
+    InternetTopologyGenerator,
+    Topology,
+    TopologyConfig,
+)
+from repro.topology.routing import RoutingEngine, ValleyFreePath
+from repro.topology.cone import CustomerCones
+
+__all__ = [
+    "ASRelationships",
+    "Relationship",
+    "ASInfo",
+    "ASTier",
+    "InternetTopologyGenerator",
+    "Topology",
+    "TopologyConfig",
+    "RoutingEngine",
+    "ValleyFreePath",
+    "CustomerCones",
+]

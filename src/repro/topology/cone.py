@@ -1,0 +1,88 @@
+"""Customer cone computation (paper Section 7.3, Figure 6).
+
+The customer cone of an AS is "itself and all ASes that can be reached by
+only traversing customer links"; its size serves as a proxy for AS size.
+Cones are computed over the provider->customer DAG with memoised bitsets
+(arbitrary-precision integers), which keeps the computation linear in the
+number of edges for Internet-scale graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.bgp.asn import ASN
+from repro.topology.relationships import ASRelationships
+
+
+class CustomerCones:
+    """Computes and caches customer cones for an AS relationship graph."""
+
+    def __init__(self, relationships: ASRelationships, ases: Optional[Iterable[ASN]] = None) -> None:
+        self.relationships = relationships
+        self._ases: List[ASN] = sorted(ases) if ases is not None else sorted(relationships.ases())
+        self._index: Dict[ASN, int] = {asn: i for i, asn in enumerate(self._ases)}
+        self._cones: Dict[ASN, int] = {}
+
+    # -- core computation -------------------------------------------------------
+    def _cone_bits(self, asn: ASN) -> int:
+        """The cone of *asn* as a bitset over the AS index (iterative DFS)."""
+        cached = self._cones.get(asn)
+        if cached is not None:
+            return cached
+
+        # Iterative post-order DFS so deep provider chains cannot overflow
+        # the Python recursion limit.
+        stack: List[tuple] = [(asn, False)]
+        visiting: Set[ASN] = set()
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                visiting.discard(node)
+                bits = 1 << self._index[node] if node in self._index else 0
+                for customer in self.relationships.customers_of(node):
+                    if customer in self._cones:
+                        bits |= self._cones[customer]
+                self._cones[node] = bits
+                continue
+            if node in self._cones:
+                continue
+            visiting.add(node)
+            stack.append((node, True))
+            for customer in self.relationships.customers_of(node):
+                if customer not in self._cones and customer not in visiting:
+                    stack.append((customer, False))
+        return self._cones[asn]
+
+    # -- public API ----------------------------------------------------------------
+    def cone(self, asn: ASN) -> Set[ASN]:
+        """The customer cone of *asn* as a set of ASNs (includes *asn*)."""
+        bits = self._cone_bits(asn)
+        members: Set[ASN] = set()
+        index = 0
+        while bits:
+            if bits & 1:
+                members.add(self._ases[index])
+            bits >>= 1
+            index += 1
+        return members
+
+    def cone_size(self, asn: ASN) -> int:
+        """The number of ASes in the customer cone of *asn* (leafs -> 1)."""
+        return self._cone_bits(asn).bit_count()
+
+    def cone_sizes(self, asns: Optional[Iterable[ASN]] = None) -> Dict[ASN, int]:
+        """Cone sizes for every AS in *asns* (default: the whole graph)."""
+        targets = list(asns) if asns is not None else self._ases
+        return {asn: self.cone_size(asn) for asn in targets}
+
+    def in_cone(self, provider: ASN, candidate: ASN) -> bool:
+        """``True`` if *candidate* is inside the cone of *provider*."""
+        if candidate not in self._index:
+            return False
+        return bool(self._cone_bits(provider) >> self._index[candidate] & 1)
+
+    def largest(self, count: int = 10) -> List[ASN]:
+        """The *count* ASes with the largest customer cones."""
+        sizes = self.cone_sizes()
+        return sorted(sizes, key=lambda a: (-sizes[a], a))[:count]

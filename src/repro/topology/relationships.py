@@ -1,0 +1,179 @@
+"""AS business relationships.
+
+Models the two relationship types the paper relies on (Section 3.1):
+provider-customer (``p2c``) and peer-to-peer (``p2p``).  The selective
+tagging scenarios (Section 6.2) need to know, for a link ``A_x -- A_{x-1}``,
+whether the upstream neighbour is a provider, peer, or customer of ``A_x``;
+Figure 6 needs customer cones which are derived from the same edge sets.
+
+Serialisation follows the CAIDA AS-relationships text format
+(``provider|customer|-1`` and ``peer|peer|0`` lines) so datasets can be
+exported and re-imported like the real thing.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, TextIO, Tuple
+
+from repro.bgp.asn import ASN
+
+
+class Relationship(enum.Enum):
+    """The relationship of a neighbour *relative to a given AS*."""
+
+    PROVIDER = "provider"   # the neighbour provides transit to us
+    CUSTOMER = "customer"   # the neighbour is our customer
+    PEER = "peer"           # settlement-free peer
+    NONE = "none"           # not adjacent
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ASRelationships:
+    """A mutable set of p2c and p2p edges over the AS graph."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[ASN, Set[ASN]] = defaultdict(set)
+        self._customers: Dict[ASN, Set[ASN]] = defaultdict(set)
+        self._peers: Dict[ASN, Set[ASN]] = defaultdict(set)
+
+    # -- mutation -------------------------------------------------------------
+    def add_p2c(self, provider: ASN, customer: ASN) -> None:
+        """Add a provider-customer edge."""
+        if provider == customer:
+            raise ValueError("an AS cannot be its own provider")
+        self._customers[provider].add(customer)
+        self._providers[customer].add(provider)
+
+    def add_p2p(self, a: ASN, b: ASN) -> None:
+        """Add a peer-to-peer edge."""
+        if a == b:
+            raise ValueError("an AS cannot peer with itself")
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    # -- queries ---------------------------------------------------------------
+    def providers_of(self, asn: ASN) -> FrozenSet[ASN]:
+        """The providers of *asn*."""
+        return frozenset(self._providers.get(asn, ()))
+
+    def customers_of(self, asn: ASN) -> FrozenSet[ASN]:
+        """The customers of *asn*."""
+        return frozenset(self._customers.get(asn, ()))
+
+    def peers_of(self, asn: ASN) -> FrozenSet[ASN]:
+        """The settlement-free peers of *asn*."""
+        return frozenset(self._peers.get(asn, ()))
+
+    def neighbors_of(self, asn: ASN) -> FrozenSet[ASN]:
+        """All BGP neighbours of *asn*."""
+        return self.providers_of(asn) | self.customers_of(asn) | self.peers_of(asn)
+
+    def relationship(self, asn: ASN, neighbor: ASN) -> Relationship:
+        """The relationship of *neighbor* from the perspective of *asn*."""
+        if neighbor in self._providers.get(asn, ()):
+            return Relationship.PROVIDER
+        if neighbor in self._customers.get(asn, ()):
+            return Relationship.CUSTOMER
+        if neighbor in self._peers.get(asn, ()):
+            return Relationship.PEER
+        return Relationship.NONE
+
+    def degree(self, asn: ASN) -> int:
+        """Number of neighbours of *asn*."""
+        return len(self.neighbors_of(asn))
+
+    def ases(self) -> Set[ASN]:
+        """Every AS that appears in at least one edge."""
+        result: Set[ASN] = set()
+        result.update(self._providers.keys())
+        result.update(self._customers.keys())
+        result.update(self._peers.keys())
+        return result
+
+    def is_leaf(self, asn: ASN) -> bool:
+        """``True`` if *asn* has no customers (an AS-level periphery AS)."""
+        return not self._customers.get(asn)
+
+    def p2c_edges(self) -> Iterator[Tuple[ASN, ASN]]:
+        """Iterate ``(provider, customer)`` edges."""
+        for provider, customers in self._customers.items():
+            for customer in customers:
+                yield provider, customer
+
+    def p2p_edges(self) -> Iterator[Tuple[ASN, ASN]]:
+        """Iterate ``(a, b)`` peer edges exactly once (a < b)."""
+        for a, peers in self._peers.items():
+            for b in peers:
+                if a < b:
+                    yield a, b
+
+    def edge_count(self) -> int:
+        """Total number of distinct edges."""
+        p2c = sum(len(v) for v in self._customers.values())
+        p2p = sum(len(v) for v in self._peers.values()) // 2
+        return p2c + p2p
+
+    # -- CAIDA-format serialisation ---------------------------------------------
+    def to_caida_lines(self) -> List[str]:
+        """Serialise to CAIDA AS-relationships text lines."""
+        lines = [f"{p}|{c}|-1" for p, c in sorted(self.p2c_edges())]
+        lines += [f"{a}|{b}|0" for a, b in sorted(self.p2p_edges())]
+        return lines
+
+    def dump(self, stream: TextIO) -> None:
+        """Write the CAIDA-format serialisation to *stream*."""
+        for line in self.to_caida_lines():
+            stream.write(line + "\n")
+
+    @classmethod
+    def from_caida_lines(cls, lines: Iterable[str]) -> "ASRelationships":
+        """Parse CAIDA AS-relationships text lines (comments allowed)."""
+        relationships = cls()
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) < 3:
+                raise ValueError(f"malformed relationship line: {raw!r}")
+            a, b, kind = int(parts[0]), int(parts[1]), int(parts[2])
+            if kind == -1:
+                relationships.add_p2c(a, b)
+            elif kind == 0:
+                relationships.add_p2p(a, b)
+            else:
+                raise ValueError(f"unknown relationship type {kind} in line {raw!r}")
+        return relationships
+
+    def validate_acyclic(self) -> bool:
+        """Check the p2c hierarchy is free of provider loops.
+
+        The topology generator guarantees this by construction; imported
+        datasets may violate it, in which case customer-cone computation
+        falls back to a slower cycle-tolerant mode.
+        """
+        state: Dict[ASN, int] = {}
+
+        def visit(node: ASN) -> bool:
+            state[node] = 1
+            for customer in self._customers.get(node, ()):
+                mark = state.get(customer, 0)
+                if mark == 1:
+                    return False
+                if mark == 0 and not visit(customer):
+                    return False
+            state[node] = 2
+            return True
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10000 + len(self.ases())))
+        try:
+            return all(visit(asn) for asn in self.ases() if state.get(asn, 0) == 0)
+        finally:
+            sys.setrecursionlimit(old_limit)

@@ -1,0 +1,53 @@
+"""Community usage model (paper Sections 3.3 and 6).
+
+This package implements the paper's *mental model* of per-AS community
+usage:
+
+* :mod:`repro.usage.roles` -- the tagging (tagger/silent) and forwarding
+  (forward/cleaner) roles, selective-tagging policies, and role assignments,
+* :mod:`repro.usage.propagation` -- the formal ``tagging()`` /
+  ``forwarding()`` / ``output()`` functions that compute the community set a
+  collector peer exports for a given AS path,
+* :mod:`repro.usage.noise` -- the two noise sources of Section 6.1 (action
+  communities named after the upstream neighbour, and originator-named
+  communities),
+* :mod:`repro.usage.visibility` -- ground-truth bookkeeping of which roles
+  are hidden behind cleaners and which ASes are leaves,
+* :mod:`repro.usage.scenarios` -- the ground-truth scenario builders
+  (alltf, alltc, random, random+noise, random-p, random-pp) plus a
+  "realistic" role model for the Section 7 style analysis.
+"""
+
+from repro.usage.roles import (
+    ForwardingRole,
+    RoleAssignment,
+    SelectivePolicy,
+    TaggingRole,
+    UsageRole,
+)
+from repro.usage.propagation import CommunityPropagator, TaggerCommunityPlan
+from repro.usage.noise import NoiseConfig, NoiseInjector
+from repro.usage.visibility import VisibilityAnalysis
+from repro.usage.scenarios import (
+    GroundTruthDataset,
+    ScenarioBuilder,
+    ScenarioName,
+    build_scenario,
+)
+
+__all__ = [
+    "TaggingRole",
+    "ForwardingRole",
+    "SelectivePolicy",
+    "UsageRole",
+    "RoleAssignment",
+    "CommunityPropagator",
+    "TaggerCommunityPlan",
+    "NoiseConfig",
+    "NoiseInjector",
+    "VisibilityAnalysis",
+    "GroundTruthDataset",
+    "ScenarioBuilder",
+    "ScenarioName",
+    "build_scenario",
+]

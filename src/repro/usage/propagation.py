@@ -1,0 +1,148 @@
+"""The formal community propagation model (paper Section 3.3.2).
+
+For an AS ``A`` on a path the community set it exports is::
+
+    output(A) = tagging(A)  ∪  forwarding(A, input(A))
+    input(A_x) = output(A_{x+1})        (the origin A_n has empty input)
+
+* ``tagging(A)`` returns a set of communities ``A:*`` when ``A`` is a tagger
+  (subject to its selective policy and the neighbour the route is exported
+  to), and the empty set when it is silent.
+* ``forwarding(A, input)`` returns ``input`` unchanged when ``A`` is a
+  forward AS and the empty set when it is a cleaner.
+
+:class:`CommunityPropagator` evaluates this recursion along an AS path and
+returns ``output(A_1)`` -- the community set a route collector records for
+that path.  This is how the ground-truth scenario datasets of Section 6 are
+generated on top of real (here: generated) AS paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.asn import ASN, MAX_ASN_16BIT
+from repro.bgp.community import AnyCommunity, CommunitySet, make_community
+from repro.bgp.path import ASPath
+from repro.topology.relationships import ASRelationships, Relationship
+from repro.usage.roles import RoleAssignment, SelectivePolicy, UsageRole
+
+
+@dataclass
+class TaggerCommunityPlan:
+    """Which concrete community values each tagger attaches.
+
+    Real taggers use a handful of informational values (ingress location,
+    route type, ...).  The plan deterministically derives 1..``max_values``
+    lower-field values per tagger so Figure 5 style analyses see realistic
+    value diversity while the upper field always names the tagger, which is
+    the paper's core assumption.
+    """
+
+    max_values: int = 3
+    seed: int = 0
+    _cache: Dict[ASN, Tuple[AnyCommunity, ...]] = field(default_factory=dict, repr=False)
+
+    def communities_for(self, asn: ASN) -> Tuple[AnyCommunity, ...]:
+        """The informational communities AS *asn* attaches when tagging."""
+        cached = self._cache.get(asn)
+        if cached is not None:
+            return cached
+        rng = random.Random(f"{asn}:{self.seed}")
+        count = rng.randint(1, max(1, self.max_values))
+        values = tuple(
+            make_community(asn, lower=rng.randint(1, 999)) for _ in range(count)
+        )
+        # Deduplicate while preserving determinism (same lower value may repeat).
+        unique = tuple(dict.fromkeys(values))
+        self._cache[asn] = unique
+        return unique
+
+
+class CommunityPropagator:
+    """Evaluates ``output(A_1)`` for AS paths under a role assignment."""
+
+    def __init__(
+        self,
+        roles: RoleAssignment,
+        *,
+        relationships: Optional[ASRelationships] = None,
+        plan: Optional[TaggerCommunityPlan] = None,
+        default_role: Optional[UsageRole] = None,
+    ) -> None:
+        self.roles = roles
+        self.relationships = relationships
+        self.plan = plan or TaggerCommunityPlan()
+        self.default_role = default_role
+
+    # -- the formal model ------------------------------------------------------------
+    def _role_of(self, asn: ASN) -> UsageRole:
+        role = self.roles.get(asn, self.default_role)
+        if role is None:
+            raise KeyError(f"no usage role assigned to AS {asn}")
+        return role
+
+    def _upstream_relationship(
+        self, asn: ASN, upstream: Optional[ASN]
+    ) -> Optional[Relationship]:
+        """The relationship of the next-hop receiver, from *asn*'s view.
+
+        ``None`` when the receiver is the route collector itself (i.e. *asn*
+        is the collector peer), or when no relationship data is available, in
+        which case selective policies degrade gracefully to tagging.
+        """
+        if upstream is None or self.relationships is None:
+            return None
+        return self.relationships.relationship(asn, upstream)
+
+    def tagging(self, asn: ASN, upstream: Optional[ASN]) -> CommunitySet:
+        """``tagging(A)``: the communities *asn* adds towards *upstream*."""
+        role = self._role_of(asn)
+        if not role.is_tagger:
+            return CommunitySet.empty()
+        relationship = self._upstream_relationship(asn, upstream)
+        if not role.selective.allows(relationship):
+            return CommunitySet.empty()
+        return CommunitySet(self.plan.communities_for(asn))
+
+    def forwarding(self, asn: ASN, input_set: CommunitySet) -> CommunitySet:
+        """``forwarding(A, input)``: *input* for forward ASes, else empty."""
+        role = self._role_of(asn)
+        return input_set if role.is_forward else CommunitySet.empty()
+
+    def output(self, path: ASPath) -> CommunitySet:
+        """``output(A_1)`` for the whole path (collector peer first).
+
+        Walks the path from the origin ``A_n`` towards the collector peer
+        ``A_1``; each hop combines its own tagging with the forwarded input,
+        exactly as the recursive definition prescribes.
+        """
+        current = CommunitySet.empty()
+        asns = path.asns
+        for index in range(len(asns) - 1, -1, -1):
+            asn = asns[index]
+            upstream = asns[index - 1] if index > 0 else None
+            current = self.tagging(asn, upstream) | self.forwarding(asn, current)
+        return current
+
+    def output_with_extra(self, path: ASPath, extra: Dict[int, CommunitySet]) -> CommunitySet:
+        """``output(A_1)`` with extra communities injected at given hops.
+
+        *extra* maps a 1-based path index to communities added by that AS in
+        addition to its normal tagging — the mechanism the noise injector
+        (Section 6.1) uses for action-style communities.  Injected
+        communities are subject to the forwarding behaviour of all upstream
+        ASes like any other community.
+        """
+        current = CommunitySet.empty()
+        asns = path.asns
+        for index in range(len(asns) - 1, -1, -1):
+            asn = asns[index]
+            upstream = asns[index - 1] if index > 0 else None
+            current = self.tagging(asn, upstream) | self.forwarding(asn, current)
+            injected = extra.get(index + 1)
+            if injected:
+                current = current | injected
+        return current

@@ -1,0 +1,244 @@
+"""Community usage roles and role assignments.
+
+The paper's mental model (Section 3.3) gives every AS two independent
+properties:
+
+* **tagging behaviour** -- ``tagger`` (adds its own informational communities
+  on external sessions) or ``silent`` (does not),
+* **forwarding behaviour** -- ``forward`` (propagates communities set by
+  other taggers) or ``cleaner`` (strips them).
+
+Selective behaviour (Section 3.3.3 / 6.2) restricts *where* a tagger adds its
+communities: ``random-p`` taggers skip provider links, ``random-pp`` taggers
+tag only towards customers and collectors.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.asn import ASN
+from repro.topology.relationships import Relationship
+
+
+class TaggingRole(enum.Enum):
+    """Ground-truth tagging behaviour."""
+
+    TAGGER = "tagger"
+    SILENT = "silent"
+
+    @property
+    def code(self) -> str:
+        """Single-character code used in the paper's tables (``t`` / ``s``)."""
+        return "t" if self is TaggingRole.TAGGER else "s"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ForwardingRole(enum.Enum):
+    """Ground-truth forwarding behaviour."""
+
+    FORWARD = "forward"
+    CLEANER = "cleaner"
+
+    @property
+    def code(self) -> str:
+        """Single-character code used in the paper's tables (``f`` / ``c``)."""
+        return "f" if self is ForwardingRole.FORWARD else "c"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SelectivePolicy(enum.Enum):
+    """Where a selective tagger adds its communities.
+
+    ``EVERYWHERE`` is consistent behaviour.  ``NOT_TO_PROVIDERS`` is the
+    random-p scenario (tag towards peers, customers, and collectors), and
+    ``ONLY_TO_CUSTOMERS`` the random-pp scenario (tag towards customers and
+    collectors only).  ``ONLY_TO_COLLECTORS`` models the worst case discussed
+    in Section 5.4 where an AS tags exclusively towards route collectors.
+    """
+
+    EVERYWHERE = "everywhere"
+    NOT_TO_PROVIDERS = "not_to_providers"
+    ONLY_TO_CUSTOMERS = "only_to_customers"
+    ONLY_TO_COLLECTORS = "only_to_collectors"
+
+    def allows(self, upstream_relationship: Optional[Relationship]) -> bool:
+        """Does the policy tag a route exported to this kind of neighbour?
+
+        *upstream_relationship* is the relationship of the AS that receives
+        the announcement, from the tagger's perspective; ``None`` means the
+        receiver is a route collector.
+        """
+        if upstream_relationship is None:
+            return True  # every policy tags towards collectors
+        if self is SelectivePolicy.EVERYWHERE:
+            return True
+        if self is SelectivePolicy.NOT_TO_PROVIDERS:
+            return upstream_relationship is not Relationship.PROVIDER
+        if self is SelectivePolicy.ONLY_TO_CUSTOMERS:
+            return upstream_relationship is Relationship.CUSTOMER
+        return False  # ONLY_TO_COLLECTORS
+
+    @property
+    def is_selective(self) -> bool:
+        """``True`` for any policy other than consistent tagging."""
+        return self is not SelectivePolicy.EVERYWHERE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class UsageRole:
+    """The complete ground-truth community usage behaviour of one AS."""
+
+    tagging: TaggingRole
+    forwarding: ForwardingRole
+    selective: SelectivePolicy = SelectivePolicy.EVERYWHERE
+
+    @property
+    def code(self) -> str:
+        """Two-character code, e.g. ``tf`` (tagger-forward)."""
+        return self.tagging.code + self.forwarding.code
+
+    @property
+    def is_tagger(self) -> bool:
+        return self.tagging is TaggingRole.TAGGER
+
+    @property
+    def is_silent(self) -> bool:
+        return self.tagging is TaggingRole.SILENT
+
+    @property
+    def is_forward(self) -> bool:
+        return self.forwarding is ForwardingRole.FORWARD
+
+    @property
+    def is_cleaner(self) -> bool:
+        return self.forwarding is ForwardingRole.CLEANER
+
+    @property
+    def is_selective_tagger(self) -> bool:
+        """``True`` if the AS tags, but not on every external session."""
+        return self.is_tagger and self.selective.is_selective
+
+    @classmethod
+    def from_code(cls, code: str, selective: SelectivePolicy = SelectivePolicy.EVERYWHERE) -> "UsageRole":
+        """Build a role from a two-character code such as ``"tf"``."""
+        if len(code) != 2 or code[0] not in "ts" or code[1] not in "fc":
+            raise ValueError(f"invalid role code {code!r}")
+        tagging = TaggingRole.TAGGER if code[0] == "t" else TaggingRole.SILENT
+        forwarding = ForwardingRole.FORWARD if code[1] == "f" else ForwardingRole.CLEANER
+        return cls(tagging, forwarding, selective)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f" ({self.selective})" if self.selective.is_selective else ""
+        return self.code + suffix
+
+
+#: The four consistent role codes used throughout the paper.
+ROLE_CODES: Tuple[str, ...] = ("tf", "tc", "sf", "sc")
+
+
+class RoleAssignment:
+    """A mapping of ASN to ground-truth :class:`UsageRole`."""
+
+    def __init__(self, roles: Optional[Mapping[ASN, UsageRole]] = None) -> None:
+        self._roles: Dict[ASN, UsageRole] = dict(roles or {})
+
+    # -- mapping protocol ---------------------------------------------------------
+    def __getitem__(self, asn: ASN) -> UsageRole:
+        return self._roles[asn]
+
+    def __setitem__(self, asn: ASN, role: UsageRole) -> None:
+        self._roles[asn] = role
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._roles
+
+    def __len__(self) -> int:
+        return len(self._roles)
+
+    def __iter__(self) -> Iterator[ASN]:
+        return iter(self._roles)
+
+    def get(self, asn: ASN, default: Optional[UsageRole] = None) -> Optional[UsageRole]:
+        return self._roles.get(asn, default)
+
+    def items(self) -> Iterable[Tuple[ASN, UsageRole]]:
+        return self._roles.items()
+
+    # -- construction helpers --------------------------------------------------------
+    @classmethod
+    def uniform(cls, asns: Iterable[ASN], role: UsageRole) -> "RoleAssignment":
+        """Assign the same role to every AS (alltf / alltc scenarios)."""
+        return cls({asn: role for asn in asns})
+
+    @classmethod
+    def random_uniform(
+        cls,
+        asns: Sequence[ASN],
+        *,
+        seed: int = 0,
+        codes: Sequence[str] = ROLE_CODES,
+    ) -> "RoleAssignment":
+        """Assign one of *codes* uniformly at random to every AS."""
+        rng = random.Random(seed)
+        return cls({asn: UsageRole.from_code(rng.choice(list(codes))) for asn in asns})
+
+    def with_selective_taggers(
+        self,
+        policy: SelectivePolicy,
+        share: float = 0.5,
+        *,
+        seed: int = 0,
+    ) -> "RoleAssignment":
+        """Return a copy where *share* of the taggers tag selectively.
+
+        Mirrors Section 6.2: "modify around 50% of the assigned tagger ASes
+        to selectively tag routes based on the business relationship".
+        """
+        rng = random.Random(seed)
+        taggers = sorted(asn for asn, role in self._roles.items() if role.is_tagger)
+        n_selective = int(len(taggers) * share)
+        chosen = set(rng.sample(taggers, n_selective)) if n_selective else set()
+        updated = dict(self._roles)
+        for asn in chosen:
+            role = updated[asn]
+            updated[asn] = UsageRole(role.tagging, role.forwarding, policy)
+        return RoleAssignment(updated)
+
+    # -- queries ------------------------------------------------------------------------
+    def taggers(self) -> List[ASN]:
+        """All ASes whose ground-truth tagging role is tagger."""
+        return sorted(asn for asn, role in self._roles.items() if role.is_tagger)
+
+    def silent(self) -> List[ASN]:
+        """All ASes whose ground-truth tagging role is silent."""
+        return sorted(asn for asn, role in self._roles.items() if role.is_silent)
+
+    def forwarders(self) -> List[ASN]:
+        """All ASes whose ground-truth forwarding role is forward."""
+        return sorted(asn for asn, role in self._roles.items() if role.is_forward)
+
+    def cleaners(self) -> List[ASN]:
+        """All ASes whose ground-truth forwarding role is cleaner."""
+        return sorted(asn for asn, role in self._roles.items() if role.is_cleaner)
+
+    def selective_taggers(self) -> List[ASN]:
+        """All ASes that tag selectively."""
+        return sorted(asn for asn, role in self._roles.items() if role.is_selective_tagger)
+
+    def count_by_code(self) -> Dict[str, int]:
+        """Number of ASes per two-character role code."""
+        counts: Dict[str, int] = {code: 0 for code in ROLE_CODES}
+        for role in self._roles.values():
+            counts[role.code] = counts.get(role.code, 0) + 1
+        return counts

@@ -1,0 +1,247 @@
+"""Ground-truth scenario construction (paper Sections 6.1 and 6.2).
+
+A scenario is built from three ingredients:
+
+1. an **AS-path substrate** (the paper uses all paths from the aggregated
+   May 2021 dataset; we use paths from the generated topology and routing
+   engine, or any caller-supplied path list),
+2. a **role assignment** describing the ground-truth community usage of every
+   AS, and
+3. optionally **noise** and **selective tagging** modifiers.
+
+The builder computes ``output(A_1)`` for every path under the assignment and
+returns a :class:`GroundTruthDataset` bundling the resulting ``(path, comm)``
+tuples, the assignment itself, and the visibility analysis needed to score
+inference results (Tables 2, 5, 6; Figure 2).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.asn import ASN
+from repro.bgp.path import ASPath
+from repro.topology.generator import ASTier, Topology
+from repro.topology.relationships import ASRelationships
+from repro.usage.noise import NoiseConfig, NoiseInjector
+from repro.usage.propagation import CommunityPropagator, TaggerCommunityPlan
+from repro.usage.roles import (
+    ForwardingRole,
+    ROLE_CODES,
+    RoleAssignment,
+    SelectivePolicy,
+    TaggingRole,
+    UsageRole,
+)
+from repro.usage.visibility import VisibilityAnalysis
+
+
+class ScenarioName(enum.Enum):
+    """The ground-truth scenarios evaluated in the paper."""
+
+    ALLTF = "alltf"
+    ALLTC = "alltc"
+    RANDOM = "random"
+    RANDOM_NOISE = "random+noise"
+    RANDOM_P = "random-p"
+    RANDOM_PP = "random-pp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class GroundTruthDataset:
+    """A scenario dataset: paths with known community usage behaviour."""
+
+    name: str
+    tuples: List[PathCommTuple]
+    roles: RoleAssignment
+    visibility: VisibilityAnalysis
+    noise: Optional[NoiseConfig] = None
+    seed: int = 0
+
+    @property
+    def all_ases(self) -> Set[ASN]:
+        """Every AS appearing on at least one path."""
+        return self.visibility.all_ases
+
+    @property
+    def collector_peers(self) -> Set[ASN]:
+        """Every AS that appears as ``A_1`` on at least one path."""
+        return self.visibility.collector_peers
+
+    @property
+    def leaf_ases(self) -> Set[ASN]:
+        """ASes without downstream neighbours in the substrate."""
+        return self.visibility.leaf_ases
+
+    def paths(self) -> List[ASPath]:
+        """The AS paths of the dataset."""
+        return [t.path for t in self.tuples]
+
+    def role_counts(self) -> Dict[str, int]:
+        """Number of ASes per ground-truth role code (restricted to the substrate)."""
+        counts: Dict[str, int] = {}
+        for asn in self.all_ases:
+            role = self.roles.get(asn)
+            if role is None:
+                continue
+            counts[role.code] = counts.get(role.code, 0) + 1
+        return counts
+
+
+class ScenarioBuilder:
+    """Builds :class:`GroundTruthDataset` instances over a path substrate."""
+
+    def __init__(
+        self,
+        paths: Sequence[ASPath],
+        *,
+        relationships: Optional[ASRelationships] = None,
+        seed: int = 0,
+        tagger_plan: Optional[TaggerCommunityPlan] = None,
+    ) -> None:
+        if not paths:
+            raise ValueError("a scenario needs at least one AS path")
+        self.paths = list(paths)
+        self.relationships = relationships
+        self.seed = seed
+        self.tagger_plan = tagger_plan or TaggerCommunityPlan(seed=seed)
+        self._ases: List[ASN] = sorted({asn for path in self.paths for asn in path})
+
+    # -- role assignments -------------------------------------------------------------
+    def uniform_roles(self, code: str) -> RoleAssignment:
+        """Every AS gets the same role (``alltf`` / ``alltc``)."""
+        return RoleAssignment.uniform(self._ases, UsageRole.from_code(code))
+
+    def random_roles(self, *, seed: Optional[int] = None) -> RoleAssignment:
+        """Roles drawn uniformly at random from tf/tc/sf/sc."""
+        return RoleAssignment.random_uniform(self._ases, seed=self.seed if seed is None else seed)
+
+    # -- dataset construction -----------------------------------------------------------
+    def build_from_roles(
+        self,
+        name: str,
+        roles: RoleAssignment,
+        *,
+        noise: Optional[NoiseConfig] = None,
+        seed: Optional[int] = None,
+    ) -> GroundTruthDataset:
+        """Compute ``output(A_1)`` for every path under *roles*."""
+        effective_seed = self.seed if seed is None else seed
+        propagator = CommunityPropagator(
+            roles, relationships=self.relationships, plan=self.tagger_plan
+        )
+        injector = (
+            NoiseInjector(noise, self._ases) if noise is not None and noise.enabled else None
+        )
+        tuples: List[PathCommTuple] = []
+        for path in self.paths:
+            if injector is None:
+                communities = propagator.output(path)
+            else:
+                communities = propagator.output_with_extra(path, injector.extra_for_path(path))
+            tuples.append(PathCommTuple(path, communities))
+        visibility = VisibilityAnalysis.from_paths(self.paths, roles)
+        return GroundTruthDataset(
+            name=name,
+            tuples=tuples,
+            roles=roles,
+            visibility=visibility,
+            noise=noise,
+            seed=effective_seed,
+        )
+
+    def build(self, scenario: ScenarioName, *, seed: Optional[int] = None) -> GroundTruthDataset:
+        """Build one of the named paper scenarios."""
+        effective_seed = self.seed if seed is None else seed
+        if scenario is ScenarioName.ALLTF:
+            return self.build_from_roles("alltf", self.uniform_roles("tf"), seed=effective_seed)
+        if scenario is ScenarioName.ALLTC:
+            return self.build_from_roles("alltc", self.uniform_roles("tc"), seed=effective_seed)
+        if scenario is ScenarioName.RANDOM:
+            return self.build_from_roles(
+                "random", self.random_roles(seed=effective_seed), seed=effective_seed
+            )
+        if scenario is ScenarioName.RANDOM_NOISE:
+            noise = NoiseConfig(seed=effective_seed)
+            return self.build_from_roles(
+                "random+noise",
+                self.random_roles(seed=effective_seed),
+                noise=noise,
+                seed=effective_seed,
+            )
+        if scenario is ScenarioName.RANDOM_P:
+            roles = self.random_roles(seed=effective_seed).with_selective_taggers(
+                SelectivePolicy.NOT_TO_PROVIDERS, share=0.5, seed=effective_seed
+            )
+            return self.build_from_roles("random-p", roles, seed=effective_seed)
+        if scenario is ScenarioName.RANDOM_PP:
+            roles = self.random_roles(seed=effective_seed).with_selective_taggers(
+                SelectivePolicy.ONLY_TO_CUSTOMERS, share=0.5, seed=effective_seed
+            )
+            return self.build_from_roles("random-pp", roles, seed=effective_seed)
+        raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def build_scenario(
+    paths: Sequence[ASPath],
+    scenario: ScenarioName,
+    *,
+    relationships: Optional[ASRelationships] = None,
+    seed: int = 0,
+) -> GroundTruthDataset:
+    """Convenience wrapper: build one named scenario in a single call."""
+    builder = ScenarioBuilder(paths, relationships=relationships, seed=seed)
+    return builder.build(scenario, seed=seed)
+
+
+#: Per-tier probability of being a tagger / cleaner in the realistic model.
+_REALISTIC_TAGGER_P: Dict[ASTier, float] = {
+    ASTier.TIER1: 0.75,
+    ASTier.LARGE_TRANSIT: 0.60,
+    ASTier.MID_TRANSIT: 0.35,
+    ASTier.SMALL_TRANSIT: 0.15,
+    ASTier.STUB: 0.03,
+}
+_REALISTIC_CLEANER_P: Dict[ASTier, float] = {
+    ASTier.TIER1: 0.35,
+    ASTier.LARGE_TRANSIT: 0.30,
+    ASTier.MID_TRANSIT: 0.25,
+    ASTier.SMALL_TRANSIT: 0.20,
+    ASTier.STUB: 0.15,
+}
+_REALISTIC_SELECTIVE_P = 0.25
+
+
+def assign_realistic_roles(topology: Topology, *, seed: int = 0) -> RoleAssignment:
+    """A plausible real-world role model for the Section 7 style analysis.
+
+    There is no public ground truth for real community usage (that gap is the
+    paper's motivation), so the unmodified-data experiments (Table 3,
+    Figures 3-6) run on a role model that reproduces the paper's qualitative
+    findings: taggers and cleaners are predominantly larger transit networks,
+    stub ASes are overwhelmingly silent, and a noticeable minority of taggers
+    behave selectively.
+    """
+    rng = random.Random(seed)
+    roles: Dict[ASN, UsageRole] = {}
+    for asn, info in topology.ases.items():
+        is_tagger = rng.random() < _REALISTIC_TAGGER_P[info.tier]
+        is_cleaner = rng.random() < _REALISTIC_CLEANER_P[info.tier]
+        selective = SelectivePolicy.EVERYWHERE
+        if is_tagger and rng.random() < _REALISTIC_SELECTIVE_P:
+            selective = rng.choice(
+                [SelectivePolicy.NOT_TO_PROVIDERS, SelectivePolicy.ONLY_TO_CUSTOMERS]
+            )
+        roles[asn] = UsageRole(
+            TaggingRole.TAGGER if is_tagger else TaggingRole.SILENT,
+            ForwardingRole.CLEANER if is_cleaner else ForwardingRole.FORWARD,
+            selective,
+        )
+    return RoleAssignment(roles)

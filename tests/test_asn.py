@@ -1,0 +1,116 @@
+"""Unit tests for repro.bgp.asn."""
+
+import pytest
+
+from repro.bgp.asn import (
+    AS_TRANS,
+    ASNRegistry,
+    MAX_ASN_16BIT,
+    MAX_ASN_32BIT,
+    is_16bit,
+    is_32bit_only,
+    is_private_asn,
+    is_public_asn,
+    is_reserved_asn,
+    is_valid_asn,
+)
+
+
+class TestASNPredicates:
+    def test_16bit_boundary(self):
+        assert is_16bit(0)
+        assert is_16bit(MAX_ASN_16BIT)
+        assert not is_16bit(MAX_ASN_16BIT + 1)
+
+    def test_32bit_only_boundary(self):
+        assert not is_32bit_only(MAX_ASN_16BIT)
+        assert is_32bit_only(MAX_ASN_16BIT + 1)
+        assert is_32bit_only(MAX_ASN_32BIT)
+
+    def test_valid_range(self):
+        assert is_valid_asn(0)
+        assert is_valid_asn(MAX_ASN_32BIT)
+        assert not is_valid_asn(-1)
+        assert not is_valid_asn(MAX_ASN_32BIT + 1)
+
+    def test_as_trans_is_reserved(self):
+        assert is_reserved_asn(AS_TRANS)
+        assert is_private_asn(AS_TRANS)
+
+    def test_as_zero_is_reserved(self):
+        assert is_reserved_asn(0)
+        assert not is_public_asn(0)
+
+    def test_documentation_ranges_are_reserved(self):
+        assert is_reserved_asn(64496)
+        assert is_reserved_asn(64511)
+        assert is_reserved_asn(65536)
+        assert is_reserved_asn(65551)
+
+    def test_private_16bit_range(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(65534)
+        assert not is_private_asn(64000)
+
+    def test_private_32bit_range(self):
+        assert is_private_asn(4200000000)
+        assert is_private_asn(4294967294)
+        assert not is_private_asn(4199999999)
+
+    def test_last_asn_reserved(self):
+        assert is_private_asn(MAX_ASN_32BIT)
+        assert is_private_asn(65535)
+
+    def test_public_asns(self):
+        for asn in (3356, 1299, 174, 200000, 4_000_000):
+            assert is_public_asn(asn), asn
+
+    def test_well_known_operator_asns_are_public(self):
+        assert is_public_asn(15169)  # a normal allocated-range ASN
+        assert not is_public_asn(64512)
+
+
+class TestASNRegistry:
+    def test_allocate_and_lookup(self):
+        registry = ASNRegistry()
+        registry.allocate(3356)
+        assert registry.is_allocated(3356)
+        assert 3356 in registry
+        assert not registry.is_allocated(1299)
+
+    def test_allocate_private_rejected(self):
+        registry = ASNRegistry()
+        with pytest.raises(ValueError):
+            registry.allocate(64512)
+
+    def test_allocate_reserved_rejected(self):
+        registry = ASNRegistry()
+        with pytest.raises(ValueError):
+            registry.allocate(0)
+
+    def test_allocate_many_and_len(self):
+        registry = ASNRegistry.from_asns([1, 2, 3, 200000])
+        assert len(registry) == 4
+
+    def test_deallocate(self):
+        registry = ASNRegistry.from_asns([10])
+        registry.deallocate(10)
+        assert not registry.is_allocated(10)
+        registry.deallocate(10)  # idempotent
+
+    def test_is_routable_requires_public_and_allocated(self):
+        registry = ASNRegistry.from_asns([3356])
+        assert registry.is_routable(3356)
+        assert not registry.is_routable(1299)
+
+    def test_iteration_is_sorted(self):
+        registry = ASNRegistry.from_asns([30, 10, 20])
+        assert list(registry) == [10, 20, 30]
+
+    def test_count_32bit(self):
+        registry = ASNRegistry.from_asns([3356, 200000, 400000])
+        assert registry.count_32bit() == 2
+
+    def test_contains_non_int(self):
+        registry = ASNRegistry.from_asns([3356])
+        assert "3356" not in registry

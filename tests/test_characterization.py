@@ -1,0 +1,143 @@
+"""Tests for AS characterisation (Figures 5 and 6) and the PEERING validation."""
+
+import pytest
+
+from repro.core.classes import ForwardingClass
+from repro.core.column import ColumnInference
+from repro.eval.characterization import ConeDistribution, cone_cdf_by_class, peer_community_types
+from repro.eval.peering import PEERING_ASN, PeeringExperiment
+from repro.sanitize.sources import CommunitySource
+from repro.topology.cone import CustomerCones
+
+
+class TestConeDistribution:
+    def test_cdf_monotone_and_ends_at_one(self):
+        distribution = ConeDistribution("test", sizes=[1, 1, 2, 10, 100])
+        cdf = distribution.cdf()
+        values = [p[1] for p in cdf]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_proportions_and_median(self):
+        distribution = ConeDistribution("test", sizes=[1, 1, 1, 5, 50])
+        assert distribution.proportion_leq(1) == pytest.approx(0.6)
+        assert distribution.proportion_greater(10) == pytest.approx(0.2)
+        assert distribution.median() == 1
+
+    def test_empty_distribution(self):
+        distribution = ConeDistribution("empty")
+        assert distribution.cdf() == []
+        assert distribution.proportion_leq(1) == 0.0
+        assert distribution.median() == 0.0
+
+
+class TestFigure6Data:
+    @pytest.fixture(scope="class")
+    def distributions(self, tiny_internet):
+        tuples = tiny_internet.tuples_for_aggregate()
+        result = ColumnInference().run(tuples)
+        cones = tiny_internet.cones()
+        return cone_cdf_by_class(result, cones), result
+
+    def test_every_observed_as_is_in_exactly_one_class(self, distributions):
+        per_dimension, result = distributions
+        for dimension in ("tagging", "forwarding"):
+            total = sum(len(d) for d in per_dimension[dimension].values())
+            assert total == len(result.observed_ases)
+
+    def test_taggers_are_larger_than_silent_ases(self, distributions):
+        per_dimension, _ = distributions
+        tagging = per_dimension["tagging"]
+        if len(tagging["tagger"]) and len(tagging["silent"]):
+            assert tagging["tagger"].median() >= tagging["silent"].median()
+            assert tagging["tagger"].proportion_leq(1) < tagging["silent"].proportion_leq(1)
+
+    def test_unclassified_ases_are_mostly_leafs(self, distributions):
+        per_dimension, _ = distributions
+        none = per_dimension["tagging"]["none"]
+        assert none.proportion_leq(1) > 0.5
+
+
+class TestFigure5Data:
+    @pytest.fixture(scope="class")
+    def profiles(self, tiny_internet):
+        tuples = tiny_internet.tuples_for_aggregate()
+        result = ColumnInference().run(tuples)
+        return peer_community_types(tuples, result, registry=tiny_internet.topology.asn_registry)
+
+    def test_profile_classification_matches_group(self, profiles):
+        for code, entries in profiles.items():
+            for profile in entries:
+                assert profile.classification == code
+
+    def test_silent_peers_show_no_peer_communities(self, profiles):
+        for code in ("sf", "sc"):
+            for profile in profiles.get(code, []):
+                assert profile.count(CommunitySource.PEER) == 0
+
+    def test_tagger_peers_show_peer_communities(self, profiles):
+        tagger_profiles = profiles.get("tf", []) + profiles.get("tc", [])
+        if tagger_profiles:
+            assert any(p.count(CommunitySource.PEER) > 0 for p in tagger_profiles)
+
+    def test_cleaner_peers_show_no_foreign_communities(self, profiles):
+        for profile in profiles.get("sc", []):
+            assert profile.count(CommunitySource.FOREIGN) == 0
+
+    def test_profiles_sorted_by_total(self, profiles):
+        for entries in profiles.values():
+            totals = [p.total for p in entries]
+            assert totals == sorted(totals)
+
+
+class TestPeeringValidation:
+    @pytest.fixture(scope="class")
+    def experiment_and_result(self, tiny_internet):
+        tuples = tiny_internet.tuples_for_aggregate()
+        result = ColumnInference().run(tuples)
+        experiment = PeeringExperiment(
+            tiny_internet.topology,
+            tiny_internet.roles,
+            tiny_internet.paths_by_peer,
+            n_pops=8,
+            seed=3,
+        )
+        return experiment, result
+
+    def test_observations_end_at_testbed_asn(self, experiment_and_result):
+        experiment, _ = experiment_and_result
+        observations = experiment.observations()
+        assert observations
+        for observation in observations:
+            assert observation.path.origin == PEERING_ASN
+            assert observation.pop_provider in experiment.pop_providers
+
+    def test_community_pairs_are_unique_per_pop(self, experiment_and_result):
+        experiment, _ = experiment_and_result
+        first = experiment.pop_communities(0)
+        second = experiment.pop_communities(1)
+        assert first != second
+        assert all(c.upper == PEERING_ASN for c in first)
+
+    def test_present_paths_have_forward_only_ground_truth(self, experiment_and_result):
+        experiment, _ = experiment_and_result
+        for observation in experiment.observations():
+            survives = all(
+                experiment.roles[asn].is_forward for asn in observation.path.asns[:-1]
+            )
+            assert observation.has_testbed_communities == survives
+
+    def test_validation_supports_the_inferences(self, experiment_and_result):
+        experiment, result = experiment_and_result
+        validation = experiment.validate(result, experiment="test")
+        assert validation.absent_total > 0
+        # When our communities are removed, a cleaner (or at least an
+        # undecided AS) should be on the path in the vast majority of cases.
+        supported = validation.absent_with_cleaner + validation.absent_with_undecided_only
+        assert supported / validation.absent_total > 0.6
+        # Contradictions (present communities despite an inferred cleaner)
+        # must be rare.
+        if validation.present_total:
+            assert validation.present_cleaner_share < 0.2
+        row = validation.table4_row()
+        assert row["experiment"] == "test"

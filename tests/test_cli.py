@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.bgp.community import CommunitySet
+from repro.bgp.messages import BGPUpdate, PathAttributes
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import parse_prefix
+from repro.cli import build_parser, main
+from repro.core.export import ClassificationDatabase
+from repro.mrt.encoder import MRTEncoder
+
+
+@pytest.fixture()
+def mrt_file(tmp_path):
+    """A small MRT update file with a clear tagger/forwarder structure."""
+    encoder = MRTEncoder()
+    updates = [
+        ([10], ["10:1"]),
+        ([20], []),
+        ([30], ["30:1"]),
+        ([10, 30], ["10:1", "30:1"]),
+        ([20, 30], ["30:1"]),
+    ]
+    for asns, comms in updates:
+        encoder.write_update(
+            BGPUpdate(
+                peer_asn=asns[0],
+                timestamp=0,
+                announced=(parse_prefix("8.8.8.0/24"),),
+                attributes=PathAttributes(
+                    as_path=ASPath(asns), communities=CommunitySet.from_strings(comms)
+                ),
+            )
+        )
+    path = tmp_path / "updates.mrt"
+    path.write_bytes(encoder.getvalue())
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_classify_defaults(self):
+        args = build_parser().parse_args(["classify", "a.mrt"])
+        assert args.threshold == 0.99
+        assert args.format == "text"
+
+
+class TestClassifyCommand:
+    def test_classify_writes_text_database(self, mrt_file, tmp_path, capsys):
+        output = tmp_path / "db.txt"
+        assert main(["classify", str(mrt_file), "-o", str(output)]) == 0
+        database = ClassificationDatabase.loads(output.read_text())
+        assert database.classification_of(10).tagging.code == "t"
+        assert database.classification_of(20).tagging.code == "s"
+        assert "classified" in capsys.readouterr().err
+
+    def test_classify_json_to_stdout(self, mrt_file, capsys):
+        assert main(["classify", str(mrt_file), "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        parsed = json.loads(captured.out)
+        assert any(entry["asn"] == 30 and entry["class"].startswith("t") for entry in parsed)
+
+    def test_classify_custom_threshold(self, mrt_file, tmp_path):
+        output = tmp_path / "db.txt"
+        assert main(["classify", str(mrt_file), "--threshold", "0.6", "-o", str(output)]) == 0
+        assert output.exists()
+
+
+class TestShowCommand:
+    def test_show_summary_and_single_asn(self, mrt_file, tmp_path, capsys):
+        output = tmp_path / "db.txt"
+        main(["classify", str(mrt_file), "-o", str(output)])
+        assert main(["show", str(output)]) == 0
+        summary = capsys.readouterr().out
+        assert "ASes" in summary
+
+        assert main(["show", str(output), "--asn", "10"]) == 0
+        detail = capsys.readouterr().out
+        assert "AS10" in detail and "class=t" in detail
+
+    def test_show_missing_asn_returns_error(self, mrt_file, tmp_path, capsys):
+        output = tmp_path / "db.txt"
+        main(["classify", str(mrt_file), "-o", str(output)])
+        assert main(["show", str(output), "--asn", "999"]) == 1
+
+    def test_show_reads_json_format(self, mrt_file, tmp_path, capsys):
+        output = tmp_path / "db.json"
+        main(["classify", str(mrt_file), "--format", "json", "-o", str(output)])
+        assert main(["show", str(output)]) == 0

@@ -1,0 +1,130 @@
+"""Unit tests for repro.bgp.community."""
+
+import pytest
+
+from repro.bgp.community import (
+    Community,
+    CommunitySet,
+    LargeCommunity,
+    WellKnownCommunity,
+    make_community,
+    parse_community,
+)
+
+
+class TestCommunity:
+    def test_parse_regular(self):
+        community = parse_community("3356:100")
+        assert isinstance(community, Community)
+        assert community.upper == 3356
+        assert community.lower == 100
+        assert not community.is_large
+
+    def test_parse_large(self):
+        community = parse_community("200000:1:2")
+        assert isinstance(community, LargeCommunity)
+        assert community.upper == 200000
+        assert community.is_large
+
+    def test_regular_value_round_trip(self):
+        community = Community(3356, 999)
+        assert Community.from_value(community.value) == community
+
+    def test_regular_field_bounds(self):
+        with pytest.raises(ValueError):
+            Community(70000, 0)
+        with pytest.raises(ValueError):
+            Community(0, 70000)
+
+    def test_large_field_bounds(self):
+        with pytest.raises(ValueError):
+            LargeCommunity(2**32, 0, 0)
+
+    def test_str_round_trip(self):
+        for text in ("3356:100", "200000:1:2", "0:0"):
+            assert str(parse_community(text)) == text
+
+    def test_invalid_strings(self):
+        with pytest.raises(ValueError):
+            Community.from_string("3356")
+        with pytest.raises(ValueError):
+            LargeCommunity.from_string("1:2")
+
+    def test_well_known_detection(self):
+        assert Community.from_value(int(WellKnownCommunity.NO_EXPORT)).is_well_known
+        assert not Community(3356, 100).is_well_known
+        assert WellKnownCommunity.is_well_known(0xFFFF029A)
+
+    def test_make_community_picks_flavour_by_asn(self):
+        assert not make_community(3356, 1).is_large
+        assert make_community(200000, 1).is_large
+
+    def test_make_community_forced_large(self):
+        assert make_community(3356, 1, large=True).is_large
+
+    def test_ordering(self):
+        assert Community(1, 2) < Community(1, 3) < Community(2, 0)
+
+
+class TestCommunitySet:
+    def test_empty_set_is_falsy_and_shared(self):
+        assert not CommunitySet.empty()
+        assert len(CommunitySet.empty()) == 0
+        assert CommunitySet.empty() == CommunitySet()
+
+    def test_from_strings_and_contains(self):
+        communities = CommunitySet.from_strings(["3356:1", "1299:2:3"])
+        assert parse_community("3356:1") in communities
+        assert parse_community("3356:2") not in communities
+        assert len(communities) == 2
+
+    def test_union_is_immutable(self):
+        a = CommunitySet.from_strings(["1:1"])
+        b = CommunitySet.from_strings(["2:2"])
+        union = a | b
+        assert len(union) == 2
+        assert len(a) == 1 and len(b) == 1
+
+    def test_union_with_empty_returns_other(self):
+        a = CommunitySet.from_strings(["1:1"])
+        assert (a | CommunitySet.empty()) == a
+        assert (CommunitySet.empty() | a) == a
+
+    def test_add_and_difference(self):
+        a = CommunitySet.from_strings(["1:1"])
+        b = a.add(parse_community("2:2"))
+        assert len(b) == 2
+        assert b.difference(a).to_strings() == ["2:2"]
+
+    def test_add_existing_returns_same_content(self):
+        a = CommunitySet.from_strings(["1:1"])
+        assert a.add(parse_community("1:1")) == a
+
+    def test_upper_fields_and_has_upper(self):
+        communities = CommunitySet.from_strings(["3356:1", "3356:2", "1299:9:9"])
+        assert communities.upper_fields() == {3356, 1299}
+        assert communities.has_upper(3356)
+        assert not communities.has_upper(174)
+
+    def test_with_upper_filters(self):
+        communities = CommunitySet.from_strings(["3356:1", "1299:2"])
+        assert communities.with_upper(3356).to_strings() == ["3356:1"]
+
+    def test_regular_and_large_partitions(self):
+        communities = CommunitySet.from_strings(["3356:1", "1299:2:3"])
+        assert len(communities.regular()) == 1
+        assert len(communities.large()) == 1
+
+    def test_equality_with_plain_sets(self):
+        communities = CommunitySet.from_strings(["1:1"])
+        assert communities == {parse_community("1:1")}
+
+    def test_hashable(self):
+        a = CommunitySet.from_strings(["1:1", "2:2"])
+        b = CommunitySet.from_strings(["2:2", "1:1"])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_sorted_is_deterministic(self):
+        communities = CommunitySet.from_strings(["2:2", "1:1", "1:1:1"])
+        assert communities.to_strings() == ["1:1", "2:2", "1:1:1"]

@@ -1,0 +1,91 @@
+"""Unit tests for customer cones (repro.topology.cone)."""
+
+import pytest
+
+from repro.topology.cone import CustomerCones
+from repro.topology.relationships import ASRelationships
+
+
+@pytest.fixture()
+def chain():
+    """1 -> 2 -> 3 -> 4 plus a side customer 5 of 2."""
+    rel = ASRelationships()
+    rel.add_p2c(1, 2)
+    rel.add_p2c(2, 3)
+    rel.add_p2c(3, 4)
+    rel.add_p2c(2, 5)
+    return rel
+
+
+class TestHandcraftedCones:
+    def test_leaf_cone_is_one(self, chain):
+        cones = CustomerCones(chain)
+        assert cones.cone_size(4) == 1
+        assert cones.cone(4) == {4}
+
+    def test_cone_includes_indirect_customers(self, chain):
+        cones = CustomerCones(chain)
+        assert cones.cone(2) == {2, 3, 4, 5}
+        assert cones.cone_size(1) == 5
+
+    def test_in_cone(self, chain):
+        cones = CustomerCones(chain)
+        assert cones.in_cone(1, 4)
+        assert not cones.in_cone(3, 5)
+        assert not cones.in_cone(1, 999)
+
+    def test_cone_sizes_bulk(self, chain):
+        cones = CustomerCones(chain)
+        sizes = cones.cone_sizes()
+        assert sizes == {1: 5, 2: 4, 3: 2, 4: 1, 5: 1}
+
+    def test_largest(self, chain):
+        cones = CustomerCones(chain)
+        assert cones.largest(2) == [1, 2]
+
+    def test_peering_does_not_extend_cone(self):
+        rel = ASRelationships()
+        rel.add_p2c(1, 2)
+        rel.add_p2p(2, 3)
+        cones = CustomerCones(rel)
+        assert cones.cone(1) == {1, 2}
+
+    def test_multihomed_customer_counted_once(self):
+        rel = ASRelationships()
+        rel.add_p2c(1, 3)
+        rel.add_p2c(2, 3)
+        rel.add_p2c(1, 2)
+        cones = CustomerCones(rel)
+        assert cones.cone_size(1) == 3
+
+
+class TestGeneratedTopologyCones:
+    def test_leaf_ases_have_cone_one(self, topology):
+        cones = CustomerCones(topology.relationships, topology.asns())
+        for asn in topology.leaf_asns()[:50]:
+            assert cones.cone_size(asn) == 1
+
+    def test_tier1_cones_are_largest(self, topology):
+        from repro.topology.generator import ASTier
+
+        cones = CustomerCones(topology.relationships, topology.asns())
+        sizes = cones.cone_sizes()
+        tier1_mean = sum(sizes[a] for a in topology.by_tier(ASTier.TIER1)) / len(topology.by_tier(ASTier.TIER1))
+        stub_mean = sum(sizes[a] for a in topology.by_tier(ASTier.STUB)) / len(topology.by_tier(ASTier.STUB))
+        assert tier1_mean > 10 * stub_mean
+
+    def test_provider_cone_contains_customer_cone(self, topology):
+        cones = CustomerCones(topology.relationships, topology.asns())
+        checked = 0
+        for provider, customer in topology.relationships.p2c_edges():
+            assert cones.cone(customer) <= cones.cone(provider)
+            checked += 1
+            if checked >= 200:
+                break
+
+    def test_deep_chain_does_not_overflow_recursion(self):
+        rel = ASRelationships()
+        for i in range(3000):
+            rel.add_p2c(i, i + 1)
+        cones = CustomerCones(rel)
+        assert cones.cone_size(0) == 3001

@@ -1,0 +1,91 @@
+"""Tests for the synthetic Internet bundle and the Table 1 statistics."""
+
+import pytest
+
+from repro.collectors.archive import ArchiveConfig
+from repro.datasets.stats import compute_statistics, format_table
+from repro.datasets.synthetic import AGGREGATE_PROJECTS, SyntheticConfig, SyntheticInternet
+
+
+class TestSyntheticInternet:
+    def test_build_produces_all_components(self, tiny_internet):
+        assert len(tiny_internet.topology) > 100
+        assert set(tiny_internet.projects) == {"ripe", "routeviews", "isolario", "pch"}
+        assert len(tiny_internet.roles) == len(tiny_internet.topology)
+        assert tiny_internet.paths_by_peer
+
+    def test_collector_peers_union(self, tiny_internet):
+        all_peers = tiny_internet.collector_peers()
+        ripe_peers = tiny_internet.collector_peers(["ripe"])
+        assert set(ripe_peers) <= set(all_peers)
+        assert set(all_peers) <= set(tiny_internet.paths_by_peer)
+
+    def test_project_names_order_and_pch_flag(self, tiny_internet):
+        assert tiny_internet.project_names()[-1] == "pch"
+        assert "pch" not in tiny_internet.project_names(include_pch=False)
+
+    def test_tuples_are_unique(self, tiny_internet):
+        tuples = tiny_internet.tuples_for_project("isolario")
+        assert len({(t.path, t.communities) for t in tuples}) == len(tuples)
+
+    def test_aggregate_has_at_least_as_many_tuples_as_any_member(self, tiny_internet):
+        aggregate = len(tiny_internet.tuples_for_aggregate())
+        for name in AGGREGATE_PROJECTS:
+            assert aggregate >= len(tiny_internet.tuples_for_project(name))
+
+    def test_tuples_respect_peer_membership(self, tiny_internet):
+        peers = set(tiny_internet.projects["ripe"].peer_asns())
+        for item in tiny_internet.tuples_for_project("ripe")[:200]:
+            assert item.peer in peers
+
+    def test_cones_accessor(self, tiny_internet):
+        cones = tiny_internet.cones()
+        assert cones.cone_size(tiny_internet.topology.leaf_asns()[0]) == 1
+
+    def test_scale_presets(self):
+        small = SyntheticConfig.small()
+        default = SyntheticConfig.default()
+        large = SyntheticConfig.large()
+        assert small.topology.total_ases < default.topology.total_ases < large.topology.total_ases
+
+
+class TestDatasetStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self, tiny_internet):
+        config = ArchiveConfig(rib_snapshots_per_day=1, update_share=0.3, seed=2)
+        archive = tiny_internet.archive_for("ripe", config=config).generate_day(0)
+        return compute_statistics(
+            "ripe", [archive], registry=tiny_internet.topology.asn_registry
+        ), archive, tiny_internet
+
+    def test_entry_counts(self, stats):
+        statistics, archive, _ = stats
+        assert statistics.entries_total == archive.total_entries
+        assert statistics.rib_entries == archive.rib_entry_count
+        assert statistics.unique_tuples <= len(archive.observations)
+
+    def test_as_counts(self, stats):
+        statistics, _, internet = stats
+        assert 0 < statistics.as_after_cleaning <= statistics.as_numbers
+        assert statistics.leaf_ases < statistics.as_after_cleaning
+        assert 0 < statistics.ases_32bit < statistics.as_after_cleaning
+        assert statistics.collector_peers == len(internet.projects["ripe"].peer_asns())
+
+    def test_community_counts(self, stats):
+        statistics, _, _ = stats
+        assert statistics.communities_total > 0
+        assert statistics.communities_large <= statistics.communities_total
+        assert statistics.unique_communities > 0
+        assert statistics.unique_upper_both >= statistics.unique_upper_regular
+
+    def test_private_and_stray_filters_shrink_upper_fields(self, stats):
+        statistics, _, _ = stats
+        assert statistics.unique_upper_wo_private <= statistics.unique_upper_both
+        assert statistics.unique_upper_wo_stray <= statistics.unique_upper_wo_private
+
+    def test_format_table_renders_all_columns(self, stats):
+        statistics, _, _ = stats
+        text = format_table([statistics, statistics])
+        assert "Entries total" in text
+        assert text.count("ripe") == 2
+        assert format_table([]) == ""

@@ -1,0 +1,210 @@
+"""Integration tests for the experiment drivers (tiny scale).
+
+Each driver must run end to end and reproduce the qualitative findings of the
+corresponding paper table / figure.
+"""
+
+import io
+
+import pytest
+
+from repro.experiments import figure2, figure3, figure4, figure5, figure6, table1, table2, table3, table4, table5_6
+from repro.experiments.context import ExperimentContext, ExperimentScale
+from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.usage.scenarios import ScenarioName
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(scale=ExperimentScale.TINY, seed=2)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return table1.run(context)
+
+    def test_all_columns_present(self, result):
+        names = [column.name for column in result.columns]
+        assert names == ["ripe", "routeviews", "isolario", "dMay21", "pch"]
+
+    def test_aggregate_dominates_members(self, result):
+        aggregate = result.column("dMay21")
+        for name in ("ripe", "routeviews", "isolario"):
+            assert aggregate.unique_tuples >= result.column(name).unique_tuples
+            assert aggregate.as_after_cleaning >= result.column(name).as_after_cleaning
+
+    def test_pch_has_no_rib_entries(self, result):
+        assert result.column("pch").rib_entries == 0
+
+    def test_leaf_majority_and_32bit_share(self, result):
+        aggregate = result.column("dMay21")
+        assert aggregate.leaf_ases / aggregate.as_after_cleaning > 0.6
+        assert 0.2 < aggregate.ases_32bit / aggregate.as_after_cleaning < 0.6
+
+    def test_format_text(self, result):
+        assert "Entries total" in result.format_text()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return table2.run(context, iterations=1)
+
+    def test_all_scenarios_present(self, result):
+        assert [row.scenario for row in result.rows] == [
+            "alltc",
+            "alltf",
+            "random",
+            "random+noise",
+            "random-p",
+            "random-pp",
+        ]
+
+    def test_consistent_scenarios_have_perfect_precision(self, result):
+        for scenario in ("alltc", "alltf", "random"):
+            row = result.row(scenario)
+            assert row.tagging_precision == pytest.approx(1.0)
+            assert row.forwarding_precision == pytest.approx(1.0)
+        # Noise can introduce a handful of misclassifications (the paper's
+        # Table 5 shows 53 out of ~22k); precision stays very close to 1.
+        noise = result.row("random+noise")
+        assert noise.tagging_precision > 0.95
+        assert noise.forwarding_precision > 0.95
+
+    def test_alltf_beats_alltc_in_coverage(self, result):
+        alltf = result.row("alltf")
+        alltc = result.row("alltc")
+        assert alltf.counts["full_tf"] > alltc.counts["full_tc"]
+        assert alltf.counts["nn"] < alltc.counts["nn"]
+
+    def test_noise_increases_undecided(self, result):
+        assert result.row("random+noise").counts["u*"] > result.row("random").counts["u*"]
+
+    def test_selective_scenarios_reduce_recall(self, result):
+        assert result.row("random-p").tagging_recall < result.row("random").tagging_recall
+        assert result.row("random-pp").tagging_recall <= result.row("random-p").tagging_recall
+
+    def test_format_text(self, result):
+        text = result.format_text()
+        assert "random-pp" in text
+
+
+class TestTable5and6:
+    def test_matrices_have_no_cross_class_errors_in_random(self, context):
+        result = table5_6.run(context, scenarios=(ScenarioName.RANDOM,))
+        tagging = result.tagging["random"]
+        forwarding = result.forwarding["random"]
+        assert tagging.cell("tagger", "silent") == 0
+        assert tagging.cell("silent", "tagger") == 0
+        assert forwarding.cell("forward", "cleaner") == 0
+        assert "Table 5" in result.format_text()
+
+
+class TestFigure2:
+    def test_roc_curves(self, context):
+        result = figure2.run(context, thresholds=(0.6, 0.99))
+        for scenario in ("random-p", "random-pp"):
+            for classifier in ("tagging", "forwarding"):
+                points = result.curve(scenario, classifier)
+                assert len(points) == 2
+                assert all(0 <= p.false_positive_rate <= 0.5 for p in points)
+        assert "Figure 2" in result.format_text()
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return table3.run(context)
+
+    def test_columns_and_rows(self, result):
+        assert "dMay21" in result.columns
+        assert result.count("dMay21", "tagger") > 0
+        assert result.count("dMay21", "silent") > result.count("dMay21", "tagger")
+
+    def test_aggregate_yields_most_full_classifications(self, result):
+        aggregate_full = sum(
+            result.count("dMay21", row)
+            for row in ("tagger-forward", "tagger-cleaner", "silent-forward", "silent-cleaner")
+        )
+        for name in ("ripe", "routeviews", "isolario"):
+            member_full = sum(
+                result.count(name, row)
+                for row in ("tagger-forward", "tagger-cleaner", "silent-forward", "silent-cleaner")
+            )
+            assert aggregate_full >= member_full
+
+    def test_format_text(self, result):
+        assert "silent-cleaner" in result.format_text()
+
+
+class TestFigures3Through6:
+    def test_figure3_stability(self, context):
+        result = figure3.run(context, days=3)
+        assert set(result.counts) == {"tf", "tc", "sf", "sc"}
+        # Across all full classes the vast majority of members are stable
+        # since day 1 (individual classes can be tiny at this scale).
+        stable = sum(per_day[-1].stable for per_day in result.counts.values())
+        total = sum(per_day[-1].total for per_day in result.counts.values())
+        assert total > 0
+        assert stable / total > 0.6
+        assert "==" in result.format_text()
+
+    def test_figure4_longitudinal_is_stable(self, context):
+        result = figure4.run(context, labels=("q1", "q2", "q3"))
+        assert len(result.series) == 3
+        for code in ("tf", "sc"):
+            if max(result.counts_for(code)):
+                assert result.relative_spread(code) < 0.5
+        assert "q2" in result.format_text()
+
+    def test_figure5_community_types(self, context):
+        result = figure5.run(context)
+        from repro.sanitize.sources import CommunitySource
+
+        # Silent-cleaner peers export neither peer nor foreign communities.
+        assert result.total_of("sc", CommunitySource.PEER) == 0
+        assert result.total_of("sc", CommunitySource.FOREIGN) == 0
+        assert "class" in result.format_text()
+
+    def test_figure6_cone_characterisation(self, context):
+        result = figure6.run(context)
+        silent = result.distribution("tagging", "silent")
+        tagger = result.distribution("tagging", "tagger")
+        if len(silent) and len(tagger):
+            assert result.leaf_share("tagging", "tagger") < result.leaf_share("tagging", "silent")
+        assert "dimension" in result.format_text()
+
+    def test_table4_validation(self, context):
+        result = table4.run(context, labels=("exp-1", "exp-2"), n_pops=6)
+        assert len(result.experiments) == 2
+        for experiment in result.experiments:
+            assert experiment.absent_cleaner_share > experiment.present_cleaner_share
+        assert "exp-1" in result.format_text()
+
+
+class TestRunner:
+    def test_run_all_subset(self, context):
+        stream = io.StringIO()
+        results = run_all(ExperimentScale.TINY, only=["figure6"], seed=2, stream=stream)
+        assert "figure6" in results
+        assert "figure6" in stream.getvalue()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_all(ExperimentScale.TINY, only=["nope"])
+
+    def test_registry_covers_all_tables_and_figures(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5_6",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+        }
+        assert set(EXPERIMENTS) == expected

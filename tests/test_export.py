@@ -1,0 +1,105 @@
+"""Tests for the classification database export/import (repro.core.export)."""
+
+import io
+
+import pytest
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.core.column import ColumnInference
+from repro.core.export import FORMAT_HEADER, ClassificationDatabase, ClassificationRecord
+from repro.core.thresholds import Thresholds
+
+
+@pytest.fixture()
+def result():
+    tuples = [
+        PathCommTuple(ASPath([10]), CommunitySet.from_strings(["10:1"])),
+        PathCommTuple(ASPath([20]), CommunitySet.empty()),
+        PathCommTuple(ASPath([30]), CommunitySet.from_strings(["30:1"])),
+        PathCommTuple(ASPath([10, 30]), CommunitySet.from_strings(["10:1", "30:1"])),
+        PathCommTuple(ASPath([20, 30]), CommunitySet.from_strings(["30:1"])),
+    ]
+    return ColumnInference().run(tuples), tuples
+
+
+class TestRecord:
+    def test_line_round_trip(self):
+        original = ClassificationRecord.from_line("3356|tf|412|3|371|0")
+        assert original.asn == 3356
+        assert original.classification.code == "tf"
+        assert original.counters.tagger == 412
+        assert ClassificationRecord.from_line(original.to_line()) == original
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            ClassificationRecord.from_line("3356|tf|1")
+
+    def test_to_dict(self):
+        record = ClassificationRecord.from_line("1|sc|0|5|0|9")
+        data = record.to_dict()
+        assert data["class"] == "sc"
+        assert data["cleaner_count"] == 9
+
+
+class TestDatabase:
+    def test_from_result_contains_all_observed_ases(self, result):
+        classification, _ = result
+        database = ClassificationDatabase.from_result(classification)
+        assert len(database) == len(classification.observed_ases)
+        assert 10 in database
+        assert database.classification_of(10).code == classification.classification_of(10).code
+
+    def test_text_round_trip(self, result):
+        classification, _ = result
+        database = ClassificationDatabase.from_result(classification)
+        text = database.dumps()
+        assert text.startswith(FORMAT_HEADER)
+        restored = ClassificationDatabase.loads(text)
+        assert len(restored) == len(database)
+        for asn in database:
+            assert restored.get(asn) == database.get(asn)
+
+    def test_json_round_trip(self, result):
+        classification, _ = result
+        database = ClassificationDatabase.from_result(classification)
+        restored = ClassificationDatabase.from_json(database.to_json())
+        assert restored.counts_by_code() == database.counts_by_code()
+
+    def test_load_rejects_wrong_header(self):
+        with pytest.raises(ValueError):
+            ClassificationDatabase.load(io.StringIO("# something else\n1|tf|1|0|1|0\n"))
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = FORMAT_HEADER + "\n# comment\n\n10|tf|5|0|5|0\n"
+        database = ClassificationDatabase.loads(text)
+        assert len(database) == 1
+
+    def test_counts_by_code(self, result):
+        classification, _ = result
+        database = ClassificationDatabase.from_result(classification)
+        counts = database.counts_by_code()
+        assert sum(counts.values()) == len(database)
+
+    def test_to_result_reproduces_classification(self, result):
+        classification, _ = result
+        database = ClassificationDatabase.from_result(classification)
+        rebuilt = database.to_result()
+        for asn in classification.observed_ases:
+            assert rebuilt.classification_of(asn) == classification.classification_of(asn)
+
+    def test_to_result_allows_rethresholding(self, result):
+        classification, _ = result
+        database = ClassificationDatabase.from_result(classification)
+        relaxed = database.to_result(Thresholds.uniform(0.51))
+        strict = database.to_result(Thresholds.uniform(1.0))
+        # Relaxing thresholds can only keep or increase decided inferences.
+        relaxed_decided = sum(1 for asn in relaxed.observed_ases if relaxed[asn].tagging.is_decided)
+        strict_decided = sum(1 for asn in strict.observed_ases if strict[asn].tagging.is_decided)
+        assert relaxed_decided >= strict_decided
+
+    def test_iteration_is_sorted(self, result):
+        classification, _ = result
+        database = ClassificationDatabase.from_result(classification)
+        assert list(database) == sorted(database)

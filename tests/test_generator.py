@@ -1,0 +1,120 @@
+"""Unit tests for the topology generator (repro.topology.generator)."""
+
+import pytest
+
+from repro.bgp.asn import MAX_ASN_16BIT
+from repro.topology.generator import ASTier, InternetTopologyGenerator, Topology, TopologyConfig
+
+
+class TestTopologyConfig:
+    def test_total_ases(self):
+        config = TopologyConfig(n_tier1=2, n_large_transit=3, n_mid_transit=4, n_small_transit=5, n_stub=6)
+        assert config.total_ases == 20
+
+    def test_scaled_reduces_sizes(self):
+        small = TopologyConfig.scaled(0.25)
+        default = TopologyConfig()
+        assert small.n_stub < default.n_stub
+        assert small.total_ases < default.total_ases
+
+
+class TestGeneratedStructure:
+    def test_all_tiers_present(self, topology, small_topology_config):
+        for tier in ASTier:
+            assert topology.by_tier(tier), tier
+        assert len(topology) == small_topology_config.total_ases
+
+    def test_stubs_form_the_majority(self, topology):
+        assert len(topology.by_tier(ASTier.STUB)) / len(topology) > 0.6
+
+    def test_every_non_tier1_as_has_a_provider(self, topology):
+        for asn, info in topology.ases.items():
+            if info.tier is ASTier.TIER1:
+                continue
+            assert topology.relationships.providers_of(asn), asn
+
+    def test_tier1_clique_has_no_providers(self, topology):
+        for asn in topology.by_tier(ASTier.TIER1):
+            assert not topology.relationships.providers_of(asn)
+
+    def test_tier1_full_mesh_peering(self, topology):
+        tier1 = topology.by_tier(ASTier.TIER1)
+        for asn in tier1:
+            assert topology.relationships.peers_of(asn) >= set(tier1) - {asn}
+
+    def test_hierarchy_is_acyclic(self, topology):
+        assert topology.relationships.validate_acyclic()
+
+    def test_leaf_and_transit_partition(self, topology):
+        leafs = set(topology.leaf_asns())
+        transit = set(topology.transit_asns())
+        assert leafs | transit == set(topology.ases)
+        assert not leafs & transit
+
+    def test_every_as_has_prefixes(self, topology):
+        for asn in topology.asns():
+            assert topology.prefixes_of(asn)
+
+    def test_prefixes_are_globally_unique(self, topology):
+        seen = set()
+        for asn in topology.asns():
+            for prefix in topology.prefixes_of(asn):
+                assert prefix not in seen
+                seen.add(prefix)
+
+    def test_asn_registry_covers_all_ases(self, topology):
+        for asn in topology.asns():
+            assert topology.asn_registry.is_allocated(asn)
+
+    def test_32bit_share_is_substantial(self, topology):
+        share = topology.count_32bit() / len(topology)
+        assert 0.2 < share < 0.6
+
+    def test_32bit_asns_only_in_edge_tiers(self, topology):
+        for tier in (ASTier.TIER1, ASTier.LARGE_TRANSIT, ASTier.MID_TRANSIT):
+            for asn in topology.by_tier(tier):
+                assert asn <= MAX_ASN_16BIT
+
+    def test_determinism(self, small_topology_config):
+        a = InternetTopologyGenerator(small_topology_config).generate()
+        b = InternetTopologyGenerator(small_topology_config).generate()
+        assert a.asns() == b.asns()
+        assert set(a.relationships.p2c_edges()) == set(b.relationships.p2c_edges())
+
+    def test_different_seeds_differ(self, small_topology_config):
+        import dataclasses
+
+        other_config = dataclasses.replace(small_topology_config, seed=99)
+        a = InternetTopologyGenerator(small_topology_config).generate()
+        b = InternetTopologyGenerator(other_config).generate()
+        assert set(a.relationships.p2c_edges()) != set(b.relationships.p2c_edges())
+
+
+class TestCollectorPeerSelection:
+    def test_requested_count(self, topology):
+        peers = topology.select_collector_peers(25, seed=1)
+        assert len(peers) == 25
+
+    def test_peers_are_mostly_transit(self, topology):
+        peers = topology.select_collector_peers(40, seed=1)
+        transit = set(topology.transit_asns())
+        share = sum(1 for p in peers if p in transit) / len(peers)
+        assert share > 0.8
+
+    def test_selection_is_deterministic(self, topology):
+        assert topology.select_collector_peers(20, seed=3) == topology.select_collector_peers(20, seed=3)
+
+
+class TestGrowth:
+    def test_grow_adds_stubs(self):
+        config = TopologyConfig(seed=5, n_tier1=4, n_large_transit=6, n_mid_transit=10, n_small_transit=10, n_stub=50)
+        topology = InternetTopologyGenerator(config).generate()
+        before = len(topology)
+        grown = topology.grow(20, seed=9)
+        assert len(grown) == before + 20
+        # New ASes are stubs with at least one provider and allocated ASNs.
+        new_asns = set(grown.ases) - set(range(0)) - set(topology.asns())
+        for asn in new_asns:
+            assert grown.ases[asn].tier is ASTier.STUB
+            assert grown.relationships.providers_of(asn)
+            assert grown.asn_registry.is_allocated(asn)

@@ -1,0 +1,167 @@
+"""Unit tests for the MRT encoder and decoder."""
+
+import pytest
+
+from repro.bgp.community import CommunitySet
+from repro.bgp.messages import BGPUpdate, Origin, PathAttributes
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import parse_prefix
+from repro.mrt import (
+    BGP4MPMessage,
+    MRTDecodeError,
+    MRTDecoder,
+    MRTEncoder,
+    PeerIndexTable,
+    RIBEntryRecord,
+    decode_records,
+    encode_records,
+)
+from repro.mrt.decoder import decode_path_attributes
+from repro.mrt.encoder import encode_path_attributes
+
+
+@pytest.fixture()
+def attributes():
+    return PathAttributes(
+        as_path=ASPath([3356, 1299, 200000]),
+        communities=CommunitySet.from_strings(["3356:100", "200000:5:6"]),
+        origin=Origin.EGP,
+        next_hop=0x0A000001,
+        med=50,
+        local_pref=120,
+    )
+
+
+class TestPathAttributeCodec:
+    def test_round_trip(self, attributes):
+        blob = encode_path_attributes(attributes, asn_size=4)
+        decoded = decode_path_attributes(blob, asn_size=4)
+        assert decoded.as_path == attributes.as_path
+        assert decoded.communities == attributes.communities
+        assert decoded.origin is Origin.EGP
+        assert decoded.next_hop == attributes.next_hop
+        assert decoded.med == 50
+        assert decoded.local_pref == 120
+
+    def test_two_byte_asn_encoding(self):
+        attrs = PathAttributes(as_path=ASPath([3356, 1299]))
+        blob = encode_path_attributes(attrs, asn_size=2)
+        decoded = decode_path_attributes(blob, asn_size=2)
+        assert decoded.as_path == attrs.as_path
+
+    def test_missing_as_path_rejected(self):
+        with pytest.raises(MRTDecodeError):
+            decode_path_attributes(b"", asn_size=4)
+
+    def test_malformed_communities_length_rejected(self):
+        # COMMUNITIES attribute with a 3-byte body is invalid.
+        blob = bytes([0x40, 2, 4, 2, 1, 0, 0, 0, 3356 >> 8, 3356 & 0xFF])
+        blob += bytes([0xC0, 8, 3, 1, 2, 3])
+        with pytest.raises(MRTDecodeError):
+            decode_path_attributes(blob, asn_size=2)
+
+
+class TestRIBRoundTrip:
+    def test_rib_entries_round_trip(self, attributes):
+        prefix = parse_prefix("8.8.8.0/24")
+        blob = encode_records([3356, 1299], rib=[(prefix, [(3356, 111, attributes)])], timestamp=42)
+        records = decode_records(blob)
+        assert isinstance(records[0], PeerIndexTable)
+        assert isinstance(records[1], RIBEntryRecord)
+        assert records[1].prefix == prefix
+        entries = records[1].to_rib_entries(records[0])
+        assert entries[0].peer_asn == 3356
+        assert entries[0].as_path == attributes.as_path
+        assert entries[0].communities == attributes.communities
+        assert entries[0].timestamp == 111
+
+    def test_peer_table_metadata(self):
+        blob = encode_records([10, 20, 200000], timestamp=7)
+        (table,) = decode_records(blob)
+        assert [p.peer_asn for p in table.peers] == [10, 20, 200000]
+        assert table.timestamp == 7
+
+    def test_ipv6_rib_entry(self, attributes):
+        prefix = parse_prefix("2001:db8::/32")
+        blob = encode_records([3356], rib=[(prefix, [(3356, 0, attributes)])])
+        records = decode_records(blob)
+        assert records[1].prefix == prefix
+
+    def test_unknown_peer_rejected_at_encode_time(self, attributes):
+        encoder = MRTEncoder()
+        encoder.write_peer_index_table([10])
+        with pytest.raises(ValueError):
+            encoder.write_rib_entry(parse_prefix("8.8.8.0/24"), [(99, 0, attributes)])
+
+
+class TestUpdateRoundTrip:
+    def _update(self, attributes, peer=3356):
+        return BGPUpdate(
+            peer_asn=peer,
+            timestamp=1621382400,
+            announced=(parse_prefix("8.8.8.0/24"), parse_prefix("9.9.0.0/16")),
+            withdrawn=(parse_prefix("1.2.3.0/24"),),
+            attributes=attributes,
+        )
+
+    def test_update_round_trip_as4(self, attributes):
+        update = self._update(attributes)
+        blob = encode_records([3356], updates=[update])
+        records = decode_records(blob)
+        message = records[-1]
+        assert isinstance(message, BGP4MPMessage)
+        assert message.is_as4
+        decoded = message.update
+        assert decoded.peer_asn == 3356
+        assert decoded.announced == update.announced
+        assert decoded.withdrawn == update.withdrawn
+        assert decoded.attributes.as_path == attributes.as_path
+        assert decoded.attributes.communities == attributes.communities
+
+    def test_update_round_trip_2byte(self):
+        attrs = PathAttributes(as_path=ASPath([3356, 1299]))
+        update = BGPUpdate(
+            peer_asn=3356,
+            timestamp=5,
+            announced=(parse_prefix("8.8.8.0/24"),),
+            attributes=attrs,
+        )
+        encoder = MRTEncoder()
+        encoder.write_update(update, as4=False)
+        message = decode_records(encoder.getvalue())[0]
+        assert not message.is_as4
+        assert message.update.attributes.as_path == attrs.as_path
+
+    def test_withdrawal_only_update(self):
+        update = BGPUpdate(peer_asn=1, timestamp=0, withdrawn=(parse_prefix("8.8.8.0/24"),))
+        encoder = MRTEncoder()
+        encoder.write_update(update)
+        decoded = decode_records(encoder.getvalue())[0].update
+        assert decoded.withdrawn == update.withdrawn
+        assert decoded.attributes is None
+
+
+class TestDecoderErrors:
+    def test_truncated_stream_rejected(self, attributes):
+        blob = encode_records([3356], rib=[(parse_prefix("8.8.8.0/24"), [(3356, 0, attributes)])])
+        with pytest.raises(MRTDecodeError):
+            decode_records(blob[:-5])
+
+    def test_garbage_header_rejected(self):
+        with pytest.raises(MRTDecodeError):
+            decode_records(b"\x00" * 12)
+
+    def test_trailing_garbage_rejected(self):
+        blob = encode_records([3356]) + b"\x01\x02"
+        with pytest.raises(MRTDecodeError):
+            decode_records(blob)
+
+    def test_empty_stream_yields_nothing(self):
+        assert decode_records(b"") == []
+
+    def test_decoder_exposes_peer_table(self):
+        blob = encode_records([10, 20])
+        decoder = MRTDecoder(blob)
+        list(decoder)
+        assert decoder.peer_table is not None
+        assert len(decoder.peer_table.peers) == 2

@@ -1,0 +1,136 @@
+"""Unit tests for repro.bgp.path."""
+
+import pytest
+
+from repro.bgp.path import ASPath, PathSegment, SegmentType
+
+
+class TestASPathBasics:
+    def test_peer_and_origin(self):
+        path = ASPath([3356, 1299, 64515])
+        assert path.peer == 3356
+        assert path.origin == 64515
+        assert len(path) == 3
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            ASPath([])
+
+    def test_from_string(self):
+        path = ASPath.from_string("3356 1299 2914")
+        assert path.asns == (3356, 1299, 2914)
+
+    def test_from_string_with_as_set(self):
+        path = ASPath.from_string("3356 1299 {65001,65002}")
+        assert path.has_as_set
+        assert path.asns == (3356, 1299)  # set members are not flattened
+
+    def test_str_round_trip(self):
+        path = ASPath([1, 2, 3])
+        assert ASPath.from_string(str(path)) == path
+
+    def test_equality_and_hash(self):
+        assert ASPath([1, 2]) == ASPath([1, 2])
+        assert ASPath([1, 2]) == (1, 2)
+        assert hash(ASPath([1, 2])) == hash(ASPath([1, 2]))
+
+    def test_contains_and_iteration(self):
+        path = ASPath([10, 20, 30])
+        assert 20 in path
+        assert list(path) == [10, 20, 30]
+        assert path[1] == 20
+
+
+class TestPaperTerminology:
+    def test_index_of_is_one_based(self):
+        path = ASPath([10, 20, 30])
+        assert path.index_of(10) == 1
+        assert path.index_of(30) == 3
+
+    def test_at(self):
+        path = ASPath([10, 20, 30])
+        assert path.at(1) == 10
+        assert path.at(3) == 30
+        with pytest.raises(IndexError):
+            path.at(0)
+        with pytest.raises(IndexError):
+            path.at(4)
+
+    def test_upstream_and_downstream(self):
+        path = ASPath([10, 20, 30, 40])
+        assert path.upstream_of(3) == (10, 20)
+        assert path.downstream_of(3) == (40,)
+        assert path.upstream_of(1) == ()
+        assert path.downstream_of(4) == ()
+
+    def test_upstream_out_of_range(self):
+        with pytest.raises(IndexError):
+            ASPath([1]).upstream_of(2)
+
+
+class TestTransformations:
+    def test_collapse_prepending(self):
+        path = ASPath([10, 10, 20, 20, 20, 30])
+        collapsed = path.collapse_prepending()
+        assert collapsed.asns == (10, 20, 30)
+        assert path.asns == (10, 10, 20, 20, 20, 30)  # original untouched
+
+    def test_collapse_without_prepending_returns_self(self):
+        path = ASPath([1, 2, 3])
+        assert path.collapse_prepending() is path
+
+    def test_has_prepending(self):
+        assert ASPath([1, 1, 2]).has_prepending
+        assert not ASPath([1, 2, 1]).has_prepending
+
+    def test_has_loop_detects_nonconsecutive_repeat(self):
+        assert ASPath([1, 2, 1]).has_loop
+        assert not ASPath([1, 1, 2]).has_loop
+        assert not ASPath([1, 2, 3]).has_loop
+
+    def test_prepend_peer_adds_when_missing(self):
+        path = ASPath([20, 30])
+        assert path.prepend_peer(10).asns == (10, 20, 30)
+
+    def test_prepend_peer_noop_when_present(self):
+        path = ASPath([10, 20])
+        assert path.prepend_peer(10) is path
+
+    def test_without_as_sets(self):
+        clean = ASPath([1, 2, 3])
+        assert clean.without_as_sets() is clean
+        dirty = ASPath.from_string("1 2 {3,4}")
+        assert dirty.without_as_sets() is None
+
+
+class TestSegments:
+    def test_from_segments_flattens_sequences(self):
+        segments = [
+            PathSegment(SegmentType.AS_SEQUENCE, (1, 2)),
+            PathSegment(SegmentType.AS_SEQUENCE, (3,)),
+        ]
+        assert ASPath.from_segments(segments).asns == (1, 2, 3)
+
+    def test_segments_synthesised_for_plain_paths(self):
+        path = ASPath([1, 2])
+        assert len(path.segments) == 1
+        assert path.segments[0].segment_type == SegmentType.AS_SEQUENCE
+
+    def test_as_set_segment_detected(self):
+        segments = [
+            PathSegment(SegmentType.AS_SEQUENCE, (1,)),
+            PathSegment(SegmentType.AS_SET, (2, 3)),
+        ]
+        path = ASPath.from_segments(segments)
+        assert path.has_as_set
+        assert path.asns == (1,)
+
+    def test_segment_is_set_property(self):
+        assert PathSegment(SegmentType.AS_SET, (1,)).is_set
+        assert PathSegment(SegmentType.AS_CONFED_SET, (1,)).is_set
+        assert not PathSegment(SegmentType.AS_SEQUENCE, (1,)).is_set
+
+    def test_segment_coerces_types(self):
+        segment = PathSegment(2, [1, 2])
+        assert segment.segment_type == SegmentType.AS_SEQUENCE
+        assert segment.asns == (1, 2)

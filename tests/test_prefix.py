@@ -1,0 +1,127 @@
+"""Unit tests for repro.bgp.prefix."""
+
+import pytest
+
+from repro.bgp.prefix import (
+    Prefix,
+    PrefixAllocation,
+    PrefixGenerator,
+    is_special_use,
+    parse_prefix,
+)
+
+
+class TestPrefix:
+    def test_parse_ipv4(self):
+        prefix = parse_prefix("192.0.2.0/24")
+        assert prefix.is_ipv4
+        assert prefix.length == 24
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_parse_ipv6(self):
+        prefix = parse_prefix("2001:db8::/32")
+        assert prefix.is_ipv6
+        assert prefix.length == 32
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.ipv4(0, 33)
+        with pytest.raises(ValueError):
+            Prefix.ipv6(0, 129)
+
+    def test_invalid_afi_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 8, afi=3)
+
+    def test_network_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.ipv4(1 << 32, 8)
+
+    def test_covers_more_specific(self):
+        covering = parse_prefix("10.0.0.0/8")
+        specific = parse_prefix("10.1.2.0/24")
+        assert covering.covers(specific)
+        assert not specific.covers(covering)
+
+    def test_covers_self(self):
+        prefix = parse_prefix("8.8.8.0/24")
+        assert prefix.covers(prefix)
+
+    def test_covers_rejects_cross_family(self):
+        assert not parse_prefix("8.0.0.0/8").covers(parse_prefix("2001:db8::/32"))
+
+    def test_ordering_and_hash(self):
+        a = parse_prefix("8.8.8.0/24")
+        b = parse_prefix("8.8.8.0/24")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_round_trip_via_network(self):
+        prefix = parse_prefix("203.0.113.0/24")
+        assert Prefix.from_string(str(prefix)) == prefix
+
+
+class TestSpecialUse:
+    @pytest.mark.parametrize(
+        "text",
+        ["10.0.0.0/8", "192.168.1.0/24", "127.0.0.0/8", "224.0.0.0/4", "198.51.100.0/24"],
+    )
+    def test_special_use_detected(self, text):
+        assert is_special_use(parse_prefix(text))
+
+    @pytest.mark.parametrize("text", ["8.8.8.0/24", "1.0.0.0/8", "151.101.0.0/16"])
+    def test_public_space_not_special(self, text):
+        assert not is_special_use(parse_prefix(text))
+
+    def test_ipv6_not_checked(self):
+        assert not is_special_use(parse_prefix("2001:db8::/32"))
+
+
+class TestPrefixAllocation:
+    def test_registered_block_covers_prefix(self):
+        allocation = PrefixAllocation()
+        allocation.register(parse_prefix("8.0.0.0/8"))
+        assert allocation.is_allocated(parse_prefix("8.8.8.0/24"))
+        assert not allocation.is_allocated(parse_prefix("9.9.9.0/24"))
+
+    def test_special_use_never_allocated(self):
+        allocation = PrefixAllocation.default_internet()
+        assert not allocation.is_allocated(parse_prefix("10.0.0.0/24"))
+        assert not allocation.is_allocated(parse_prefix("192.168.0.0/24"))
+
+    def test_default_internet_covers_public_space(self):
+        allocation = PrefixAllocation.default_internet()
+        assert allocation.is_allocated(parse_prefix("8.8.8.0/24"))
+        assert allocation.is_allocated(parse_prefix("151.101.0.0/16"))
+        assert allocation.is_allocated(parse_prefix("2001:4860::/32"))
+
+    def test_contains_protocol(self):
+        allocation = PrefixAllocation.default_internet()
+        assert parse_prefix("8.8.8.0/24") in allocation
+        assert "8.8.8.0/24" not in allocation
+
+    def test_register_many_and_len(self):
+        allocation = PrefixAllocation()
+        allocation.register_many([parse_prefix("8.0.0.0/8"), parse_prefix("9.0.0.0/8")])
+        assert len(allocation) == 2
+
+
+class TestPrefixGenerator:
+    def test_prefixes_are_distinct(self):
+        generator = PrefixGenerator()
+        prefixes = generator.take(500)
+        assert len(set(prefixes)) == 500
+
+    def test_prefixes_are_allocated_public_space(self):
+        generator = PrefixGenerator()
+        allocation = PrefixAllocation.default_internet()
+        for prefix in generator.take(100):
+            assert allocation.is_allocated(prefix)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixGenerator().next_prefix(4)
+
+    def test_default_length_is_24(self):
+        assert PrefixGenerator().next_prefix().length == 24

@@ -1,0 +1,159 @@
+"""Unit tests for the community propagation model (repro.usage.propagation)."""
+
+import pytest
+
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.topology.relationships import ASRelationships
+from repro.usage.noise import NoiseConfig, NoiseInjector
+from repro.usage.propagation import CommunityPropagator, TaggerCommunityPlan
+from repro.usage.roles import RoleAssignment, SelectivePolicy, UsageRole
+
+
+def roles_from(codes):
+    """Build a role assignment from {asn: code} pairs."""
+    return RoleAssignment({asn: UsageRole.from_code(code) for asn, code in codes.items()})
+
+
+class TestTaggerCommunityPlan:
+    def test_values_carry_tagger_asn(self):
+        plan = TaggerCommunityPlan(seed=1)
+        for community in plan.communities_for(3356):
+            assert community.upper == 3356
+
+    def test_32bit_tagger_uses_large_communities(self):
+        plan = TaggerCommunityPlan(seed=1)
+        assert all(c.is_large for c in plan.communities_for(200000))
+
+    def test_plan_is_deterministic_and_cached(self):
+        plan = TaggerCommunityPlan(seed=3)
+        assert plan.communities_for(10) == plan.communities_for(10)
+        assert plan.communities_for(10) == TaggerCommunityPlan(seed=3).communities_for(10)
+
+
+class TestFormalModel:
+    def test_all_tagger_forward_accumulates_everything(self):
+        roles = roles_from({1: "tf", 2: "tf", 3: "tf"})
+        propagator = CommunityPropagator(roles)
+        output = propagator.output(ASPath([1, 2, 3]))
+        assert output.has_upper(1)
+        assert output.has_upper(2)
+        assert output.has_upper(3)
+
+    def test_silent_forward_passes_others_tags(self):
+        roles = roles_from({1: "sf", 2: "sf", 3: "tf"})
+        output = CommunityPropagator(roles).output(ASPath([1, 2, 3]))
+        assert output.has_upper(3)
+        assert not output.has_upper(1)
+        assert not output.has_upper(2)
+
+    def test_cleaner_removes_downstream_tags_but_keeps_own(self):
+        roles = roles_from({1: "tc", 2: "tf", 3: "tf"})
+        output = CommunityPropagator(roles).output(ASPath([1, 2, 3]))
+        assert output.has_upper(1)
+        assert not output.has_upper(2)
+        assert not output.has_upper(3)
+
+    def test_cleaner_in_the_middle_hides_origin(self):
+        roles = roles_from({1: "sf", 2: "sc", 3: "tf"})
+        output = CommunityPropagator(roles).output(ASPath([1, 2, 3]))
+        assert output == CommunitySet.empty()
+
+    def test_silent_cleaner_produces_empty_output(self):
+        roles = roles_from({1: "sc", 2: "tf"})
+        assert CommunityPropagator(roles).output(ASPath([1, 2])) == CommunitySet.empty()
+
+    def test_single_as_path(self):
+        roles = roles_from({1: "tf"})
+        assert CommunityPropagator(roles).output(ASPath([1])).has_upper(1)
+
+    def test_missing_role_raises_without_default(self):
+        propagator = CommunityPropagator(roles_from({1: "tf"}))
+        with pytest.raises(KeyError):
+            propagator.output(ASPath([1, 2]))
+
+    def test_default_role_used_for_unknown_ases(self):
+        propagator = CommunityPropagator(
+            roles_from({1: "sf"}), default_role=UsageRole.from_code("tf")
+        )
+        output = propagator.output(ASPath([1, 2]))
+        assert output.has_upper(2)
+
+    def test_output_is_union_of_tagging_and_forwarding(self):
+        roles = roles_from({1: "tf", 2: "sf", 3: "tf"})
+        propagator = CommunityPropagator(roles)
+        path = ASPath([1, 2, 3])
+        manual = propagator.tagging(1, None) | propagator.forwarding(
+            1, propagator.tagging(2, 1) | propagator.forwarding(2, propagator.tagging(3, 2))
+        )
+        assert propagator.output(path) == manual
+
+
+class TestSelectiveTagging:
+    @pytest.fixture()
+    def relationships(self):
+        rel = ASRelationships()
+        rel.add_p2c(1, 2)  # 1 is provider of 2
+        rel.add_p2c(2, 3)  # 2 is provider of 3
+        return rel
+
+    def test_not_to_providers_suppresses_tag_towards_provider(self, relationships):
+        roles = RoleAssignment(
+            {
+                1: UsageRole.from_code("sf"),
+                2: UsageRole.from_code("sf"),
+                3: UsageRole.from_code("tf", SelectivePolicy.NOT_TO_PROVIDERS),
+            }
+        )
+        propagator = CommunityPropagator(roles, relationships=relationships)
+        # 3 exports towards its provider 2: no tag.
+        assert not propagator.output(ASPath([1, 2, 3])).has_upper(3)
+
+    def test_selective_tagger_still_tags_towards_collector(self, relationships):
+        roles = RoleAssignment({3: UsageRole.from_code("tf", SelectivePolicy.ONLY_TO_CUSTOMERS)})
+        propagator = CommunityPropagator(roles, relationships=relationships)
+        # As collector peer (A_1) the receiver is the collector itself.
+        assert propagator.output(ASPath([3])).has_upper(3)
+
+    def test_selective_without_relationships_degrades_to_tagging(self):
+        roles = RoleAssignment(
+            {1: UsageRole.from_code("sf"), 2: UsageRole.from_code("tf", SelectivePolicy.ONLY_TO_CUSTOMERS)}
+        )
+        propagator = CommunityPropagator(roles, relationships=None)
+        assert propagator.output(ASPath([1, 2])).has_upper(2)
+
+
+class TestNoiseInjection:
+    def test_noise_adds_upstream_named_communities(self):
+        roles = roles_from({1: "sf", 2: "sf", 3: "sf"})
+        propagator = CommunityPropagator(roles)
+        path = ASPath([1, 2, 3])
+        extra = {3: CommunitySet.from_strings(["2:666"])}
+        output = propagator.output_with_extra(path, extra)
+        assert output.has_upper(2)
+
+    def test_injected_noise_subject_to_upstream_cleaning(self):
+        roles = roles_from({1: "sf", 2: "sc", 3: "sf"})
+        propagator = CommunityPropagator(roles)
+        extra = {3: CommunitySet.from_strings(["1:666"])}
+        assert propagator.output_with_extra(ASPath([1, 2, 3]), extra) == CommunitySet.empty()
+
+    def test_injector_respects_share_of_ases(self):
+        injector = NoiseInjector(NoiseConfig(share_of_ases=0.5, seed=1), range(1000))
+        assert abs(len(injector.noisy_ases) - 500) <= 1
+
+    def test_injector_disabled_produces_nothing(self):
+        injector = NoiseInjector(NoiseConfig(share_of_ases=0.0), range(10))
+        assert injector.extra_for_path(ASPath([1, 2, 3])) == {}
+
+    def test_injector_extra_indices_are_valid(self):
+        config = NoiseConfig(share_of_ases=1.0, p_action_community=1.0, p_origin_community=1.0, seed=2)
+        injector = NoiseInjector(config, range(10))
+        path = ASPath([0, 1, 2, 3])
+        extra = injector.extra_for_path(path)
+        assert extra
+        assert all(2 <= index <= len(path) for index in extra)
+        # Action communities name the upstream neighbour; origin communities the origin.
+        for index, communities in extra.items():
+            for community in communities:
+                assert community.upper in (path.at(index - 1), path.origin)

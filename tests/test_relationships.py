@@ -1,0 +1,93 @@
+"""Unit tests for AS relationships (repro.topology.relationships)."""
+
+import io
+
+import pytest
+
+from repro.topology.relationships import ASRelationships, Relationship
+
+
+@pytest.fixture()
+def relationships():
+    rel = ASRelationships()
+    rel.add_p2c(1, 2)   # 1 provides transit to 2
+    rel.add_p2c(1, 3)
+    rel.add_p2c(2, 4)
+    rel.add_p2p(2, 3)
+    return rel
+
+
+class TestEdges:
+    def test_providers_and_customers(self, relationships):
+        assert relationships.providers_of(2) == {1}
+        assert relationships.customers_of(1) == {2, 3}
+        assert relationships.customers_of(4) == frozenset()
+
+    def test_peers(self, relationships):
+        assert relationships.peers_of(2) == {3}
+        assert relationships.peers_of(3) == {2}
+
+    def test_neighbors(self, relationships):
+        assert relationships.neighbors_of(2) == {1, 3, 4}
+
+    def test_relationship_perspective(self, relationships):
+        assert relationships.relationship(2, 1) is Relationship.PROVIDER
+        assert relationships.relationship(1, 2) is Relationship.CUSTOMER
+        assert relationships.relationship(2, 3) is Relationship.PEER
+        assert relationships.relationship(2, 99) is Relationship.NONE
+
+    def test_self_edges_rejected(self):
+        rel = ASRelationships()
+        with pytest.raises(ValueError):
+            rel.add_p2c(1, 1)
+        with pytest.raises(ValueError):
+            rel.add_p2p(2, 2)
+
+    def test_degree_and_ases(self, relationships):
+        assert relationships.degree(2) == 3
+        assert relationships.ases() == {1, 2, 3, 4}
+
+    def test_is_leaf(self, relationships):
+        assert relationships.is_leaf(4)
+        assert not relationships.is_leaf(1)
+
+    def test_edge_iterators_and_count(self, relationships):
+        assert set(relationships.p2c_edges()) == {(1, 2), (1, 3), (2, 4)}
+        assert list(relationships.p2p_edges()) == [(2, 3)]
+        assert relationships.edge_count() == 4
+
+
+class TestCaidaFormat:
+    def test_round_trip(self, relationships):
+        lines = relationships.to_caida_lines()
+        parsed = ASRelationships.from_caida_lines(lines)
+        assert set(parsed.p2c_edges()) == set(relationships.p2c_edges())
+        assert set(parsed.p2p_edges()) == set(relationships.p2p_edges())
+
+    def test_dump_stream(self, relationships):
+        buffer = io.StringIO()
+        relationships.dump(buffer)
+        assert "1|2|-1" in buffer.getvalue()
+        assert "2|3|0" in buffer.getvalue()
+
+    def test_comments_and_blank_lines_skipped(self):
+        parsed = ASRelationships.from_caida_lines(["# comment", "", "1|2|-1"])
+        assert parsed.relationship(1, 2) is Relationship.CUSTOMER
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(ValueError):
+            ASRelationships.from_caida_lines(["1|2"])
+        with pytest.raises(ValueError):
+            ASRelationships.from_caida_lines(["1|2|5"])
+
+
+class TestAcyclicity:
+    def test_dag_is_acyclic(self, relationships):
+        assert relationships.validate_acyclic()
+
+    def test_cycle_detected(self):
+        rel = ASRelationships()
+        rel.add_p2c(1, 2)
+        rel.add_p2c(2, 3)
+        rel.add_p2c(3, 1)
+        assert not rel.validate_acyclic()

@@ -1,0 +1,77 @@
+"""Tests for per-AS reports and the run summary (repro.eval.report)."""
+
+import pytest
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.core.attribution import CommunityAttribution
+from repro.core.column import ColumnInference
+from repro.eval.report import ASReport, build_as_report, summarize_run
+from repro.topology.cone import CustomerCones
+from repro.topology.relationships import ASRelationships
+
+
+@pytest.fixture()
+def pipeline_outputs():
+    tuples = [
+        PathCommTuple(ASPath([10]), CommunitySet.from_strings(["10:1"])),
+        PathCommTuple(ASPath([30]), CommunitySet.from_strings(["30:7"])),
+        PathCommTuple(ASPath([10, 30]), CommunitySet.from_strings(["10:1", "30:7"])),
+        PathCommTuple(ASPath([20, 30]), CommunitySet.from_strings(["30:7"])),
+        PathCommTuple(ASPath([20]), CommunitySet.empty()),
+    ]
+    result = ColumnInference().run(tuples)
+    relationships = ASRelationships()
+    relationships.add_p2c(10, 30)
+    relationships.add_p2c(20, 30)
+    cones = CustomerCones(relationships, [10, 20, 30])
+    attribution = CommunityAttribution(result).ingest(tuples)
+    return result, cones, attribution
+
+
+class TestASReport:
+    def test_build_report_combines_everything(self, pipeline_outputs):
+        result, cones, attribution = pipeline_outputs
+        report = build_as_report(10, result, cones=cones, attribution=attribution)
+        assert report.classification.code == "tf"
+        assert report.cone_size == 2
+        assert report.counters.tagger >= 1
+        assert any(str(c) == "10:1" for c in report.attributed_communities)
+        assert not report.is_32bit
+
+    def test_report_without_optional_parts(self, pipeline_outputs):
+        result, _, _ = pipeline_outputs
+        report = build_as_report(20, result)
+        assert report.cone_size is None
+        assert report.attributed_communities == ()
+
+    def test_to_text_mentions_key_facts(self, pipeline_outputs):
+        result, cones, attribution = pipeline_outputs
+        text = build_as_report(10, result, cones=cones, attribution=attribution).to_text()
+        assert "AS10" in text
+        assert "classification : tf" in text
+        assert "customer cone" in text
+        assert "10:1" in text
+
+    def test_32bit_flag(self, pipeline_outputs):
+        result, _, _ = pipeline_outputs
+        report = ASReport(asn=200000, classification=result.classification_of(10), counters=result.counters_of(10))
+        assert report.is_32bit
+        assert "32-bit" in report.to_text()
+
+
+class TestRunSummary:
+    def test_summary_contains_counts(self, pipeline_outputs):
+        result, cones, _ = pipeline_outputs
+        text = summarize_run(result, cones=cones, title="Test run")
+        assert text.startswith("# Test run")
+        assert f"**{len(result.observed_ases)}**" in text
+        assert "| tf |" in text
+        assert "median customer cone" in text
+
+    def test_summary_without_cones(self, pipeline_outputs):
+        result, _, _ = pipeline_outputs
+        text = summarize_run(result)
+        assert "median customer cone" not in text
+        assert "| tagging | ASes | forwarding | ASes |" in text

@@ -1,0 +1,118 @@
+"""Unit tests for usage roles (repro.usage.roles)."""
+
+import pytest
+
+from repro.topology.relationships import Relationship
+from repro.usage.roles import (
+    ForwardingRole,
+    ROLE_CODES,
+    RoleAssignment,
+    SelectivePolicy,
+    TaggingRole,
+    UsageRole,
+)
+
+
+class TestRoleCodes:
+    def test_from_code(self):
+        role = UsageRole.from_code("tf")
+        assert role.is_tagger and role.is_forward
+        assert role.code == "tf"
+
+    def test_all_four_codes(self):
+        for code in ROLE_CODES:
+            assert UsageRole.from_code(code).code == code
+
+    def test_invalid_codes_rejected(self):
+        for code in ("xx", "t", "tfc", "ft"):
+            with pytest.raises(ValueError):
+                UsageRole.from_code(code)
+
+    def test_role_predicates_are_exclusive(self):
+        role = UsageRole.from_code("sc")
+        assert role.is_silent and not role.is_tagger
+        assert role.is_cleaner and not role.is_forward
+
+    def test_single_char_codes(self):
+        assert TaggingRole.TAGGER.code == "t"
+        assert TaggingRole.SILENT.code == "s"
+        assert ForwardingRole.FORWARD.code == "f"
+        assert ForwardingRole.CLEANER.code == "c"
+
+
+class TestSelectivePolicy:
+    def test_everywhere_always_tags(self):
+        for rel in (None, Relationship.PROVIDER, Relationship.PEER, Relationship.CUSTOMER):
+            assert SelectivePolicy.EVERYWHERE.allows(rel)
+
+    def test_not_to_providers(self):
+        policy = SelectivePolicy.NOT_TO_PROVIDERS
+        assert not policy.allows(Relationship.PROVIDER)
+        assert policy.allows(Relationship.PEER)
+        assert policy.allows(Relationship.CUSTOMER)
+        assert policy.allows(None)  # collectors always tagged
+
+    def test_only_to_customers(self):
+        policy = SelectivePolicy.ONLY_TO_CUSTOMERS
+        assert policy.allows(Relationship.CUSTOMER)
+        assert not policy.allows(Relationship.PEER)
+        assert not policy.allows(Relationship.PROVIDER)
+        assert policy.allows(None)
+
+    def test_only_to_collectors(self):
+        policy = SelectivePolicy.ONLY_TO_COLLECTORS
+        assert policy.allows(None)
+        assert not policy.allows(Relationship.CUSTOMER)
+
+    def test_is_selective_flag(self):
+        assert not SelectivePolicy.EVERYWHERE.is_selective
+        assert SelectivePolicy.NOT_TO_PROVIDERS.is_selective
+
+    def test_selective_tagger_detection(self):
+        selective = UsageRole(TaggingRole.TAGGER, ForwardingRole.FORWARD, SelectivePolicy.ONLY_TO_CUSTOMERS)
+        silent = UsageRole(TaggingRole.SILENT, ForwardingRole.FORWARD, SelectivePolicy.ONLY_TO_CUSTOMERS)
+        assert selective.is_selective_tagger
+        assert not silent.is_selective_tagger  # silent ASes cannot tag selectively
+
+
+class TestRoleAssignment:
+    def test_uniform(self):
+        assignment = RoleAssignment.uniform([1, 2, 3], UsageRole.from_code("tc"))
+        assert len(assignment) == 3
+        assert assignment[2].code == "tc"
+
+    def test_random_uniform_covers_all_codes(self):
+        assignment = RoleAssignment.random_uniform(range(1000), seed=1)
+        counts = assignment.count_by_code()
+        for code in ROLE_CODES:
+            assert counts[code] > 150  # roughly uniform
+
+    def test_random_uniform_deterministic(self):
+        a = RoleAssignment.random_uniform(range(100), seed=5)
+        b = RoleAssignment.random_uniform(range(100), seed=5)
+        assert {asn: role.code for asn, role in a.items()} == {asn: role.code for asn, role in b.items()}
+
+    def test_with_selective_taggers_share(self):
+        assignment = RoleAssignment.random_uniform(range(2000), seed=2)
+        modified = assignment.with_selective_taggers(SelectivePolicy.NOT_TO_PROVIDERS, share=0.5, seed=2)
+        taggers = len(assignment.taggers())
+        selective = len(modified.selective_taggers())
+        assert abs(selective - taggers * 0.5) <= 1
+        # Original assignment untouched.
+        assert not assignment.selective_taggers()
+
+    def test_queries(self):
+        assignment = RoleAssignment(
+            {1: UsageRole.from_code("tf"), 2: UsageRole.from_code("sc"), 3: UsageRole.from_code("tc")}
+        )
+        assert assignment.taggers() == [1, 3]
+        assert assignment.silent() == [2]
+        assert assignment.forwarders() == [1]
+        assert assignment.cleaners() == [2, 3]
+
+    def test_mapping_protocol(self):
+        assignment = RoleAssignment()
+        assignment[5] = UsageRole.from_code("tf")
+        assert 5 in assignment
+        assert assignment.get(6) is None
+        assert list(iter(assignment)) == [5]

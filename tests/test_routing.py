@@ -1,0 +1,125 @@
+"""Unit tests for valley-free routing (repro.topology.routing)."""
+
+import pytest
+
+from repro.topology.generator import ASTier
+from repro.topology.relationships import ASRelationships, Relationship
+from repro.topology.routing import RoutingEngine, ValleyFreePath
+
+
+def is_valley_free(path, relationships):
+    """Check the Gao-Rexford shape of a peer->origin path.
+
+    Read from the collector peer towards the origin the path must consist of
+    up-hops, at most one peer-hop, then down-hops (see routing module notes).
+    """
+    phase = "up"
+    for a, b in zip(path.asns, path.asns[1:]):
+        rel = relationships.relationship(a, b)
+        if rel is Relationship.NONE:
+            return False
+        if phase == "up":
+            if rel is Relationship.PROVIDER:
+                continue
+            if rel is Relationship.PEER:
+                phase = "down"
+            elif rel is Relationship.CUSTOMER:
+                phase = "down"
+        else:
+            if rel is not Relationship.CUSTOMER:
+                return False
+    return True
+
+
+class TestSmallHandcraftedTopology:
+    @pytest.fixture()
+    def diamond(self):
+        """Provider 1 with customers 2 and 3; 4 is a customer of both."""
+        rel = ASRelationships()
+        rel.add_p2c(1, 2)
+        rel.add_p2c(1, 3)
+        rel.add_p2c(2, 4)
+        rel.add_p2c(3, 4)
+        rel.add_p2p(2, 3)
+
+        class FakeTopology:
+            relationships = rel
+            ases = {asn: None for asn in (1, 2, 3, 4)}
+
+        return FakeTopology()
+
+    def test_customer_route_preferred(self, diamond):
+        paths = RoutingEngine(diamond).best_paths_from_peer(2)
+        assert paths[4].path.asns == (2, 4)
+        assert paths[4].preference_rank == 0
+
+    def test_peer_route_used_when_no_customer_route(self, diamond):
+        paths = RoutingEngine(diamond).best_paths_from_peer(2)
+        # 3 is reachable via the peer link directly, not via provider 1.
+        assert paths[3].path.asns == (2, 3)
+        assert paths[3].preference_rank == 1
+
+    def test_provider_route_as_last_resort(self, diamond):
+        paths = RoutingEngine(diamond).best_paths_from_peer(4)
+        # 4 reaches 1 only through one of its providers.
+        assert paths[1].path.asns in ((4, 2, 1), (4, 3, 1))
+        assert paths[1].preference_rank == 2
+
+    def test_every_as_reaches_itself(self, diamond):
+        paths = RoutingEngine(diamond).best_paths_from_peer(1)
+        assert paths[1].path.asns == (1,)
+
+    def test_no_valley_paths(self, diamond):
+        # From peer 4, AS 3 must not be reached via 2 (peer of a provider's
+        # customer would be a valley); it is reached via its provider link.
+        paths = RoutingEngine(diamond).best_paths_from_peer(4)
+        assert paths[3].path.asns == (4, 3)
+
+
+class TestGeneratedTopologyRouting:
+    def test_full_reachability_from_core_peer(self, topology, paths_by_peer, collector_peers):
+        # A tier-1 or large-transit peer should reach essentially every AS.
+        sizes = {peer: len(per) for peer, per in paths_by_peer.items()}
+        assert max(sizes.values()) >= len(topology) * 0.95
+
+    def test_paths_start_at_peer_and_end_at_origin(self, paths_by_peer):
+        for peer, per_origin in paths_by_peer.items():
+            for origin, route in per_origin.items():
+                assert route.path.peer == peer
+                assert route.path.origin == origin
+
+    def test_paths_have_no_loops(self, paths_by_peer):
+        for per_origin in paths_by_peer.values():
+            for route in per_origin.values():
+                assert not route.path.has_loop
+                assert not route.path.has_prepending
+
+    def test_all_paths_are_valley_free(self, topology, paths_by_peer):
+        for per_origin in paths_by_peer.values():
+            for route in per_origin.values():
+                if len(route.path) > 1:
+                    assert is_valley_free(route.path, topology.relationships), route.path
+
+    def test_path_lengths_are_realistic(self, paths_by_peer):
+        lengths = [len(r.path) for per in paths_by_peer.values() for r in per.values() if len(r.path) > 1]
+        mean = sum(lengths) / len(lengths)
+        assert 2.5 < mean < 7.0
+        assert max(lengths) < 15
+
+    def test_preference_rank_matches_first_hop(self, topology, paths_by_peer):
+        rel = topology.relationships
+        for peer, per_origin in paths_by_peer.items():
+            for route in per_origin.values():
+                if len(route.path) < 2:
+                    continue
+                first_hop = rel.relationship(peer, route.path.asns[1])
+                expected = {Relationship.CUSTOMER: 0, Relationship.PEER: 1, Relationship.PROVIDER: 2}[first_hop]
+                assert route.preference_rank == expected
+
+    def test_paths_to_origin_helper(self, topology, collector_peers):
+        engine = RoutingEngine(topology)
+        origin = topology.leaf_asns()[0]
+        routes = engine.paths_to_origin(collector_peers[:3], origin)
+        assert routes
+        for route in routes:
+            assert route.origin == origin

@@ -1,0 +1,83 @@
+"""Tests for the row-based baseline and its comparison with the column algorithm."""
+
+import pytest
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.core.classes import ForwardingClass, TaggingClass
+from repro.core.column import ColumnInference
+from repro.core.row import RowInference
+
+
+def tuples_from(*items):
+    return [
+        PathCommTuple(ASPath(asns), CommunitySet.from_strings(comms)) for asns, comms in items
+    ]
+
+
+class TestRowBaseline:
+    def test_counts_tagging_for_every_position(self):
+        result = RowInference().run(tuples_from(([10, 20], ["10:1", "20:2"])))
+        assert result.classification_of(10).tagging is TaggingClass.TAGGER
+        assert result.classification_of(20).tagging is TaggingClass.TAGGER
+
+    def test_counts_forward_when_downstream_tag_visible(self):
+        result = RowInference().run(tuples_from(([10, 20], ["20:1"])))
+        assert result.classification_of(10).forwarding is ForwardingClass.FORWARD
+
+    def test_counts_cleaner_when_downstream_tag_missing(self):
+        result = RowInference().run(tuples_from(([10, 20], [])))
+        assert result.classification_of(10).forwarding is ForwardingClass.CLEANER
+
+    def test_algorithm_label(self):
+        assert RowInference().run([]).algorithm == "row"
+
+    def test_misclassifies_hidden_ases_unlike_column(self):
+        # A silent AS hidden behind an unknown potential cleaner: the row
+        # baseline marks it silent (and the upstream AS cleaner) from a single
+        # ambiguous observation; the column algorithm refuses to judge.
+        items = tuples_from(([10, 30], []))
+        row = RowInference().run(items)
+        column = ColumnInference().run(items)
+        assert row.classification_of(30).tagging is TaggingClass.SILENT
+        assert column.classification_of(30).tagging is TaggingClass.NONE
+        assert row.classification_of(10).forwarding is ForwardingClass.CLEANER
+        assert column.classification_of(10).forwarding is ForwardingClass.NONE
+
+
+class TestRowVsColumnOnGroundTruth:
+    def _tagging_precision(self, dataset, result):
+        correct = wrong = 0
+        for asn in result.observed_ases:
+            role = dataset.roles.get(asn)
+            tagging = result.classification_of(asn).tagging
+            if tagging is TaggingClass.TAGGER:
+                correct, wrong = (correct + 1, wrong) if role.is_tagger else (correct, wrong + 1)
+            elif tagging is TaggingClass.SILENT:
+                correct, wrong = (correct + 1, wrong) if role.is_silent else (correct, wrong + 1)
+        return correct / (correct + wrong) if correct + wrong else 1.0
+
+    def test_column_precision_dominates_row(self, random_dataset):
+        column = ColumnInference().run(random_dataset.tuples)
+        row = RowInference().run(random_dataset.tuples)
+        column_precision = self._tagging_precision(random_dataset, column)
+        row_precision = self._tagging_precision(random_dataset, row)
+        assert column_precision == pytest.approx(1.0)
+        assert row_precision < column_precision
+
+    def test_row_claims_more_ases_but_with_errors(self, random_dataset):
+        column = ColumnInference().run(random_dataset.tuples)
+        row = RowInference().run(random_dataset.tuples)
+        column_decided = column.summary()["tagger"] + column.summary()["silent"]
+        row_decided = row.summary()["tagger"] + row.summary()["silent"]
+        # The baseline decides for (almost) everything it sees...
+        assert row_decided > column_decided
+        # ...including hidden ASes, which the paper's algorithm refuses to judge.
+        hidden = random_dataset.visibility.tagging_hidden
+        row_hidden_decided = sum(
+            1
+            for asn in hidden
+            if row.classification_of(asn).tagging in (TaggingClass.TAGGER, TaggingClass.SILENT)
+        )
+        assert row_hidden_decided > 0

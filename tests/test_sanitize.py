@@ -1,0 +1,145 @@
+"""Unit tests for the sanitation pipeline (repro.sanitize.filters)."""
+
+import pytest
+
+from repro.bgp.announcement import RouteObservation
+from repro.bgp.asn import ASNRegistry
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import PrefixAllocation, parse_prefix
+from repro.sanitize.filters import (
+    SanitationConfig,
+    Sanitizer,
+    observations_from_rib_entries,
+    observations_from_updates,
+)
+from repro.bgp.messages import BGPUpdate, PathAttributes, RIBEntry
+
+
+def make_observation(path, peer=None, prefix="8.8.8.0/24", comms=()):
+    path = ASPath(path) if not isinstance(path, ASPath) else path
+    return RouteObservation(
+        collector="rrc00",
+        peer_asn=peer if peer is not None else path.peer,
+        prefix=parse_prefix(prefix),
+        path=path,
+        communities=CommunitySet.from_strings(comms),
+    )
+
+
+@pytest.fixture()
+def registry():
+    return ASNRegistry.from_asns([10, 20, 30, 40, 200000])
+
+
+@pytest.fixture()
+def sanitizer(registry):
+    return Sanitizer(asn_registry=registry, prefix_allocation=PrefixAllocation.default_internet())
+
+
+class TestPathSanitation:
+    def test_clean_path_passes_unchanged(self, sanitizer):
+        path = ASPath([10, 20, 30])
+        assert sanitizer.sanitize_path(path, 10) is path
+
+    def test_as_set_dropped(self, sanitizer):
+        path = ASPath.from_string("10 20 {30,40}")
+        assert sanitizer.sanitize_path(path, 10) is None
+        assert sanitizer.stats.dropped_as_set == 1
+
+    def test_prepending_collapsed(self, sanitizer):
+        result = sanitizer.sanitize_path(ASPath([10, 20, 20, 30]), 10)
+        assert result.asns == (10, 20, 30)
+        assert sanitizer.stats.prepending_collapsed == 1
+
+    def test_peer_prepended_for_route_servers(self, sanitizer):
+        # The MRT peer AS (an IXP route server scenario) differs from A_1.
+        result = sanitizer.sanitize_path(ASPath([20, 30]), peer_asn=10)
+        assert result.asns == (10, 20, 30)
+        assert sanitizer.stats.peer_prepended == 1
+
+    def test_loop_dropped(self, sanitizer):
+        assert sanitizer.sanitize_path(ASPath([10, 20, 10]), 10) is None
+        assert sanitizer.stats.dropped_loop == 1
+
+    def test_unallocated_asn_dropped(self, sanitizer):
+        assert sanitizer.sanitize_path(ASPath([10, 99]), 10) is None
+        assert sanitizer.stats.dropped_unallocated_asn == 1
+
+    def test_private_asn_dropped_even_without_registry(self):
+        sanitizer = Sanitizer()
+        assert sanitizer.sanitize_path(ASPath([10, 64512]), 10) is None
+
+    def test_max_length_filter(self, registry):
+        config = SanitationConfig(max_path_length=2)
+        sanitizer = Sanitizer(asn_registry=registry, config=config)
+        assert sanitizer.sanitize_path(ASPath([10, 20, 30]), 10) is None
+        assert sanitizer.stats.dropped_too_long == 1
+
+    def test_steps_can_be_disabled(self, registry):
+        config = SanitationConfig(drop_as_sets=False, collapse_prepending=False)
+        sanitizer = Sanitizer(asn_registry=registry, config=config)
+        prepended = sanitizer.sanitize_path(ASPath([10, 10, 20]), 10)
+        assert prepended.asns == (10, 10, 20)
+
+
+class TestObservationSanitation:
+    def test_unallocated_prefix_dropped(self, sanitizer):
+        observation = make_observation([10, 20], prefix="10.1.2.0/24")
+        assert sanitizer.sanitize_observation(observation) is None
+        assert sanitizer.stats.dropped_unallocated_prefix == 1
+
+    def test_clean_observation_returned_as_is(self, sanitizer):
+        observation = make_observation([10, 20])
+        assert sanitizer.sanitize_observation(observation) is observation
+
+    def test_rewritten_observation_keeps_metadata(self, sanitizer):
+        observation = make_observation([10, 10, 20], comms=["10:1"])
+        result = sanitizer.sanitize_observation(observation)
+        assert result.path.asns == (10, 20)
+        assert result.collector == observation.collector
+        assert result.communities == observation.communities
+
+    def test_stats_track_in_and_out(self, sanitizer):
+        observations = [
+            make_observation([10, 20]),
+            make_observation([10, 99]),
+            make_observation([10, 20, 30]),
+        ]
+        clean = list(sanitizer.sanitize_observations(observations))
+        assert len(clean) == 2
+        assert sanitizer.stats.observations_in == 3
+        assert sanitizer.stats.observations_out == 2
+        assert sanitizer.stats.dropped_total == 1
+
+    def test_to_unique_tuples_deduplicates(self, sanitizer):
+        observations = [make_observation([10, 20]), make_observation([10, 20])]
+        tuples = sanitizer.to_unique_tuples(observations)
+        assert len(tuples) == 1
+
+    def test_stats_as_dict_keys(self, sanitizer):
+        data = sanitizer.stats.as_dict()
+        assert "observations_in" in data
+        assert "dropped_as_set" in data
+
+
+class TestObservationConversion:
+    def test_from_rib_entries(self):
+        attributes = PathAttributes(as_path=ASPath([10, 20]))
+        entry = RIBEntry(peer_asn=10, prefix=parse_prefix("8.8.8.0/24"), attributes=attributes)
+        (observation,) = list(observations_from_rib_entries("rrc00", [entry]))
+        assert observation.from_rib
+        assert observation.peer_asn == 10
+
+    def test_from_updates_skips_withdrawals(self):
+        attributes = PathAttributes(as_path=ASPath([10, 20]))
+        announce = BGPUpdate(
+            peer_asn=10,
+            timestamp=0,
+            announced=(parse_prefix("8.8.8.0/24"), parse_prefix("9.9.9.0/24")),
+            attributes=attributes,
+        )
+        withdraw = BGPUpdate(peer_asn=10, timestamp=0, withdrawn=(parse_prefix("8.8.8.0/24"),))
+        observations = list(observations_from_updates("rrc00", [announce, withdraw]))
+        assert len(observations) == 2
+        assert all(not o.from_rib for o in observations)

@@ -1,0 +1,140 @@
+"""Unit tests for scenario construction and visibility analysis."""
+
+import pytest
+
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.usage.roles import RoleAssignment, UsageRole
+from repro.usage.scenarios import (
+    GroundTruthDataset,
+    ScenarioBuilder,
+    ScenarioName,
+    assign_realistic_roles,
+    build_scenario,
+)
+from repro.usage.visibility import VisibilityAnalysis
+
+
+def roles_from(codes):
+    return RoleAssignment({asn: UsageRole.from_code(code) for asn, code in codes.items()})
+
+
+class TestVisibilityAnalysis:
+    def test_peers_always_tagging_visible(self):
+        roles = roles_from({1: "sc", 2: "tf", 3: "tf"})
+        analysis = VisibilityAnalysis.from_paths([ASPath([1, 2, 3])], roles)
+        assert 1 in analysis.tagging_visible
+
+    def test_cleaner_hides_downstream_tagging(self):
+        roles = roles_from({1: "sc", 2: "tf", 3: "tf"})
+        analysis = VisibilityAnalysis.from_paths([ASPath([1, 2, 3])], roles)
+        assert 2 in analysis.tagging_hidden
+        assert 3 in analysis.tagging_hidden
+
+    def test_forward_chain_keeps_everything_visible(self):
+        roles = roles_from({1: "tf", 2: "tf", 3: "tf"})
+        analysis = VisibilityAnalysis.from_paths([ASPath([1, 2, 3])], roles)
+        assert analysis.tagging_hidden == set()
+
+    def test_forwarding_needs_downstream_tagger(self):
+        roles = roles_from({1: "sf", 2: "sf", 3: "sf"})
+        analysis = VisibilityAnalysis.from_paths([ASPath([1, 2, 3])], roles)
+        assert analysis.forwarding_visible == set()
+
+    def test_forwarding_visible_with_downstream_tagger(self):
+        roles = roles_from({1: "sf", 2: "sf", 3: "tf"})
+        analysis = VisibilityAnalysis.from_paths([ASPath([1, 2, 3])], roles)
+        assert {1, 2} <= analysis.forwarding_visible
+
+    def test_leaf_detection(self):
+        roles = roles_from({1: "tf", 2: "tf", 3: "tf"})
+        analysis = VisibilityAnalysis.from_paths([ASPath([1, 2, 3]), ASPath([1, 2])], roles)
+        assert 3 in analysis.leaf_ases
+        assert 2 not in analysis.leaf_ases
+        # Leaf ASes never have observable forwarding behaviour.
+        assert 3 not in analysis.forwarding_visible
+
+    def test_visibility_across_multiple_paths(self):
+        # Hidden on one path, visible on another.
+        roles = roles_from({1: "sc", 2: "tf", 3: "tf", 4: "tf"})
+        analysis = VisibilityAnalysis.from_paths(
+            [ASPath([1, 3, 4]), ASPath([2, 3, 4])], roles
+        )
+        assert 3 in analysis.tagging_visible
+        assert 4 in analysis.tagging_visible
+
+    def test_collector_peers_recorded(self):
+        roles = roles_from({1: "tf", 2: "tf", 3: "tf"})
+        analysis = VisibilityAnalysis.from_paths([ASPath([1, 3]), ASPath([2, 3])], roles)
+        assert analysis.collector_peers == {1, 2}
+
+
+class TestScenarioBuilder:
+    def test_requires_paths(self):
+        with pytest.raises(ValueError):
+            ScenarioBuilder([])
+
+    def test_alltf_outputs_all_uppers(self, scenario_builder):
+        dataset = scenario_builder.build(ScenarioName.ALLTF, seed=1)
+        item = max(dataset.tuples, key=lambda t: len(t.path))
+        assert all(item.communities.has_upper(asn) for asn in item.path)
+
+    def test_alltc_outputs_only_peer(self, scenario_builder):
+        dataset = scenario_builder.build(ScenarioName.ALLTC, seed=1)
+        for item in dataset.tuples[:500]:
+            assert item.communities.upper_fields() == {item.peer}
+
+    def test_random_assigns_all_roles(self, random_dataset):
+        counts = random_dataset.role_counts()
+        assert set(counts) == {"tf", "tc", "sf", "sc"}
+        total = sum(counts.values())
+        for count in counts.values():
+            assert count > total * 0.15
+
+    def test_random_scenarios_differ_by_seed(self, scenario_builder):
+        a = scenario_builder.build(ScenarioName.RANDOM, seed=1)
+        b = scenario_builder.build(ScenarioName.RANDOM, seed=2)
+        codes_a = {asn: a.roles[asn].code for asn in list(a.all_ases)[:200]}
+        codes_b = {asn: b.roles[asn].code for asn in codes_a}
+        assert codes_a != codes_b
+
+    def test_selective_scenarios_mark_half_of_taggers(self, scenario_builder):
+        dataset = scenario_builder.build(ScenarioName.RANDOM_P, seed=1)
+        taggers = len(dataset.roles.taggers())
+        selective = len(dataset.roles.selective_taggers())
+        assert abs(selective - taggers / 2) <= 1
+
+    def test_noise_scenario_has_noise_config(self, scenario_builder):
+        dataset = scenario_builder.build(ScenarioName.RANDOM_NOISE, seed=1)
+        assert dataset.noise is not None and dataset.noise.enabled
+
+    def test_build_scenario_convenience(self, path_substrate, topology):
+        dataset = build_scenario(path_substrate[:500], ScenarioName.ALLTC, seed=3)
+        assert dataset.name == "alltc"
+        assert len(dataset.tuples) == 500
+
+    def test_dataset_accessors(self, random_dataset):
+        assert random_dataset.collector_peers
+        assert random_dataset.leaf_ases
+        assert len(random_dataset.paths()) == len(random_dataset.tuples)
+
+
+class TestRealisticRoles:
+    def test_taggers_concentrate_in_the_core(self, topology):
+        from repro.topology.generator import ASTier
+
+        roles = assign_realistic_roles(topology, seed=4)
+        tier1 = topology.by_tier(ASTier.TIER1)
+        stubs = topology.by_tier(ASTier.STUB)
+        tier1_share = sum(1 for a in tier1 if roles[a].is_tagger) / len(tier1)
+        stub_share = sum(1 for a in stubs if roles[a].is_tagger) / len(stubs)
+        assert tier1_share > stub_share
+
+    def test_every_as_gets_a_role(self, topology):
+        roles = assign_realistic_roles(topology, seed=4)
+        assert len(roles) == len(topology)
+
+    def test_deterministic(self, topology):
+        a = assign_realistic_roles(topology, seed=4)
+        b = assign_realistic_roles(topology, seed=4)
+        assert {asn: a[asn].code for asn in a} == {asn: b[asn].code for asn in b}

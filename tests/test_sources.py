@@ -1,0 +1,89 @@
+"""Unit tests for community source classification (repro.sanitize.sources)."""
+
+import pytest
+
+from repro.bgp.asn import ASNRegistry
+from repro.bgp.community import CommunitySet, parse_community
+from repro.bgp.path import ASPath
+from repro.sanitize.sources import (
+    CommunitySource,
+    CommunitySourceTally,
+    classify_community,
+    classify_community_set,
+    filter_usable,
+    usable_for_inference,
+)
+
+
+@pytest.fixture()
+def path():
+    return ASPath([3356, 1299, 2914])
+
+
+class TestClassifyCommunity:
+    def test_peer_community(self, path):
+        assert classify_community(parse_community("3356:1"), path) is CommunitySource.PEER
+
+    def test_foreign_community(self, path):
+        assert classify_community(parse_community("2914:1"), path) is CommunitySource.FOREIGN
+        assert classify_community(parse_community("1299:1"), path) is CommunitySource.FOREIGN
+
+    def test_stray_community(self, path):
+        assert classify_community(parse_community("174:1"), path) is CommunitySource.STRAY
+
+    def test_private_community(self, path):
+        assert classify_community(parse_community("65500:1"), path) is CommunitySource.PRIVATE
+        assert classify_community(parse_community("0:666"), path) is CommunitySource.PRIVATE
+
+    def test_large_community_peer(self, path):
+        assert classify_community(parse_community("3356:1:2"), path) is CommunitySource.PEER
+
+    def test_unallocated_upper_is_private_with_registry(self, path):
+        registry = ASNRegistry.from_asns([3356, 1299, 2914])
+        community = parse_community("174:1")
+        assert classify_community(community, path, registry=registry) is CommunitySource.PRIVATE
+
+    def test_same_community_changes_group_across_paths(self):
+        community = parse_community("1299:1")
+        assert classify_community(community, ASPath([1299, 3356])) is CommunitySource.PEER
+        assert classify_community(community, ASPath([3356, 1299])) is CommunitySource.FOREIGN
+        assert classify_community(community, ASPath([3356, 2914])) is CommunitySource.STRAY
+
+
+class TestClassifySet:
+    def test_counts_include_all_groups(self, path):
+        communities = CommunitySet.from_strings(["3356:1", "2914:2", "174:3", "65000:4"])
+        counts = classify_community_set(communities, path)
+        assert counts[CommunitySource.PEER] == 1
+        assert counts[CommunitySource.FOREIGN] == 1
+        assert counts[CommunitySource.STRAY] == 1
+        assert counts[CommunitySource.PRIVATE] == 1
+
+    def test_empty_set(self, path):
+        counts = classify_community_set(CommunitySet.empty(), path)
+        assert sum(counts.values()) == 0
+
+
+class TestUsability:
+    def test_peer_and_foreign_usable(self, path):
+        assert usable_for_inference(parse_community("3356:1"), path)
+        assert usable_for_inference(parse_community("1299:1"), path)
+
+    def test_stray_and_private_not_usable(self, path):
+        assert not usable_for_inference(parse_community("174:1"), path)
+        assert not usable_for_inference(parse_community("65000:1"), path)
+
+    def test_filter_usable(self, path):
+        communities = CommunitySet.from_strings(["3356:1", "174:1", "65000:1"])
+        assert filter_usable(communities, path).to_strings() == ["3356:1"]
+
+
+class TestTally:
+    def test_tally_accumulates(self, path):
+        tally = CommunitySourceTally()
+        tally.add(CommunitySet.from_strings(["3356:1", "174:2"]), path)
+        tally.add(CommunitySet.from_strings(["3356:2"]), path)
+        assert tally.count(CommunitySource.PEER) == 2
+        assert tally.count(CommunitySource.STRAY) == 1
+        assert tally.unique_upper_fields(CommunitySource.PEER) == 1
+        assert tally.unique_upper_fields() == 2
