@@ -67,7 +67,9 @@ def is_reserved_asn(asn: ASN) -> bool:
     """Return ``True`` for ASNs reserved by the IETF (AS 0, AS_TRANS, ...)."""
     if asn in RESERVED_ASNS:
         return True
-    return any(lo <= asn <= hi for lo, hi in DOCUMENTATION_RANGES)
+    # Unrolled DOCUMENTATION_RANGES: this predicate runs once per path hop
+    # on the sanitation hot path.
+    return 64496 <= asn <= 64511 or 65536 <= asn <= 65551
 
 
 def is_private_asn(asn: ASN) -> bool:

@@ -163,7 +163,11 @@ class ASPath:
     @property
     def has_prepending(self) -> bool:
         """``True`` if the same ASN appears in immediate succession."""
-        return any(a == b for a, b in zip(self._asns, self._asns[1:]))
+        asns = self._asns
+        for i in range(1, len(asns)):
+            if asns[i] == asns[i - 1]:
+                return True
+        return False
 
     @property
     def has_loop(self) -> bool:

@@ -8,8 +8,10 @@ Usage::
 
     python -m repro classify rib.mrt updates.mrt -o classification.txt
     python -m repro classify --threshold 0.95 --format json dump.mrt
+    python -m repro classify --algorithm row dump.mrt    # row-based baseline
     python -m repro demo --scale tiny           # no input data: run on the synthetic Internet
     python -m repro show classification.txt --asn 3356
+    python -m repro stream updates.mrt --window 3600 --checkpoint-dir state/
 """
 
 from __future__ import annotations
@@ -19,7 +21,6 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.collectors.archive import observations_from_mrt
 from repro.core.column import ColumnInference
 from repro.core.export import ClassificationDatabase
 from repro.core.pipeline import InferencePipeline
@@ -37,17 +38,72 @@ def _write_database(database: ClassificationDatabase, output: Optional[str], fmt
 
 def cmd_classify(args: argparse.Namespace) -> int:
     """``classify``: run the pipeline on MRT files."""
-    observations = []
-    for filename in args.inputs:
-        blob = Path(filename).read_bytes()
-        observations.extend(observations_from_mrt(blob, collector=Path(filename).name))
-    pipeline = InferencePipeline(thresholds=Thresholds.uniform(args.threshold))
-    outcome = pipeline.run_from_observations(observations)
+    blobs = {Path(filename).name: Path(filename).read_bytes() for filename in args.inputs}
+    pipeline = InferencePipeline(
+        thresholds=Thresholds.uniform(args.threshold), algorithm=args.algorithm
+    )
+    outcome = pipeline.run_from_mrt(blobs)
     database = ClassificationDatabase.from_result(outcome.result)
     _write_database(database, args.output, args.format)
     print(
         f"classified {len(database)} ASes from {outcome.observations_in} observations "
         f"({outcome.unique_tuples} unique tuples)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """``stream``: replay MRT update archives through the streaming engine."""
+    from repro.stream import (
+        CheckpointManager,
+        MRTReplaySource,
+        StreamConfig,
+        StreamEngine,
+        WindowPolicy,
+        WindowSpec,
+    )
+
+    source = MRTReplaySource.from_files(args.inputs, order=args.order)
+    manager = CheckpointManager(args.checkpoint_dir) if args.checkpoint_dir else None
+
+    def report(snapshot) -> None:
+        summary = snapshot.summary()
+        print(
+            f"window [{snapshot.window_start}, {snapshot.window_end}): "
+            f"{summary['events_total']} events, {summary['unique_tuples']} tuples, "
+            f"{summary['ases_observed']} ASes, {summary['changed_ases']} changed",
+            file=sys.stderr,
+        )
+
+    if args.resume and manager is not None and manager.latest() is not None:
+        engine = StreamEngine.restore(manager, on_window=report)
+        print(f"resumed from {manager.latest()}", file=sys.stderr)
+    else:
+        config = StreamConfig(
+            window=WindowSpec(
+                size=args.window,
+                policy=WindowPolicy(args.policy),
+                horizon=args.horizon,
+                allowed_lateness=args.allowed_lateness,
+            ),
+            shards=args.shards,
+            algorithm=args.algorithm,
+            thresholds=Thresholds.uniform(args.threshold),
+            checkpoint_every=args.checkpoint_every,
+        )
+        engine = StreamEngine(config, checkpoints=manager, on_window=report)
+
+    result = engine.run(source)
+    if manager is not None:
+        engine.checkpoint()
+    database = ClassificationDatabase.from_result(result)
+    _write_database(database, args.output, args.format)
+    stats = engine.stats
+    print(
+        f"streamed {stats.events_in} events through {stats.windows_closed} windows: "
+        f"classified {len(database)} ASes ({engine.unique_tuples} unique tuples, "
+        f"{engine.late_events} late events, {stats.checkpoints_written} checkpoints)",
         file=sys.stderr,
     )
     return 0
@@ -100,7 +156,50 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("-o", "--output", help="output file (default: stdout)")
     classify.add_argument("--format", choices=("text", "json"), default="text")
     classify.add_argument("--threshold", type=float, default=0.99)
+    classify.add_argument(
+        "--algorithm",
+        choices=("column", "row"),
+        default="column",
+        help="inference algorithm: the paper's column-based (default) or the row baseline",
+    )
     classify.set_defaults(handler=cmd_classify)
+
+    stream = subparsers.add_parser(
+        "stream", help="replay MRT update archives through the streaming engine"
+    )
+    stream.add_argument("inputs", nargs="+", help="MRT files to replay as an update feed")
+    stream.add_argument("-o", "--output", help="output file (default: stdout)")
+    stream.add_argument("--format", choices=("text", "json"), default="text")
+    stream.add_argument("--threshold", type=float, default=0.99)
+    stream.add_argument("--algorithm", choices=("column", "row"), default="column")
+    stream.add_argument(
+        "--window", type=int, default=3600, help="window size in seconds of event time"
+    )
+    stream.add_argument(
+        "--policy",
+        choices=("cumulative", "sliding"),
+        default="cumulative",
+        help="cumulative keeps all evidence; sliding retains only a trailing horizon",
+    )
+    stream.add_argument(
+        "--horizon", type=int, default=None, help="sliding retention span (default: 4 windows)"
+    )
+    stream.add_argument("--allowed-lateness", type=int, default=0)
+    stream.add_argument("--shards", type=int, default=1, help="per-AS-partition workers")
+    stream.add_argument(
+        "--order",
+        choices=("archive", "time"),
+        default="archive",
+        help="replay in stored record order (lazy) or globally time-sorted",
+    )
+    stream.add_argument("--checkpoint-dir", help="directory for engine state checkpoints")
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=None, help="auto-checkpoint every N events"
+    )
+    stream.add_argument(
+        "--resume", action="store_true", help="resume from the latest checkpoint if present"
+    )
+    stream.set_defaults(handler=cmd_stream)
 
     demo = subparsers.add_parser("demo", help="classify the synthetic Internet")
     demo.add_argument("--scale", choices=("tiny", "small", "default", "large"), default="tiny")

@@ -227,10 +227,14 @@ class CollectorArchive:
         return blobs
 
 
-def observations_from_mrt(blob: bytes, collector: str) -> List[RouteObservation]:
-    """Decode one collector's MRT blob back into route observations."""
+def iter_observations_from_mrt(blob: bytes, collector: str) -> Iterator[RouteObservation]:
+    """Lazily decode one collector's MRT blob into route observations.
+
+    Records are decoded on demand, so a multi-gigabyte archive can be
+    streamed through the sanitizer (or the streaming engine) without ever
+    materialising the full observation list.
+    """
     decoder = MRTDecoder(blob)
-    observations: List[RouteObservation] = []
     peer_table: Optional[PeerIndexTable] = None
     for record in decoder:
         if isinstance(record, PeerIndexTable):
@@ -239,31 +243,31 @@ def observations_from_mrt(blob: bytes, collector: str) -> List[RouteObservation]
             if peer_table is None:
                 raise ValueError("RIB record before PEER_INDEX_TABLE")
             for entry in record.to_rib_entries(peer_table):
-                observations.append(
-                    RouteObservation(
-                        collector=collector,
-                        peer_asn=entry.peer_asn,
-                        prefix=entry.prefix,
-                        path=entry.as_path,
-                        communities=entry.communities,
-                        timestamp=entry.timestamp,
-                        from_rib=True,
-                    )
+                yield RouteObservation(
+                    collector=collector,
+                    peer_asn=entry.peer_asn,
+                    prefix=entry.prefix,
+                    path=entry.as_path,
+                    communities=entry.communities,
+                    timestamp=entry.timestamp,
+                    from_rib=True,
                 )
         elif isinstance(record, BGP4MPMessage) and record.update is not None:
             update = record.update
             if update.attributes is None:
                 continue
             for prefix in update.announced:
-                observations.append(
-                    RouteObservation(
-                        collector=collector,
-                        peer_asn=update.peer_asn,
-                        prefix=prefix,
-                        path=update.attributes.as_path,
-                        communities=update.attributes.communities,
-                        timestamp=update.timestamp,
-                        from_rib=False,
-                    )
+                yield RouteObservation(
+                    collector=collector,
+                    peer_asn=update.peer_asn,
+                    prefix=prefix,
+                    path=update.attributes.as_path,
+                    communities=update.attributes.communities,
+                    timestamp=update.timestamp,
+                    from_rib=False,
                 )
-    return observations
+
+
+def observations_from_mrt(blob: bytes, collector: str) -> List[RouteObservation]:
+    """Decode one collector's MRT blob back into route observations."""
+    return list(iter_observations_from_mrt(blob, collector))

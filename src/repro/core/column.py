@@ -13,8 +13,12 @@ performs two passes:
 
 Knowledge gained at lower indices (starting with the trivially observable
 collector peers at index 1) feeds the condition checks at higher indices.
-The loop stops as soon as a column produces no new evidence, which in
-practice happens around index 7 (the paper makes the same observation).
+Within one pass the knowledge is pinned to a :class:`DecisionView` snapshot
+taken when the pass starts, which makes every pass a pure function of
+``(tuples, decisions)``; the streaming engine exploits this purity to count
+only newly arrived tuples when the decisions are unchanged.  The loop stops
+as soon as a column produces no new evidence, which in practice happens
+around index 7 (the paper makes the same observation).
 """
 
 from __future__ import annotations
@@ -24,10 +28,113 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN
-from repro.core.conditions import cond1, find_downstream_tagger
-from repro.core.counters import CounterStore
+from repro.core.counters import CounterStore, DecisionView
 from repro.core.results import ClassificationResult
 from repro.core.thresholds import Thresholds
+
+#: The internal per-tuple form: ``(path ASNs, upper fields of output(A_1))``.
+PreparedTuple = Tuple[Tuple[ASN, ...], FrozenSet[ASN]]
+
+#: Per-AS two-component counter deltas produced by one counting phase
+#: (``[dt, ds]`` for tagging phases, ``[df, dc]`` for forwarding phases).
+PhaseDelta = Dict[ASN, List[int]]
+
+
+def prepare_tuple(item: PathCommTuple) -> PreparedTuple:
+    """Pre-compute the membership-test form of one ``(path, comm)`` tuple."""
+    return (item.path.asns, frozenset(item.communities.upper_fields()))
+
+
+def prepare_tuples(tuples: Iterable[PathCommTuple]) -> List[PreparedTuple]:
+    """Pre-compute the membership-test form of many tuples."""
+    return [prepare_tuple(item) for item in tuples]
+
+
+def count_tagging_phase(
+    prepared: Sequence[PreparedTuple],
+    column: int,
+    decisions: DecisionView,
+) -> Tuple[PhaseDelta, int]:
+    """Phase 1 of one column: count tagging evidence.
+
+    Pure in ``(prepared, column, decisions)``; returns the per-AS
+    ``[dt, ds]`` deltas and the number of increments (the stall signal).
+    """
+    delta: PhaseDelta = {}
+    increments = 0
+    forward_ases = decisions.forward_ases
+    check_cond1 = column > 1
+    for asns, uppers in prepared:
+        if len(asns) < column:
+            continue
+        if check_cond1:
+            # Cond1: every AS between the collector and A_x must forward.
+            qualified = True
+            for i in range(column - 1):
+                if asns[i] not in forward_ases:
+                    qualified = False
+                    break
+            if not qualified:
+                continue
+        asn = asns[column - 1]
+        entry = delta.get(asn)
+        if entry is None:
+            entry = delta[asn] = [0, 0]
+        if asn in uppers:
+            entry[0] += 1
+        else:
+            entry[1] += 1
+        increments += 1
+    return delta, increments
+
+
+def count_forwarding_phase(
+    prepared: Sequence[PreparedTuple],
+    column: int,
+    decisions: DecisionView,
+) -> Tuple[PhaseDelta, int]:
+    """Phase 2 of one column: count forwarding evidence.
+
+    Pure in ``(prepared, column, decisions)``; returns the per-AS
+    ``[df, dc]`` deltas and the number of increments (the stall signal).
+    """
+    delta: PhaseDelta = {}
+    increments = 0
+    tagger_ases = decisions.tagger_ases
+    forward_ases = decisions.forward_ases
+    check_cond1 = column > 1
+    for asns, uppers in prepared:
+        if len(asns) < column:
+            continue
+        if check_cond1:
+            qualified = True
+            for i in range(column - 1):
+                if asns[i] not in forward_ases:
+                    qualified = False
+                    break
+            if not qualified:
+                continue
+        # Cond2: nearest downstream tagger reachable through forward ASes.
+        tagger_asn: Optional[ASN] = None
+        for position in range(column, len(asns)):
+            candidate = asns[position]
+            if candidate in tagger_ases:
+                tagger_asn = candidate
+                break
+            if candidate not in forward_ases:
+                break
+        if tagger_asn is None:
+            continue
+        asn = asns[column - 1]
+        entry = delta.get(asn)
+        if entry is None:
+            entry = delta[asn] = [0, 0]
+        if tagger_asn in uppers:
+            entry[0] += 1
+        else:
+            entry[1] += 1
+        increments += 1
+    return delta, increments
 
 
 @dataclass
@@ -74,7 +181,7 @@ class ColumnInference:
 
         # Pre-compute the upper-field sets once; membership tests dominate the
         # inner loops.
-        prepared: List[Tuple[Tuple[ASN, ...], FrozenSet[ASN]]] = []
+        prepared: List[PreparedTuple] = []
         max_length = 0
         for item in tuples:
             asns = item.path.asns
@@ -87,8 +194,14 @@ class ColumnInference:
         self.report = ColumnInferenceReport()
 
         for column in range(1, limit + 1):
-            tagging_increments = self._count_tagging_column(prepared, column, store)
-            forwarding_increments = self._count_forwarding_column(prepared, column, store)
+            tagging_delta, tagging_increments = count_tagging_phase(
+                prepared, column, store.decision_view()
+            )
+            store.apply_tagging_delta(tagging_delta)
+            forwarding_delta, forwarding_increments = count_forwarding_phase(
+                prepared, column, store.decision_view()
+            )
+            store.apply_forwarding_delta(forwarding_delta)
             self.report.columns_processed = column
             self.report.tagging_counts_per_column.append(tagging_increments)
             self.report.forwarding_counts_per_column.append(forwarding_increments)
@@ -101,68 +214,3 @@ class ColumnInference:
                 break
 
         return ClassificationResult(store=store, observed_ases=observed, algorithm="column")
-
-    # -- per-column passes ----------------------------------------------------------------
-    @staticmethod
-    def _cond1_holds(asns: Tuple[ASN, ...], index: int, store: CounterStore) -> bool:
-        """Cond1 for a raw ASN tuple (avoids re-wrapping into ASPath)."""
-        is_forward = store.is_forward
-        for i in range(index - 1):
-            if not is_forward(asns[i]):
-                return False
-        return True
-
-    def _count_tagging_column(
-        self,
-        prepared: Sequence[Tuple[Tuple[ASN, ...], FrozenSet[ASN]]],
-        column: int,
-        store: CounterStore,
-    ) -> int:
-        """Phase 1 of one column: count tagging evidence.  Returns increments."""
-        increments = 0
-        for asns, uppers in prepared:
-            if len(asns) < column:
-                continue
-            if column > 1 and not self._cond1_holds(asns, column, store):
-                continue
-            asn = asns[column - 1]
-            if asn in uppers:
-                store.count_tagger(asn)
-            else:
-                store.count_silent(asn)
-            increments += 1
-        return increments
-
-    def _count_forwarding_column(
-        self,
-        prepared: Sequence[Tuple[Tuple[ASN, ...], FrozenSet[ASN]]],
-        column: int,
-        store: CounterStore,
-    ) -> int:
-        """Phase 2 of one column: count forwarding evidence.  Returns increments."""
-        increments = 0
-        is_tagger = store.is_tagger
-        is_forward = store.is_forward
-        for asns, uppers in prepared:
-            if len(asns) < column:
-                continue
-            if column > 1 and not self._cond1_holds(asns, column, store):
-                continue
-            # Cond2: nearest downstream tagger reachable through forward ASes.
-            tagger_asn: Optional[ASN] = None
-            for position in range(column, len(asns)):
-                candidate = asns[position]
-                if is_tagger(candidate):
-                    tagger_asn = candidate
-                    break
-                if not is_forward(candidate):
-                    break
-            if tagger_asn is None:
-                continue
-            asn = asns[column - 1]
-            if tagger_asn in uppers:
-                store.count_forward(asn)
-            else:
-                store.count_cleaner(asn)
-            increments += 1
-        return increments

@@ -14,7 +14,7 @@ the final classification.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.bgp.asn import ASN
 from repro.core.classes import ForwardingClass, TaggingClass, UsageClassification
@@ -75,6 +75,51 @@ class ASCounters:
         """``(t, s, f, c)`` for compact comparisons in tests."""
         return (self.tagger, self.silent, self.forward, self.cleaner)
 
+    @classmethod
+    def from_tuple(cls, values: Sequence[int]) -> "ASCounters":
+        """Inverse of :meth:`as_tuple` (used by checkpoint restore)."""
+        tagger, silent, forward, cleaner = values
+        return cls(tagger=tagger, silent=silent, forward=forward, cleaner=cleaner)
+
+    def decay(self, factor: float) -> "ASCounters":
+        """Multiplicatively age all four counters (streaming decay)."""
+        return ASCounters(
+            tagger=int(self.tagger * factor),
+            silent=int(self.silent * factor),
+            forward=int(self.forward * factor),
+            cleaner=int(self.cleaner * factor),
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        """``True`` when no evidence at all is recorded."""
+        return not (self.tagger or self.silent or self.forward or self.cleaner)
+
+
+@dataclass(frozen=True)
+class DecisionView:
+    """Frozen snapshot of the threshold predicates of a counter state.
+
+    The column algorithm consults ``is_tagger`` / ``is_forward`` while
+    counting; a :class:`DecisionView` pins the answers to the knowledge at a
+    well-defined point (the start of a counting phase), which makes every
+    phase a pure function of ``(tuples, decisions)``.  The streaming engine
+    relies on this purity: when the decision view of a phase is unchanged
+    between two runs, previously counted tuples contribute exactly the same
+    deltas and only new tuples need to be counted.
+    """
+
+    tagger_ases: FrozenSet[ASN]
+    forward_ases: FrozenSet[ASN]
+
+    def is_tagger(self, asn: ASN) -> bool:
+        """Snapshot answer to :meth:`CounterStore.is_tagger`."""
+        return asn in self.tagger_ases
+
+    def is_forward(self, asn: ASN) -> bool:
+        """Snapshot answer to :meth:`CounterStore.is_forward`."""
+        return asn in self.forward_ases
+
 
 class CounterStore:
     """The counters of all ASes plus the threshold queries over them."""
@@ -107,6 +152,94 @@ class CounterStore:
     def count_cleaner(self, asn: ASN) -> None:
         """Record one piece of cleaner evidence (``c[A]++``)."""
         self.counters_for(asn).cleaner += 1
+
+    # -- incremental updates (streaming engine) --------------------------------------
+    def apply_tagging_delta(self, delta: Mapping[ASN, Sequence[int]]) -> None:
+        """Apply ``{asn: (dt, ds)}`` tagging deltas (may be negative)."""
+        for asn, (d_tagger, d_silent) in delta.items():
+            counters = self.counters_for(asn)
+            counters.tagger += d_tagger
+            counters.silent += d_silent
+
+    def apply_forwarding_delta(self, delta: Mapping[ASN, Sequence[int]]) -> None:
+        """Apply ``{asn: (df, dc)}`` forwarding deltas (may be negative)."""
+        for asn, (d_forward, d_cleaner) in delta.items():
+            counters = self.counters_for(asn)
+            counters.forward += d_forward
+            counters.cleaner += d_cleaner
+
+    def apply_delta(self, delta: Mapping[ASN, Sequence[int]]) -> None:
+        """Apply full ``{asn: (dt, ds, df, dc)}`` deltas (may be negative).
+
+        Negative components retract previously counted evidence, which is how
+        the streaming engine evicts expired tuples without a full recount.
+        """
+        for asn, (d_tagger, d_silent, d_forward, d_cleaner) in delta.items():
+            counters = self.counters_for(asn)
+            counters.tagger += d_tagger
+            counters.silent += d_silent
+            counters.forward += d_forward
+            counters.cleaner += d_cleaner
+
+    def prune_zeros(self) -> int:
+        """Drop ASes whose evidence was fully retracted; returns the count.
+
+        Keeps the store's membership semantics identical to one that never
+        saw the retracted evidence (used after negative-delta eviction).
+        """
+        zeroed = [asn for asn, counters in self._counters.items() if counters.is_zero]
+        for asn in zeroed:
+            del self._counters[asn]
+        return len(zeroed)
+
+    def decay(self, factor: float, *, prune: bool = True) -> None:
+        """Multiplicatively age every counter by ``factor`` in ``[0, 1]``.
+
+        Streaming deployments use decay to let stale evidence fade out
+        between windows instead of recounting from scratch.  With *prune*,
+        ASes whose evidence decayed to zero are dropped entirely.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"decay factor must be within [0, 1], got {factor}")
+        decayed: Dict[ASN, ASCounters] = {}
+        for asn, counters in self._counters.items():
+            aged = counters.decay(factor)
+            if prune and aged.is_zero:
+                continue
+            decayed[asn] = aged
+        self._counters = decayed
+
+    def decision_view(self) -> DecisionView:
+        """Snapshot the ``is_tagger`` / ``is_forward`` predicates of all ASes."""
+        tagger_threshold = self.thresholds.tagger
+        forward_threshold = self.thresholds.forward
+        taggers = []
+        forwards = []
+        for asn, counters in self._counters.items():
+            tagging_total = counters.tagger + counters.silent
+            if tagging_total and counters.tagger / tagging_total >= tagger_threshold:
+                taggers.append(asn)
+            forwarding_total = counters.forward + counters.cleaner
+            if forwarding_total and counters.forward / forwarding_total >= forward_threshold:
+                forwards.append(asn)
+        return DecisionView(frozenset(taggers), frozenset(forwards))
+
+    # -- (de)serialisation (checkpointing) ------------------------------------------
+    def state_dict(self) -> Dict[ASN, Tuple[int, int, int, int]]:
+        """Plain-data snapshot of every AS's counters."""
+        return {asn: counters.as_tuple() for asn, counters in self._counters.items()}
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Mapping[ASN, Sequence[int]],
+        thresholds: Optional[Thresholds] = None,
+    ) -> "CounterStore":
+        """Rebuild a store from a :meth:`state_dict` snapshot."""
+        store = cls(thresholds)
+        for asn, values in state.items():
+            store._counters[asn] = ASCounters.from_tuple(values)
+        return store
 
     # -- lookup ----------------------------------------------------------------------
     def get(self, asn: ASN) -> ASCounters:

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.asn import ASNRegistry
 from repro.bgp.prefix import PrefixAllocation
-from repro.collectors.archive import observations_from_mrt
+from repro.collectors.archive import iter_observations_from_mrt
 from repro.core.column import ColumnInference
 from repro.core.results import ClassificationResult
 from repro.core.row import RowInference
@@ -85,8 +85,13 @@ class InferencePipeline:
         return ColumnInference(self.thresholds)
 
     # -- entry points ----------------------------------------------------------------------
-    def run_from_observations(self, observations: Sequence[RouteObservation]) -> PipelineResult:
-        """Sanitize, deduplicate, and classify a list of observations."""
+    def run_from_observations(self, observations: Iterable[RouteObservation]) -> PipelineResult:
+        """Sanitize, deduplicate, and classify observations.
+
+        *observations* may be any iterable, including a lazy generator: the
+        input is streamed through the sanitizer one observation at a time, so
+        only the deduplicated unique tuples are ever held in memory.
+        """
         sanitizer = self._make_sanitizer()
         tuples = sanitizer.to_unique_tuples(observations)
         inference = self._make_inference()
@@ -95,24 +100,32 @@ class InferencePipeline:
             result=result,
             tuples=tuples,
             sanitation=sanitizer.stats,
-            observations_in=len(observations),
+            observations_in=sanitizer.stats.observations_in,
         )
 
-    def run_from_tuples(self, tuples: Sequence[PathCommTuple]) -> PipelineResult:
+    def run_from_tuples(self, tuples: Iterable[PathCommTuple]) -> PipelineResult:
         """Classify pre-sanitized ``(path, comm)`` tuples directly."""
+        materialized = list(tuples)
         inference = self._make_inference()
-        result = inference.run(list(tuples))
-        stats = SanitationStats(observations_in=len(tuples), observations_out=len(tuples))
+        result = inference.run(materialized)
+        count = len(materialized)
+        stats = SanitationStats(observations_in=count, observations_out=count)
         return PipelineResult(
             result=result,
-            tuples=list(tuples),
+            tuples=materialized,
             sanitation=stats,
-            observations_in=len(tuples),
+            observations_in=count,
         )
 
     def run_from_mrt(self, blobs: Mapping[str, bytes]) -> PipelineResult:
-        """Decode per-collector MRT blobs, then sanitize and classify."""
-        observations: List[RouteObservation] = []
-        for collector, blob in blobs.items():
-            observations.extend(observations_from_mrt(blob, collector))
+        """Decode per-collector MRT blobs, then sanitize and classify.
+
+        Decoding is lazy: records stream straight from the decoder into the
+        sanitizer without materialising per-collector observation lists.
+        """
+        observations = (
+            observation
+            for collector, blob in blobs.items()
+            for observation in iter_observations_from_mrt(blob, collector)
+        )
         return self.run_from_observations(observations)

@@ -121,6 +121,34 @@ class ClassificationResult:
         """A :class:`collections.Counter` over two-character codes."""
         return Counter(self.classification_of(asn).code for asn in self.observed_ases)
 
+    # -- incremental / streaming views -------------------------------------------------
+    def as_code_map(self) -> Dict[ASN, str]:
+        """Flat ``{asn: code}`` view, the unit of streaming diffs."""
+        return {asn: self.classification_of(asn).code for asn in self.observed_ases}
+
+    def changed_since(self, previous: Mapping[ASN, str]) -> Dict[ASN, Tuple[str, str]]:
+        """Classification changes relative to an earlier :meth:`as_code_map`.
+
+        Returns ``{asn: (old_code, new_code)}`` for every AS whose code
+        changed; ASes not present earlier appear with ``old_code == "nn"``,
+        and ASes that disappeared (all their evidence evicted under a
+        sliding window) appear with ``new_code == "nn"``.  The streaming
+        engine emits this per window so consumers can follow a live
+        classification database without re-reading it wholesale.
+        """
+        changes: Dict[ASN, Tuple[str, str]] = {}
+        unclassified = UNCLASSIFIED.code
+        for asn in self.observed_ases:
+            new_code = self.classification_of(asn).code
+            old_code = previous.get(asn, unclassified)
+            if new_code != old_code:
+                changes[asn] = (old_code, new_code)
+        observed = self.observed_ases
+        for asn, old_code in previous.items():
+            if asn not in observed and old_code != unclassified:
+                changes[asn] = (old_code, unclassified)
+        return changes
+
     def summary(self) -> Dict[str, int]:
         """A flat summary dictionary used by reports and benchmarks."""
         tagging = self.tagging_counts()

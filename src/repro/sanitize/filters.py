@@ -86,6 +86,10 @@ class Sanitizer:
         self.prefix_allocation = prefix_allocation
         self.config = config or SanitationConfig()
         self.stats = SanitationStats()
+        # Memo for the pure is_public_asn predicate; paths repeat heavily in
+        # update streams, and registry allocation (which can change) is
+        # deliberately NOT cached.
+        self._public_asn_cache: Dict[ASN, bool] = {}
 
     # -- single-observation path --------------------------------------------
     def sanitize_path(self, path: ASPath, peer_asn: Optional[ASN] = None) -> Optional[ASPath]:
@@ -111,10 +115,13 @@ class Sanitizer:
             return None
 
         if config.drop_unallocated_asns:
+            cache = self._public_asn_cache
+            registry = self.asn_registry
             for asn in path:
-                if not is_public_asn(asn) or (
-                    self.asn_registry is not None and not self.asn_registry.is_allocated(asn)
-                ):
+                public = cache.get(asn)
+                if public is None:
+                    public = cache[asn] = is_public_asn(asn)
+                if not public or (registry is not None and not registry.is_allocated(asn)):
                     self.stats.dropped_unallocated_asn += 1
                     return None
 
@@ -161,17 +168,72 @@ class Sanitizer:
             if sanitized is not None:
                 yield sanitized
 
+    def iter_unique_tuples(
+        self,
+        observations: Iterable[RouteObservation],
+        deduper: Optional["TupleDeduper"] = None,
+    ) -> Iterator[PathCommTuple]:
+        """Lazily sanitize and deduplicate into unique ``(path, comm)`` tuples.
+
+        This is the streaming fast path: observations are pulled one at a
+        time, so arbitrarily large inputs flow through in constant memory
+        (modulo the dedup set).  Passing a shared :class:`TupleDeduper` lets
+        several calls (e.g. successive stream batches) share dedup state.
+        """
+        deduper = deduper if deduper is not None else TupleDeduper()
+        for observation in self.sanitize_observations(observations):
+            unique = deduper.add(observation)
+            if unique is not None:
+                yield unique
+
     def to_unique_tuples(self, observations: Iterable[RouteObservation]) -> List[PathCommTuple]:
         """Sanitize and deduplicate into unique ``(path, comm)`` tuples."""
-        seen: Set[Tuple[ASPath, CommunitySet]] = set()
-        result: List[PathCommTuple] = []
-        for observation in self.sanitize_observations(observations):
-            key = (observation.path, observation.communities)
-            if key in seen:
-                continue
-            seen.add(key)
-            result.append(PathCommTuple(observation.path, observation.communities))
-        return result
+        return list(self.iter_unique_tuples(observations))
+
+
+class TupleDeduper:
+    """Stateful first-appearance deduplication of ``(path, comm)`` pairs.
+
+    The streaming engine keeps one deduper per shard so that replaying an
+    archive yields exactly the unique tuples the batch pipeline would see.
+    """
+
+    __slots__ = ("_seen",)
+
+    def __init__(self, seen: Optional[Set[Tuple[ASPath, CommunitySet]]] = None) -> None:
+        self._seen: Set[Tuple[ASPath, CommunitySet]] = seen if seen is not None else set()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._seen
+
+    def add(self, observation: RouteObservation) -> Optional[PathCommTuple]:
+        """Return the observation's tuple if unseen so far, else ``None``."""
+        key = (observation.path, observation.communities)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        return PathCommTuple(observation.path, observation.communities)
+
+    def discard(self, keys: Iterable[Tuple[ASPath, CommunitySet]]) -> int:
+        """Forget *keys* (window eviction); returns how many were present."""
+        removed = 0
+        for key in keys:
+            if key in self._seen:
+                self._seen.remove(key)
+                removed += 1
+        return removed
+
+    def state_dict(self) -> Set[Tuple[ASPath, CommunitySet]]:
+        """The raw seen-set (checkpointing)."""
+        return self._seen
+
+    @classmethod
+    def from_state(cls, state: Set[Tuple[ASPath, CommunitySet]]) -> "TupleDeduper":
+        """Rebuild a deduper from :meth:`state_dict` output."""
+        return cls(seen=state)
 
 
 def observations_from_rib_entries(

@@ -1,0 +1,327 @@
+"""The streaming classification engine.
+
+Consumes BGP update events from any :mod:`repro.stream.sources` feed,
+shards them across per-partition sanitation workers, folds newly observed
+``(path, comm)`` tuples into an incremental classifier, and emits a
+:class:`WindowSnapshot` with the up-to-date per-AS classification every time
+an event-time window closes.  State is periodically checkpointed so a
+restarted engine resumes exactly where it left off.
+
+Invariants the tests pin down:
+
+* **batch equivalence** -- fully draining any feed under the cumulative
+  policy yields a classification identical to
+  :meth:`repro.core.pipeline.InferencePipeline.run_from_observations` over
+  the same events, for any shard count and any event order;
+* **checkpoint transparency** -- checkpoint + restore mid-stream and
+  continuing produces the same final state as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.bgp.announcement import PathCommTuple, RouteObservation
+from repro.bgp.asn import ASN, ASNRegistry
+from repro.bgp.prefix import PrefixAllocation
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+from repro.sanitize.filters import SanitationConfig, SanitationStats
+from repro.stream.checkpoint import CheckpointManager
+from repro.stream.incremental import classifier_from_state, make_classifier
+from repro.stream.sharding import ShardRouter
+from repro.stream.window import ClosedWindow, WindowClock, WindowPolicy, WindowSpec
+
+
+@dataclass
+class StreamConfig:
+    """Everything that shapes one streaming engine instance."""
+
+    window: WindowSpec = field(default_factory=WindowSpec)
+    shards: int = 1
+    algorithm: str = "column"
+    thresholds: Thresholds = field(default_factory=Thresholds)
+    sanitation: Optional[SanitationConfig] = None
+    max_columns: Optional[int] = None
+    #: Auto-checkpoint after this many ingested events (None = only manual).
+    checkpoint_every: Optional[int] = None
+    #: Window snapshots retained in memory.
+    max_snapshots: int = 64
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("column", "row"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+
+@dataclass
+class StreamStats:
+    """Live counters describing what the engine has done so far."""
+
+    events_in: int = 0
+    windows_closed: int = 0
+    tuples_evicted: int = 0
+    checkpoints_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for reporting."""
+        return {
+            "events_in": self.events_in,
+            "windows_closed": self.windows_closed,
+            "tuples_evicted": self.tuples_evicted,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+
+@dataclass
+class WindowSnapshot:
+    """What the engine emits when a window closes."""
+
+    window_start: int
+    window_end: int
+    #: Empty windows collapsed into this close (quiet feed).
+    skipped_windows: int
+    events_total: int
+    unique_tuples: int
+    result: ClassificationResult
+    #: ``{asn: (old_code, new_code)}`` relative to the previous snapshot.
+    changed: Dict[ASN, Tuple[str, str]]
+
+    def summary(self) -> Dict[str, int]:
+        """Flat summary for logging and the CLI."""
+        return {
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "events_total": self.events_total,
+            "unique_tuples": self.unique_tuples,
+            "changed_ases": len(self.changed),
+            **self.result.summary(),
+        }
+
+
+#: Key identifying a unique ``(path, comm)`` tuple inside the engine.
+TupleKey = Tuple
+
+
+class StreamEngine:
+    """Incremental, windowed, checkpointable community-usage classification."""
+
+    def __init__(
+        self,
+        config: Optional[StreamConfig] = None,
+        *,
+        asn_registry: Optional[ASNRegistry] = None,
+        prefix_allocation: Optional[PrefixAllocation] = None,
+        checkpoints: Optional[CheckpointManager] = None,
+        on_window: Optional[Callable[[WindowSnapshot], None]] = None,
+    ) -> None:
+        self.config = config or StreamConfig()
+        if (
+            self.config.shards > 1
+            and self.config.sanitation is not None
+            and not self.config.sanitation.prepend_peer_asn
+        ):
+            # Routing is by the raw observation's peer AS; without peer
+            # prepending, identical sanitized tuples could reach different
+            # shards and be double-counted against their dedupers.
+            raise ValueError(
+                "sharding requires SanitationConfig.prepend_peer_asn "
+                "(tuple identity must be owned by a single shard)"
+            )
+        self.checkpoints = checkpoints
+        self.on_window = on_window
+        self.stats = StreamStats()
+        self.snapshots: List[WindowSnapshot] = []
+        self._asn_registry = asn_registry
+        self._prefix_allocation = prefix_allocation
+        self.router = ShardRouter(
+            self.config.shards,
+            asn_registry=asn_registry,
+            prefix_allocation=prefix_allocation,
+            sanitation=self.config.sanitation,
+        )
+        self.clock = WindowClock(self.config.window)
+        self.classifier = make_classifier(
+            self.config.algorithm,
+            self.config.thresholds,
+            max_columns=self.config.max_columns,
+        )
+        self._last_codes: Dict[ASN, str] = {}
+        #: Sliding policy only: tuple key -> (last observed event time, shard).
+        self._last_seen: Dict[TupleKey, Tuple[int, int]] = {}
+        self._events_since_checkpoint = 0
+
+    # -- convenience views --------------------------------------------------------------
+    @property
+    def unique_tuples(self) -> int:
+        """Unique ``(path, comm)`` tuples currently folded in."""
+        return self.router.unique_tuples
+
+    @property
+    def late_events(self) -> int:
+        """Events that arrived behind the watermark."""
+        return self.clock.late_events
+
+    def sanitation_stats(self) -> SanitationStats:
+        """Merged sanitation statistics across all shards."""
+        return self.router.sanitation_stats()
+
+    # -- ingestion ----------------------------------------------------------------------
+    def ingest(self, observation: RouteObservation) -> None:
+        """Feed one update event into the engine.
+
+        The window clock advances first, so an event whose timestamp crosses
+        a window boundary closes (and flushes) that window before the event
+        itself is counted into the next one.
+        """
+        closed = self.clock.advance(observation.timestamp)
+        if closed is not None:
+            self._flush(closed)
+        self.stats.events_in += 1
+        worker = self.router.worker_for(observation)
+        outcome = worker.process(observation)
+        if outcome is not None:
+            key, new_tuple = outcome
+            if self.config.window.policy is WindowPolicy.SLIDING:
+                previous = self._last_seen.get(key)
+                # A late out-of-order duplicate must not rewind retention.
+                if previous is None or observation.timestamp > previous[0]:
+                    self._last_seen[key] = (observation.timestamp, worker.shard_id)
+            if new_tuple is not None:
+                self.classifier.add_tuple(new_tuple)
+        self._events_since_checkpoint += 1
+        if (
+            self.checkpoints is not None
+            and self.config.checkpoint_every is not None
+            and self._events_since_checkpoint >= self.config.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def run(
+        self, source: Iterable[RouteObservation], *, finish: bool = True
+    ) -> ClassificationResult:
+        """Drain *source* through the engine; returns the final result."""
+        for observation in source:
+            self.ingest(observation)
+        if finish:
+            return self.finish()
+        return self.result()
+
+    def finish(self) -> ClassificationResult:
+        """Close the in-progress window and return the final classification."""
+        closed = self.clock.close_current()
+        if closed is not None:
+            self._flush(closed)
+        else:
+            self.classifier.update()
+        return self.classifier.result()
+
+    def result(self) -> ClassificationResult:
+        """The classification as of the last window flush."""
+        return self.classifier.result()
+
+    # -- window handling ----------------------------------------------------------------
+    def _evict_expired(self, cutoff: int) -> None:
+        """Sliding policy: drop tuples last observed before *cutoff*."""
+        expired = [key for key, (seen, _) in self._last_seen.items() if seen < cutoff]
+        if not expired:
+            return
+        by_shard: Dict[int, List[TupleKey]] = {}
+        for key in expired:
+            _, shard_id = self._last_seen.pop(key)
+            by_shard.setdefault(shard_id, []).append(key)
+        self.router.evict(by_shard)
+        evicted_tuples = [PathCommTuple(path, communities) for path, communities in expired]
+        remaining = [
+            PathCommTuple(path, communities) for path, communities in self._last_seen
+        ]
+        self.classifier.evict(evicted_tuples, remaining)
+        self.stats.tuples_evicted += len(expired)
+
+    def _flush(self, closed: ClosedWindow) -> None:
+        """Close one window: evict, reclassify, snapshot, notify."""
+        if self.config.window.policy is WindowPolicy.SLIDING:
+            self._evict_expired(closed.end - self.config.window.effective_horizon)
+        result = self.classifier.update()
+        changed = result.changed_since(self._last_codes)
+        self._last_codes = result.as_code_map()
+        snapshot = WindowSnapshot(
+            window_start=closed.start,
+            window_end=closed.end,
+            skipped_windows=closed.skipped,
+            events_total=self.stats.events_in,
+            unique_tuples=self.router.unique_tuples,
+            result=result,
+            changed=changed,
+        )
+        self.snapshots.append(snapshot)
+        if len(self.snapshots) > self.config.max_snapshots:
+            del self.snapshots[: len(self.snapshots) - self.config.max_snapshots]
+        self.stats.windows_closed += 1
+        if self.on_window is not None:
+            self.on_window(snapshot)
+
+    # -- checkpointing ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot of the complete engine state."""
+        return {
+            "config": self.config,
+            "asn_registry": self._asn_registry,
+            "prefix_allocation": self._prefix_allocation,
+            "router": self.router.state_dict(),
+            "clock": self.clock.state_dict(),
+            "classifier": self.classifier.state_dict(),
+            "stats": self.stats,
+            "last_codes": dict(self._last_codes),
+            "last_seen": dict(self._last_seen),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the engine in place from :meth:`state_dict` output."""
+        self.config = state["config"]
+        # Sanitation context must survive a restore, or a resumed engine
+        # would filter differently than the one that wrote the checkpoint.
+        self._asn_registry = state.get("asn_registry")
+        self._prefix_allocation = state.get("prefix_allocation")
+        for worker in self.router.workers:
+            worker.sanitizer.asn_registry = self._asn_registry
+            worker.sanitizer.prefix_allocation = self._prefix_allocation
+        self.router.load_state_dict(state["router"])
+        self.clock = WindowClock.from_state(state["clock"])
+        self.classifier = classifier_from_state(state["classifier"])
+        self.stats = state["stats"]
+        self._last_codes = dict(state["last_codes"])
+        self._last_seen = dict(state["last_seen"])
+        self._events_since_checkpoint = 0
+
+    def checkpoint(self) -> Optional[os.PathLike]:
+        """Persist the current state through the checkpoint manager."""
+        if self.checkpoints is None:
+            return None
+        path = self.checkpoints.save(self.state_dict())
+        self.stats.checkpoints_written += 1
+        self._events_since_checkpoint = 0
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoints: Union[CheckpointManager, os.PathLike],
+        *,
+        on_window: Optional[Callable[[WindowSnapshot], None]] = None,
+    ) -> "StreamEngine":
+        """Rebuild an engine from the latest checkpoint (or a directory)."""
+        manager = (
+            checkpoints
+            if isinstance(checkpoints, CheckpointManager)
+            else CheckpointManager(checkpoints)
+        )
+        state = manager.load()
+        engine = cls(state["config"], checkpoints=manager, on_window=on_window)
+        engine.load_state_dict(state)
+        return engine

@@ -1,0 +1,182 @@
+"""Partitioning of the event stream across per-AS-partition workers.
+
+Events are routed by their collector-peer AS: every path starting at the
+same peer lands on the same shard, so each shard's sanitizer + deduper pair
+owns a disjoint slice of the ``(path, comm)`` tuple space and never has to
+coordinate with its siblings.  Because the incremental classifiers are
+order- and partition-independent (phase contributions are commutative sums),
+any shard count produces the identical classification — sharding is purely a
+throughput/memory-layout decision, which the tests pin down by comparing a
+1-shard and an 8-shard run.
+
+Workers are plain objects; the engine drives them synchronously.  A
+multi-process deployment would place each :class:`ShardWorker` behind a
+queue, which is why their full state is checkpointable independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bgp.announcement import PathCommTuple, RouteObservation
+from repro.bgp.asn import ASN, ASNRegistry
+from repro.bgp.prefix import PrefixAllocation
+from repro.sanitize.filters import SanitationConfig, SanitationStats, Sanitizer, TupleDeduper
+
+#: Knuth's multiplicative hash constant; peer ASNs are often assigned in
+#: dense ranges, so a plain modulo would skew the shard load badly.
+_HASH_MULTIPLIER = 2654435761
+
+
+def shard_of(peer_asn: ASN, shards: int) -> int:
+    """Deterministic shard index of *peer_asn* (stable across processes)."""
+    return ((peer_asn * _HASH_MULTIPLIER) & 0xFFFFFFFF) % shards
+
+
+class ShardWorker:
+    """One partition worker: sanitation plus tuple deduplication."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        asn_registry: Optional[ASNRegistry] = None,
+        prefix_allocation: Optional[PrefixAllocation] = None,
+        sanitation: Optional[SanitationConfig] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.sanitizer = Sanitizer(
+            asn_registry=asn_registry,
+            prefix_allocation=prefix_allocation,
+            config=sanitation,
+        )
+        self.deduper = TupleDeduper()
+        self.events_processed = 0
+
+    def process(
+        self, observation: RouteObservation
+    ) -> Optional[Tuple[Tuple, Optional[PathCommTuple]]]:
+        """Sanitize one observation.
+
+        Returns ``None`` when the observation was dropped, else
+        ``(tuple_key, new_tuple)`` where ``new_tuple`` is the observation's
+        ``(path, comm)`` tuple if it is new to this shard (``None`` for a
+        duplicate).  The key is returned for duplicates too so the engine
+        can refresh sliding-window retention timestamps.
+        """
+        self.events_processed += 1
+        sanitized = self.sanitizer.sanitize_observation(observation)
+        if sanitized is None:
+            return None
+        key = (sanitized.path, sanitized.communities)
+        return key, self.deduper.add(sanitized)
+
+    def evict(self, keys: Iterable[Tuple]) -> int:
+        """Forget expired tuple keys so they may re-enter later."""
+        return self.deduper.discard(keys)
+
+    @property
+    def unique_tuples(self) -> int:
+        """Number of unique tuples this shard currently tracks."""
+        return len(self.deduper)
+
+    # -- checkpointing ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot of the worker."""
+        return {
+            "shard_id": self.shard_id,
+            "seen": set(self.deduper.state_dict()),
+            "sanitation_stats": self.sanitizer.stats,
+            "events_processed": self.events_processed,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the worker from :meth:`state_dict` output."""
+        self.deduper = TupleDeduper.from_state(set(state["seen"]))
+        self.sanitizer.stats = state["sanitation_stats"]
+        self.events_processed = state["events_processed"]
+
+
+class ShardRouter:
+    """Routes observations to shard workers and aggregates their stats."""
+
+    def __init__(
+        self,
+        shards: int = 1,
+        *,
+        asn_registry: Optional[ASNRegistry] = None,
+        prefix_allocation: Optional[PrefixAllocation] = None,
+        sanitation: Optional[SanitationConfig] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.workers: List[ShardWorker] = [
+            ShardWorker(
+                shard_id,
+                asn_registry=asn_registry,
+                prefix_allocation=prefix_allocation,
+                sanitation=sanitation,
+            )
+            for shard_id in range(shards)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def worker_for(self, observation: RouteObservation) -> ShardWorker:
+        """The worker owning *observation*'s partition."""
+        if len(self.workers) == 1:
+            return self.workers[0]
+        return self.workers[shard_of(observation.peer_asn, len(self.workers))]
+
+    def process(
+        self, observation: RouteObservation
+    ) -> Optional[Tuple[Tuple, Optional[PathCommTuple]]]:
+        """Route and process one observation (see :meth:`ShardWorker.process`)."""
+        return self.worker_for(observation).process(observation)
+
+    def evict(self, keys_by_shard: Dict[int, List[Tuple]]) -> int:
+        """Evict expired tuple keys, pre-grouped by shard index."""
+        removed = 0
+        for shard_id, keys in keys_by_shard.items():
+            removed += self.workers[shard_id].evict(keys)
+        return removed
+
+    @property
+    def unique_tuples(self) -> int:
+        """Unique tuples across all shards (partitions are disjoint)."""
+        return sum(worker.unique_tuples for worker in self.workers)
+
+    @property
+    def events_processed(self) -> int:
+        """Events processed across all shards."""
+        return sum(worker.events_processed for worker in self.workers)
+
+    def sanitation_stats(self) -> SanitationStats:
+        """Merged sanitation statistics across all shards."""
+        merged = SanitationStats()
+        for worker in self.workers:
+            stats = worker.sanitizer.stats
+            for key, value in stats.as_dict().items():
+                setattr(merged, key, getattr(merged, key) + value)
+        return merged
+
+    def load_distribution(self) -> List[int]:
+        """Events per shard (balance diagnostics)."""
+        return [worker.events_processed for worker in self.workers]
+
+    # -- checkpointing ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot of every worker."""
+        return {"workers": [worker.state_dict() for worker in self.workers]}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore all workers from :meth:`state_dict` output."""
+        worker_states = state["workers"]
+        if len(worker_states) != len(self.workers):
+            raise ValueError(
+                f"checkpoint has {len(worker_states)} shards, engine has {len(self.workers)}"
+            )
+        for worker, worker_state in zip(self.workers, worker_states):
+            worker.load_state_dict(worker_state)

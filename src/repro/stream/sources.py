@@ -1,0 +1,157 @@
+"""Pluggable BGP update event sources for the streaming engine.
+
+An event source is simply an iterable of
+:class:`~repro.bgp.announcement.RouteObservation`; the engine pulls events
+one at a time, so sources can (and should) be lazy.  Three families ship
+with the engine, mirroring how a deployment would be fed:
+
+* :class:`MRTReplaySource` -- replays recorded MRT update/RIB archives
+  through the lazy decoder in :mod:`repro.collectors.archive`; this is the
+  BGPStream-style backfill path and the one the equivalence tests use;
+* :class:`ScenarioSource` -- turns the synthetic ground-truth scenarios of
+  :mod:`repro.usage` into a timed feed (load generation, benchmarks);
+* :class:`MemorySource` -- an in-memory buffer for tests and for bridging a
+  live feed (e.g. a RIS-Live websocket consumer) into the engine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.bgp.announcement import PathCommTuple, RouteObservation
+from repro.bgp.prefix import Prefix
+from repro.collectors.archive import DEFAULT_EPOCH, iter_observations_from_mrt
+
+
+class MemorySource:
+    """An in-memory event buffer.
+
+    Tests push hand-crafted observations; a live-feed bridge would push
+    decoded updates from a websocket.  Iteration drains lazily over the
+    current buffer contents.
+    """
+
+    def __init__(self, events: Optional[Iterable[RouteObservation]] = None) -> None:
+        self._events: List[RouteObservation] = list(events) if events is not None else []
+
+    def push(self, event: RouteObservation) -> None:
+        """Append one event to the buffer."""
+        self._events.append(event)
+
+    def extend(self, events: Iterable[RouteObservation]) -> None:
+        """Append many events to the buffer."""
+        self._events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RouteObservation]:
+        return iter(self._events)
+
+
+class MRTReplaySource:
+    """Replays per-collector MRT blobs as an event stream.
+
+    Decoding is lazy per collector.  ``order`` selects how the per-collector
+    streams are interleaved:
+
+    * ``"archive"`` (default) -- one collector after the other, in stored
+      record order; constant memory, matches how archives are processed in
+      batch;
+    * ``"time"`` -- a global sort by timestamp; this materialises all
+      observations once and is meant for demos and window-boundary tests,
+      not for production replays of huge archives.
+    """
+
+    def __init__(self, blobs: Mapping[str, bytes], *, order: str = "archive") -> None:
+        if order not in ("archive", "time"):
+            raise ValueError(f"unknown replay order {order!r}")
+        self.blobs = dict(blobs)
+        self.order = order
+
+    @classmethod
+    def from_files(
+        cls, paths: Sequence[Union[str, Path]], *, order: str = "archive"
+    ) -> "MRTReplaySource":
+        """Build a replay source from MRT files on disk (one per collector)."""
+        blobs = {Path(path).name: Path(path).read_bytes() for path in paths}
+        return cls(blobs, order=order)
+
+    def _collector_streams(self) -> List[Iterator[RouteObservation]]:
+        return [
+            iter_observations_from_mrt(blob, collector)
+            for collector, blob in self.blobs.items()
+        ]
+
+    def __iter__(self) -> Iterator[RouteObservation]:
+        if self.order == "time":
+            merged: List[RouteObservation] = []
+            for stream in self._collector_streams():
+                merged.extend(stream)
+            merged.sort(key=lambda observation: observation.timestamp)
+            return iter(merged)
+
+        def chained() -> Iterator[RouteObservation]:
+            for stream in self._collector_streams():
+                yield from stream
+
+        return chained()
+
+
+def _prefix_for_origin(origin: int) -> Prefix:
+    """A deterministic per-origin /24 used by synthetic feeds."""
+    network = (20 << 24) | ((origin % 65536) << 8)
+    return Prefix.ipv4(network, 24)
+
+
+class ScenarioSource:
+    """Turns ground-truth scenario tuples into a timed update feed.
+
+    Every ``(path, comm)`` tuple becomes one announcement whose timestamp is
+    spread evenly across ``duration`` seconds starting at ``start``; with
+    ``repeat > 1`` the whole tuple set is re-announced that many times
+    (steady-state churn: all repeats deduplicate into the same tuples, which
+    is exactly what a stable Internet looks like to the classifier).
+    """
+
+    def __init__(
+        self,
+        tuples: Sequence[PathCommTuple],
+        *,
+        collector: str = "scenario",
+        start: int = DEFAULT_EPOCH,
+        duration: int = 86400,
+        repeat: int = 1,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {repeat}")
+        self.tuples = tuples
+        self.collector = collector
+        self.start = start
+        self.duration = duration
+        self.repeat = repeat
+
+    def __len__(self) -> int:
+        return len(self.tuples) * self.repeat
+
+    def __iter__(self) -> Iterator[RouteObservation]:
+        total = len(self)
+        if total == 0:
+            return
+        index = 0
+        for _round in range(self.repeat):
+            for item in self.tuples:
+                timestamp = self.start + (index * self.duration) // total
+                index += 1
+                yield RouteObservation(
+                    collector=self.collector,
+                    peer_asn=item.peer,
+                    prefix=_prefix_for_origin(item.origin),
+                    path=item.path,
+                    communities=item.communities,
+                    timestamp=timestamp,
+                    from_rib=False,
+                )

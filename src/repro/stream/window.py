@@ -1,0 +1,163 @@
+"""Event-time windowing for the streaming engine.
+
+The engine classifies over **event time** (the timestamps carried by BGP
+updates), not arrival time, so replaying an archive yields the same window
+boundaries as consuming the feed live.  Two policies are supported:
+
+* ``cumulative`` -- tumbling windows that *snapshot* an ever-growing
+  classification: every closed window emits the classification over all
+  data seen so far.  Fully draining a stream therefore reproduces the batch
+  pipeline exactly (the streaming equivalence property).
+* ``sliding`` -- the engine additionally *retains* only the tuples last seen
+  within a trailing horizon; evidence older than the horizon is evicted at
+  window boundaries.  This keeps the classification responsive to behaviour
+  changes at the cost of batch equivalence.
+
+The :class:`WindowClock` tracks the watermark (maximum event time minus the
+allowed lateness) and reports which window just closed.  When the watermark
+jumps over several empty windows at once they are collapsed into a single
+close, so a quiet feed does not trigger a flush storm.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class WindowPolicy(str, enum.Enum):
+    """How engine state relates to window boundaries."""
+
+    CUMULATIVE = "cumulative"
+    SLIDING = "sliding"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Shape of the engine's windows.
+
+    ``size`` is the tumbling window length in seconds of event time.  For
+    the sliding policy, ``horizon`` is the retention span (defaults to
+    ``4 * size``); tuples not re-observed within it are evicted.
+    ``allowed_lateness`` delays window closing so slightly out-of-order
+    feeds (multi-collector merges) do not close windows prematurely.
+    """
+
+    size: int = 300
+    policy: WindowPolicy = WindowPolicy.CUMULATIVE
+    horizon: Optional[int] = None
+    allowed_lateness: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+        if self.allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be >= 0")
+        if not isinstance(self.policy, WindowPolicy):
+            object.__setattr__(self, "policy", WindowPolicy(self.policy))
+        if self.horizon is not None and self.horizon < self.size:
+            raise ValueError("horizon must be at least one window long")
+
+    @property
+    def effective_horizon(self) -> int:
+        """The retention span used by the sliding policy."""
+        return self.horizon if self.horizon is not None else 4 * self.size
+
+    def window_index(self, timestamp: int) -> int:
+        """The index of the window containing *timestamp*."""
+        return timestamp // self.size
+
+    def bounds(self, index: int) -> Tuple[int, int]:
+        """``[start, end)`` bounds of the window with *index*."""
+        return index * self.size, (index + 1) * self.size
+
+
+@dataclass(frozen=True)
+class ClosedWindow:
+    """One window close reported by the clock.
+
+    ``skipped`` counts the empty windows that were collapsed into this close
+    (watermark jumped over them without any events).
+    """
+
+    start: int
+    end: int
+    skipped: int = 0
+
+
+class WindowClock:
+    """Tracks event time and decides when windows close.
+
+    The clock is deliberately tolerant of disorder: events older than the
+    watermark are still *counted* (the engine ingests them — classification
+    state is order-independent), they just cannot re-open a closed window.
+    """
+
+    def __init__(self, spec: WindowSpec) -> None:
+        self.spec = spec
+        self.max_timestamp: Optional[int] = None
+        self.late_events = 0
+        self._next_index: Optional[int] = None  # first window not yet closed
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """Current watermark, or ``None`` before the first event."""
+        if self.max_timestamp is None:
+            return None
+        return self.max_timestamp - self.spec.allowed_lateness
+
+    def advance(self, timestamp: int) -> Optional[ClosedWindow]:
+        """Feed one event timestamp; report a window close if one occurred."""
+        if self.max_timestamp is None:
+            self.max_timestamp = timestamp
+            self._next_index = self.spec.window_index(
+                max(0, timestamp - self.spec.allowed_lateness)
+            )
+            return None
+        watermark = self.max_timestamp - self.spec.allowed_lateness
+        if timestamp > self.max_timestamp:
+            self.max_timestamp = timestamp
+            watermark = timestamp - self.spec.allowed_lateness
+        elif timestamp < watermark:
+            self.late_events += 1
+        closable = watermark // self.spec.size  # windows < closable are closed
+        if closable <= self._next_index:
+            return None
+        closed_index = closable - 1
+        skipped = closed_index - self._next_index
+        self._next_index = closable
+        start, end = self.spec.bounds(closed_index)
+        return ClosedWindow(start=start, end=end, skipped=skipped)
+
+    def close_current(self) -> Optional[ClosedWindow]:
+        """Close the in-progress window (end of stream / final drain)."""
+        if self.max_timestamp is None or self._next_index is None:
+            return None
+        index = max(self._next_index, self.spec.window_index(self.max_timestamp))
+        start, end = self.spec.bounds(index)
+        skipped = index - self._next_index
+        self._next_index = index + 1
+        return ClosedWindow(start=start, end=end, skipped=skipped)
+
+    # -- checkpointing ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot of the clock."""
+        return {
+            "spec": self.spec,
+            "max_timestamp": self.max_timestamp,
+            "late_events": self.late_events,
+            "next_index": self._next_index,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "WindowClock":
+        """Rebuild a clock from :meth:`state_dict` output."""
+        clock = cls(state["spec"])
+        clock.max_timestamp = state["max_timestamp"]
+        clock.late_events = state["late_events"]
+        clock._next_index = state["next_index"]
+        return clock

@@ -1,0 +1,562 @@
+"""Tests for the streaming classification engine (repro.stream).
+
+Covers the window clock, event sources, sharding determinism, incremental
+classifiers (delta-vs-recount behaviour, eviction), checkpoint/restore
+round-trips, and the engine-level invariants that back the live deployment
+story: batch equivalence and checkpoint transparency.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bgp.announcement import PathCommTuple, RouteObservation
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import parse_prefix
+from repro.core.column import ColumnInference
+from repro.core.counters import CounterStore
+from repro.core.row import RowInference
+from repro.core.thresholds import Thresholds
+from repro.stream import (
+    CheckpointError,
+    CheckpointManager,
+    IncrementalColumnClassifier,
+    IncrementalRowClassifier,
+    MemorySource,
+    MRTReplaySource,
+    ScenarioSource,
+    ShardRouter,
+    StreamConfig,
+    StreamEngine,
+    WindowClock,
+    WindowPolicy,
+    WindowSpec,
+    shard_of,
+)
+
+
+def observation(asns, comms=(), timestamp=0, collector="rrc00"):
+    """One crafted update announcement."""
+    return RouteObservation(
+        collector=collector,
+        peer_asn=asns[0],
+        prefix=parse_prefix("8.8.8.0/24"),
+        path=ASPath(asns),
+        communities=CommunitySet.from_strings(comms),
+        timestamp=timestamp,
+    )
+
+
+def tuples_from(*items):
+    return [
+        PathCommTuple(ASPath(asns), CommunitySet.from_strings(comms)) for asns, comms in items
+    ]
+
+
+def fingerprint(result):
+    return (result.as_code_map(), result.store.state_dict(), set(result.observed_ases))
+
+
+# ---------------------------------------------------------------------------------------
+# Window clock
+# ---------------------------------------------------------------------------------------
+class TestWindowClock:
+    def test_no_close_before_boundary(self):
+        clock = WindowClock(WindowSpec(size=100))
+        assert clock.advance(10) is None
+        assert clock.advance(99) is None
+
+    def test_close_on_boundary_crossing(self):
+        clock = WindowClock(WindowSpec(size=100))
+        clock.advance(10)
+        closed = clock.advance(105)
+        assert closed is not None
+        assert (closed.start, closed.end) == (0, 100)
+        assert closed.skipped == 0
+
+    def test_empty_windows_are_collapsed(self):
+        clock = WindowClock(WindowSpec(size=100))
+        clock.advance(10)
+        closed = clock.advance(950)
+        assert (closed.start, closed.end) == (800, 900)
+        assert closed.skipped == 8
+
+    def test_allowed_lateness_delays_closing(self):
+        clock = WindowClock(WindowSpec(size=100, allowed_lateness=50))
+        clock.advance(10)
+        assert clock.advance(120) is None  # watermark only at 70
+        closed = clock.advance(160)  # watermark 110 -> closes [0, 100)
+        assert (closed.start, closed.end) == (0, 100)
+
+    def test_late_events_are_counted(self):
+        clock = WindowClock(WindowSpec(size=100))
+        clock.advance(500)
+        clock.advance(100)
+        assert clock.late_events == 1
+
+    def test_close_current_finishes_open_window(self):
+        clock = WindowClock(WindowSpec(size=100))
+        clock.advance(250)
+        closed = clock.close_current()
+        assert (closed.start, closed.end) == (200, 300)
+        assert clock.close_current().start == 300  # idempotent-ish: next window
+
+    def test_state_roundtrip(self):
+        clock = WindowClock(WindowSpec(size=100, allowed_lateness=10))
+        clock.advance(50)
+        clock.advance(500)
+        restored = WindowClock.from_state(clock.state_dict())
+        assert restored.max_timestamp == clock.max_timestamp
+        assert restored.advance(990).start == clock.advance(990).start
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            WindowSpec(size=0)
+        with pytest.raises(ValueError):
+            WindowSpec(size=100, horizon=50)
+        with pytest.raises(ValueError):
+            WindowSpec(size=100, allowed_lateness=-1)
+
+
+# ---------------------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------------------
+class TestSources:
+    def test_memory_source_push_and_drain(self):
+        source = MemorySource()
+        source.push(observation([10], ["10:1"], timestamp=1))
+        source.extend([observation([20], timestamp=2)])
+        assert len(source) == 2
+        assert [o.timestamp for o in source] == [1, 2]
+
+    def test_scenario_source_spreads_timestamps(self):
+        items = tuples_from(([10], ["10:1"]), ([20, 30], []))
+        source = ScenarioSource(items, start=0, duration=100, repeat=2)
+        events = list(source)
+        assert len(events) == len(source) == 4
+        timestamps = [event.timestamp for event in events]
+        assert timestamps == sorted(timestamps)
+        assert timestamps[0] == 0
+        assert all(ts < 100 for ts in timestamps)
+
+    def test_scenario_source_preserves_tuples(self):
+        items = tuples_from(([10, 30], ["30:1"]))
+        event = next(iter(ScenarioSource(items)))
+        assert event.path is items[0].path
+        assert event.communities is items[0].communities
+        assert event.peer_asn == 10
+
+    def test_mrt_replay_source_orders(self, tmp_path):
+        from repro.bgp.messages import BGPUpdate, PathAttributes
+        from repro.mrt.encoder import MRTEncoder
+
+        encoder = MRTEncoder()
+        for timestamp in (300, 100, 200):
+            encoder.write_update(
+                BGPUpdate(
+                    peer_asn=10,
+                    timestamp=timestamp,
+                    announced=(parse_prefix("8.8.8.0/24"),),
+                    attributes=PathAttributes(
+                        as_path=ASPath([10]), communities=CommunitySet.empty()
+                    ),
+                )
+            )
+        blob = encoder.getvalue()
+        archive_order = [o.timestamp for o in MRTReplaySource({"rrc00": blob})]
+        time_order = [o.timestamp for o in MRTReplaySource({"rrc00": blob}, order="time")]
+        assert archive_order == [300, 100, 200]
+        assert time_order == [100, 200, 300]
+
+        path = tmp_path / "rrc00.mrt"
+        path.write_bytes(blob)
+        from_files = MRTReplaySource.from_files([path])
+        assert [o.timestamp for o in from_files] == archive_order
+
+    def test_mrt_replay_rejects_unknown_order(self):
+        with pytest.raises(ValueError):
+            MRTReplaySource({}, order="random")
+
+
+# ---------------------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------------------
+class TestSharding:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        for asn in (1, 10, 65000, 4_000_000_000):
+            first = shard_of(asn, 8)
+            assert 0 <= first < 8
+            assert shard_of(asn, 8) == first
+
+    def test_same_peer_lands_on_same_shard(self):
+        router = ShardRouter(4)
+        a = router.process(observation([10, 30], ["30:1"], timestamp=1))
+        b = router.process(observation([10, 40], [], timestamp=2))
+        assert a is not None and b is not None
+        worker = router.workers[shard_of(10, 4)]
+        assert worker.unique_tuples == 2
+
+    def test_duplicate_detection_across_events(self):
+        router = ShardRouter(4)
+        key1, new1 = router.process(observation([10, 30], ["30:1"], timestamp=1))
+        key2, new2 = router.process(observation([10, 30], ["30:1"], timestamp=2))
+        assert new1 is not None
+        assert new2 is None  # duplicate
+        assert key1 == key2
+        assert router.unique_tuples == 1
+
+    def test_sanitation_stats_merge_across_shards(self):
+        router = ShardRouter(4)
+        router.process(observation([10], [], timestamp=1))
+        assert router.process(observation([64512], [], timestamp=2)) is None  # private ASN
+        stats = router.sanitation_stats()
+        assert stats.observations_in == 2
+        assert stats.observations_out == 1
+        assert stats.dropped_unallocated_asn == 1
+
+
+# ---------------------------------------------------------------------------------------
+# Incremental classifiers
+# ---------------------------------------------------------------------------------------
+class TestIncrementalColumn:
+    ITEMS = [
+        ([30], ["30:1"]),
+        ([10, 30], ["30:1"]),
+        ([20, 30], []),
+        ([20, 40], []),
+    ]
+
+    def test_matches_batch_when_fed_incrementally(self):
+        batch = ColumnInference().run(tuples_from(*self.ITEMS))
+        classifier = IncrementalColumnClassifier()
+        for item in tuples_from(*self.ITEMS):
+            classifier.add_tuple(item)
+            classifier.update()  # update after every single tuple
+        assert fingerprint(classifier.result()) == fingerprint(batch)
+
+    def test_unchanged_knowledge_takes_delta_path(self):
+        classifier = IncrementalColumnClassifier()
+        classifier.add_tuples(tuples_from(*self.ITEMS))
+        classifier.update()
+        recounts_before = classifier.stats.recount_phases
+        # A tuple that reinforces existing knowledge must not recount.
+        classifier.add_tuples(tuples_from(([10, 30], ["30:1"])))
+        classifier.update()
+        assert classifier.stats.recount_phases == recounts_before
+        assert classifier.stats.delta_phases > 0
+
+    def test_changed_knowledge_triggers_recount(self):
+        classifier = IncrementalColumnClassifier()
+        classifier.add_tuples(tuples_from(*self.ITEMS))
+        classifier.update()
+        recounts_before = classifier.stats.recount_phases
+        # Flip AS 50 into existence as a tagger: new knowledge, recounts.
+        classifier.add_tuples(tuples_from(([50], ["50:1"]), ([10, 50], ["50:1"])))
+        classifier.update()
+        assert classifier.stats.recount_phases > recounts_before
+        batch = ColumnInference().run(
+            tuples_from(*self.ITEMS, ([50], ["50:1"]), ([10, 50], ["50:1"]))
+        )
+        assert fingerprint(classifier.result()) == fingerprint(batch)
+
+    def test_eviction_resets_and_matches_batch(self):
+        classifier = IncrementalColumnClassifier()
+        all_items = tuples_from(*self.ITEMS)
+        classifier.add_tuples(all_items)
+        classifier.update()
+        remaining = all_items[:2]
+        classifier.evict(all_items[2:], remaining)
+        classifier.update()
+        assert classifier.stats.resets == 1
+        assert fingerprint(classifier.result()) == fingerprint(
+            ColumnInference().run(remaining)
+        )
+
+    def test_state_roundtrip_mid_update(self):
+        classifier = IncrementalColumnClassifier()
+        classifier.add_tuples(tuples_from(*self.ITEMS[:2]))
+        classifier.update()
+        classifier.add_tuples(tuples_from(*self.ITEMS[2:]))  # pending, not updated
+        state = pickle.loads(pickle.dumps(classifier.state_dict()))
+        restored = IncrementalColumnClassifier.from_state(state)
+        assert fingerprint(restored.update()) == fingerprint(classifier.update())
+
+
+class TestIncrementalRow:
+    ITEMS = [
+        ([10], ["10:1"]),
+        ([10, 30], ["10:1", "30:1"]),
+        ([20, 30], ["30:1"]),
+    ]
+
+    def test_matches_batch_row_inference(self):
+        batch = RowInference().run(tuples_from(*self.ITEMS))
+        classifier = IncrementalRowClassifier()
+        classifier.add_tuples(tuples_from(*self.ITEMS))
+        assert fingerprint(classifier.update()) == fingerprint(batch)
+
+    def test_eviction_is_exact_retraction(self):
+        classifier = IncrementalRowClassifier()
+        all_items = tuples_from(*self.ITEMS)
+        classifier.add_tuples(all_items)
+        classifier.evict(all_items[1:], all_items[:1])
+        assert fingerprint(classifier.update()) == fingerprint(
+            RowInference().run(all_items[:1])
+        )
+
+
+# ---------------------------------------------------------------------------------------
+# Checkpoint manager
+# ---------------------------------------------------------------------------------------
+class TestCheckpointManager:
+    def test_save_load_roundtrip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save({"value": 42})
+        assert path.exists()
+        assert manager.load() == {"value": 42}
+
+    def test_rotation_keeps_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for value in range(5):
+            manager.save({"value": value})
+        assert len(manager.checkpoints()) == 2
+        assert manager.load() == {"value": 4}
+
+    def test_load_without_checkpoints_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path).load()
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        target = manager.save({"value": 1})
+        target.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            manager.load()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        target = manager.save({"value": 1})
+        payload = {"version": 999, "state": {}}
+        target.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CheckpointError):
+            manager.load()
+
+
+# ---------------------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------------------
+def steady_feed():
+    """A feed with observable structure and several window boundaries."""
+    items = [
+        ([30], ["30:1"]),
+        ([10, 30], ["10:1", "30:1"]),
+        ([20, 30], ["30:1"]),
+        ([40, 30], []),
+        ([10, 50], []),
+    ]
+    events = []
+    for round_index in range(6):
+        for item_index, (asns, comms) in enumerate(items):
+            events.append(
+                observation(
+                    asns, comms, timestamp=round_index * 100 + item_index * 10
+                )
+            )
+    return events
+
+
+class TestStreamEngine:
+    def test_emits_window_snapshots_with_changes(self):
+        engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+        engine.run(MemorySource(steady_feed()))
+        assert engine.stats.windows_closed >= 5
+        first = engine.snapshots[0]
+        assert first.changed  # the first window discovers new classifications
+        assert first.result.classification_of(30).tagging.code == "t"
+        later = engine.snapshots[-1]
+        assert later.changed == {}  # steady state: nothing changes any more
+        assert later.events_total == len(steady_feed())
+
+    def test_on_window_callback_fires(self):
+        seen = []
+        engine = StreamEngine(
+            StreamConfig(window=WindowSpec(size=100)), on_window=seen.append
+        )
+        engine.run(MemorySource(steady_feed()))
+        assert len(seen) == engine.stats.windows_closed
+
+    def test_snapshot_retention_is_bounded(self):
+        engine = StreamEngine(StreamConfig(window=WindowSpec(size=100), max_snapshots=2))
+        engine.run(MemorySource(steady_feed()))
+        assert len(engine.snapshots) == 2
+
+    def test_checkpoint_restore_mid_stream_is_transparent(self, tmp_path):
+        events = steady_feed()
+        half = len(events) // 2
+        manager = CheckpointManager(tmp_path)
+        config = StreamConfig(window=WindowSpec(size=100), shards=2)
+
+        first = StreamEngine(config, checkpoints=manager)
+        for event in events[:half]:
+            first.ingest(event)
+        first.checkpoint()
+
+        resumed = StreamEngine.restore(manager)
+        for event in events[half:]:
+            resumed.ingest(event)
+
+        uninterrupted = StreamEngine(StreamConfig(window=WindowSpec(size=100), shards=2))
+        assert fingerprint(
+            StreamEngine.run(uninterrupted, MemorySource(events))
+        ) == fingerprint(resumed.finish())
+        assert resumed.stats.events_in == len(events)
+
+    def test_auto_checkpoint_by_event_count(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=10)
+        engine = StreamEngine(
+            StreamConfig(window=WindowSpec(size=100), checkpoint_every=10),
+            checkpoints=manager,
+        )
+        engine.run(MemorySource(steady_feed()))
+        assert engine.stats.checkpoints_written == len(steady_feed()) // 10
+
+    def test_sliding_policy_evicts_stale_tuples(self):
+        events = steady_feed()
+        # One tuple only ever announced at the very beginning.
+        events.insert(0, observation([60, 30], ["30:1"], timestamp=0))
+        spec = WindowSpec(size=100, policy=WindowPolicy.SLIDING, horizon=200)
+        engine = StreamEngine(StreamConfig(window=spec))
+        result = engine.run(MemorySource(events))
+        assert engine.stats.tuples_evicted > 0
+        assert 60 not in result.observed_ases  # aged out of the horizon
+        assert 30 in result.observed_ases  # continuously re-announced
+
+    def test_sliding_matches_batch_over_retained_tuples(self):
+        events = steady_feed()
+        events.insert(0, observation([60, 30], ["30:1"], timestamp=0))
+        spec = WindowSpec(size=100, policy=WindowPolicy.SLIDING, horizon=200)
+        engine = StreamEngine(StreamConfig(window=spec))
+        streamed = engine.run(MemorySource(events))
+        retained = [
+            PathCommTuple(path, communities) for path, communities in engine._last_seen
+        ]
+        assert fingerprint(streamed) == fingerprint(ColumnInference().run(retained))
+
+    def test_row_algorithm_end_to_end(self):
+        engine = StreamEngine(StreamConfig(window=WindowSpec(size=100), algorithm="row"))
+        result = engine.run(MemorySource(steady_feed()))
+        assert result.algorithm == "row"
+        assert len(result.observed_ases) > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            StreamConfig(algorithm="diagonal")
+        with pytest.raises(ValueError):
+            StreamConfig(shards=0)
+        with pytest.raises(ValueError):
+            StreamConfig(checkpoint_every=0)
+
+    def test_finish_without_events(self):
+        engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+        result = engine.finish()
+        assert len(result.observed_ases) == 0
+
+    def test_restore_preserves_sanitation_context(self, tmp_path):
+        from repro.bgp.asn import ASNRegistry
+
+        registry = ASNRegistry.from_asns([10, 20, 30, 40, 50])  # 60 unallocated
+        manager = CheckpointManager(tmp_path)
+        engine = StreamEngine(
+            StreamConfig(window=WindowSpec(size=100)),
+            asn_registry=registry,
+            checkpoints=manager,
+        )
+        engine.ingest(observation([10, 30], ["30:1"], timestamp=1))
+        engine.ingest(observation([60], [], timestamp=2))
+        assert engine.sanitation_stats().dropped_unallocated_asn == 1
+        engine.checkpoint()
+
+        resumed = StreamEngine.restore(manager)
+        resumed.ingest(observation([60], [], timestamp=3))
+        result = resumed.finish()
+        # The unallocated AS must still be filtered after the restore.
+        assert resumed.sanitation_stats().dropped_unallocated_asn == 2
+        assert 60 not in result.observed_ases
+
+    def test_sliding_change_feed_reports_evicted_ases(self):
+        events = [observation([60], ["60:1"], timestamp=0)]  # tagger, then silence
+        events += steady_feed()
+        spec = WindowSpec(size=100, policy=WindowPolicy.SLIDING, horizon=200)
+        engine = StreamEngine(StreamConfig(window=spec))
+        engine.run(MemorySource(events))
+        disappearances = {
+            asn: change
+            for snapshot in engine.snapshots
+            for asn, change in snapshot.changed.items()
+            if change[1] == "nn"
+        }
+        assert disappearances.get(60) == ("tn", "nn")
+
+    def test_late_duplicate_does_not_rewind_retention(self):
+        spec = WindowSpec(size=100, policy=WindowPolicy.SLIDING, horizon=200)
+        engine = StreamEngine(StreamConfig(window=spec))
+        engine.ingest(observation([60], ["60:1"], timestamp=450))
+        engine.ingest(observation([60], ["60:1"], timestamp=0))  # late duplicate
+        engine.ingest(observation([10], [], timestamp=500))  # closes [300, 400)
+        result = engine.finish()
+        # Last seen at 450 is inside every horizon cut; the stale timestamp
+        # of the late duplicate must not have evicted the tuple.
+        assert engine.stats.tuples_evicted == 0
+        assert 60 in result.observed_ases
+
+    def test_sharding_requires_peer_prepending(self):
+        from repro.sanitize.filters import SanitationConfig
+
+        with pytest.raises(ValueError):
+            StreamEngine(
+                StreamConfig(
+                    shards=4, sanitation=SanitationConfig(prepend_peer_asn=False)
+                )
+            )
+        # Single shard has no cross-partition identity problem.
+        StreamEngine(
+            StreamConfig(shards=1, sanitation=SanitationConfig(prepend_peer_asn=False))
+        )
+
+
+# ---------------------------------------------------------------------------------------
+# Counter-level streaming APIs
+# ---------------------------------------------------------------------------------------
+class TestCounterStreamingAPIs:
+    def test_apply_delta_supports_retraction(self):
+        store = CounterStore()
+        store.apply_delta({10: (5, 1, 2, 0)})
+        store.apply_delta({10: (-2, 0, -1, 0)})
+        assert store.get(10).as_tuple() == (3, 1, 1, 0)
+
+    def test_decay_ages_and_prunes(self):
+        store = CounterStore()
+        store.apply_delta({10: (100, 0, 0, 0), 20: (1, 0, 0, 0)})
+        store.decay(0.5)
+        assert store.get(10).tagger == 50
+        assert 20 not in store  # decayed to zero and pruned
+
+    def test_decay_validates_factor(self):
+        with pytest.raises(ValueError):
+            CounterStore().decay(1.5)
+
+    def test_decision_view_matches_predicates(self):
+        store = CounterStore(Thresholds.uniform(0.9))
+        store.apply_delta({10: (10, 0, 0, 0), 20: (1, 9, 10, 0), 30: (0, 0, 5, 5)})
+        view = store.decision_view()
+        for asn in (10, 20, 30):
+            assert view.is_tagger(asn) == store.is_tagger(asn)
+            assert view.is_forward(asn) == store.is_forward(asn)
+
+    def test_state_roundtrip(self):
+        store = CounterStore(Thresholds.uniform(0.8))
+        store.apply_delta({10: (1, 2, 3, 4)})
+        restored = CounterStore.from_state(store.state_dict(), store.thresholds)
+        assert restored.get(10).as_tuple() == (1, 2, 3, 4)
+        assert restored.state_dict() == store.state_dict()
