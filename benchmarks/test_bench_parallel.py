@@ -1,0 +1,97 @@
+"""Benchmarks of the multi-process execution layer.
+
+Measures the headline claim of the parallel layer: classifying the
+SMALL-scale aggregate dataset on 4 worker processes is at least twice as
+fast as the serial batch pipeline, while producing a byte-identical
+classification.
+
+The speedup floor only makes sense on hardware that can actually run the
+workers concurrently; on machines with fewer than 4 CPUs (shared CI
+runners, containers pinned to one core) the floor is disabled by default.
+Override it explicitly via ``REPRO_BENCH_MIN_PARALLEL_SPEEDUP`` (0 disables).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.column import ColumnInference
+from repro.core.row import RowInference
+from repro.parallel import ParallelColumnInference, ParallelRowInference
+
+#: Worker processes used by the parallel side of every comparison.
+WORKERS = 4
+
+#: Acceptance floor for the 4-worker speedup over the serial run.
+MIN_PARALLEL_SPEEDUP = float(
+    os.environ.get(
+        "REPRO_BENCH_MIN_PARALLEL_SPEEDUP",
+        "2.0" if (os.cpu_count() or 1) >= WORKERS else "0",
+    )
+)
+
+
+def result_fingerprint(result):
+    return (result.as_code_map(), result.store.state_dict(), set(result.observed_ases))
+
+
+def _bench_speedup(benchmark, serial_run, parallel_run, tuples):
+    """Time both sides with the same min-of-3 protocol; return the speedup."""
+    import time
+
+    serial_times = []
+    for _ in range(3):
+        started = time.perf_counter()
+        serial_result = serial_run(tuples)
+        serial_times.append(time.perf_counter() - started)
+    serial_elapsed = min(serial_times)
+
+    parallel_result = benchmark.pedantic(parallel_run, args=(tuples,), rounds=3, iterations=1)
+    parallel_elapsed = benchmark.stats.stats.min
+
+    assert result_fingerprint(parallel_result) == result_fingerprint(serial_result)
+
+    speedup = serial_elapsed / parallel_elapsed
+    benchmark.extra_info["tuples"] = len(tuples)
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["serial_seconds"] = round(serial_elapsed, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    return speedup
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_bench_parallel_column_speedup(benchmark, context):
+    """Column inference: 4 workers vs serial on the aggregate dataset."""
+    tuples = context.aggregate_tuples
+    speedup = _bench_speedup(
+        benchmark,
+        lambda t: ColumnInference().run(t),
+        lambda t: ParallelColumnInference(workers=WORKERS).run(t),
+        tuples,
+    )
+    if MIN_PARALLEL_SPEEDUP:
+        assert speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"parallel column inference is only {speedup:.2f}x the serial run, "
+            f"below the {MIN_PARALLEL_SPEEDUP:.1f}x floor "
+            f"(override via REPRO_BENCH_MIN_PARALLEL_SPEEDUP)"
+        )
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_bench_parallel_row_speedup(benchmark, context):
+    """Row baseline: 4 workers vs serial on the aggregate dataset."""
+    tuples = context.aggregate_tuples
+    speedup = _bench_speedup(
+        benchmark,
+        lambda t: RowInference().run(t),
+        lambda t: ParallelRowInference(workers=WORKERS).run(t),
+        tuples,
+    )
+    if MIN_PARALLEL_SPEEDUP:
+        assert speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"parallel row inference is only {speedup:.2f}x the serial run, "
+            f"below the {MIN_PARALLEL_SPEEDUP:.1f}x floor "
+            f"(override via REPRO_BENCH_MIN_PARALLEL_SPEEDUP)"
+        )

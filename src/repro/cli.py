@@ -9,9 +9,11 @@ Usage::
     python -m repro classify rib.mrt updates.mrt -o classification.txt
     python -m repro classify --threshold 0.95 --format json dump.mrt
     python -m repro classify --algorithm row dump.mrt    # row-based baseline
+    python -m repro classify --workers 4 dump.mrt        # multi-core map-reduce
     python -m repro demo --scale tiny           # no input data: run on the synthetic Internet
     python -m repro show classification.txt --asn 3356
     python -m repro stream updates.mrt --window 3600 --checkpoint-dir state/
+    python -m repro stream updates.mrt --workers 4       # multi-process shard workers
 """
 
 from __future__ import annotations
@@ -40,7 +42,9 @@ def cmd_classify(args: argparse.Namespace) -> int:
     """``classify``: run the pipeline on MRT files."""
     blobs = {Path(filename).name: Path(filename).read_bytes() for filename in args.inputs}
     pipeline = InferencePipeline(
-        thresholds=Thresholds.uniform(args.threshold), algorithm=args.algorithm
+        thresholds=Thresholds.uniform(args.threshold),
+        algorithm=args.algorithm,
+        workers=args.workers,
     )
     outcome = pipeline.run_from_mrt(blobs)
     database = ClassificationDatabase.from_result(outcome.result)
@@ -66,6 +70,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     source = MRTReplaySource.from_files(args.inputs, order=args.order)
     manager = CheckpointManager(args.checkpoint_dir) if args.checkpoint_dir else None
+    workers = args.workers
+    # Each worker process hosts >= 1 shard; lift the shard count so every
+    # requested worker actually gets a partition to own.
+    shards = max(args.shards, workers)
 
     def report(snapshot) -> None:
         summary = snapshot.summary()
@@ -76,8 +84,23 @@ def cmd_stream(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    engine_cls = StreamEngine
+    if workers > 1:
+        from repro.parallel import ParallelStreamEngine
+
+        engine_cls = ParallelStreamEngine
     if args.resume and manager is not None and manager.latest() is not None:
-        engine = StreamEngine.restore(manager, on_window=report)
+        engine = engine_cls.restore(manager, on_window=report)
+        if workers > 1:
+            engine.workers = workers
+            if engine.config.shards < workers:
+                # The checkpoint pins the shard count; fewer shards than
+                # workers means the extra processes would own no partition.
+                print(
+                    f"warning: checkpoint has {engine.config.shards} shard(s); "
+                    f"--workers {workers} is capped to that many processes",
+                    file=sys.stderr,
+                )
         print(f"resumed from {manager.latest()}", file=sys.stderr)
     else:
         config = StreamConfig(
@@ -87,12 +110,15 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 horizon=args.horizon,
                 allowed_lateness=args.allowed_lateness,
             ),
-            shards=args.shards,
+            shards=shards,
             algorithm=args.algorithm,
             thresholds=Thresholds.uniform(args.threshold),
             checkpoint_every=args.checkpoint_every,
         )
-        engine = StreamEngine(config, checkpoints=manager, on_window=report)
+        if workers > 1:
+            engine = engine_cls(config, workers=workers, checkpoints=manager, on_window=report)
+        else:
+            engine = engine_cls(config, checkpoints=manager, on_window=report)
 
     result = engine.run(source)
     if manager is not None:
@@ -162,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="column",
         help="inference algorithm: the paper's column-based (default) or the row baseline",
     )
+    classify.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sanitation and counting (default: 1, serial)",
+    )
     classify.set_defaults(handler=cmd_classify)
 
     stream = subparsers.add_parser(
@@ -186,6 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--allowed-lateness", type=int, default=0)
     stream.add_argument("--shards", type=int, default=1, help="per-AS-partition workers")
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="OS processes hosting the shard workers (default: 1, in-process); "
+        "raises --shards to at least this many partitions",
+    )
     stream.add_argument(
         "--order",
         choices=("archive", "time"),

@@ -50,6 +50,31 @@ def prepare_tuples(tuples: Iterable[PathCommTuple]) -> List[PreparedTuple]:
     return [prepare_tuple(item) for item in tuples]
 
 
+def merge_phase_delta(target: PhaseDelta, extra: PhaseDelta) -> None:
+    """Fold *extra* phase deltas into *target* in place.
+
+    Phase deltas are per-AS commutative sums, so merging the deltas of
+    disjoint tuple chunks is equivalent to counting the concatenated chunk in
+    one pass — the property both the incremental classifier and the
+    multi-process phase barrier rely on.
+    """
+    for asn, (first, second) in extra.items():
+        entry = target.get(asn)
+        if entry is None:
+            target[asn] = [first, second]
+        else:
+            entry[0] += first
+            entry[1] += second
+
+
+def merge_phase_deltas(deltas: Iterable[PhaseDelta]) -> PhaseDelta:
+    """Merge many per-chunk phase deltas into one (shard-merge barrier)."""
+    merged: PhaseDelta = {}
+    for delta in deltas:
+        merge_phase_delta(merged, delta)
+    return merged
+
+
 def count_tagging_phase(
     prepared: Sequence[PreparedTuple],
     column: int,

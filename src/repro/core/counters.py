@@ -82,12 +82,23 @@ class ASCounters:
         return cls(tagger=tagger, silent=silent, forward=forward, cleaner=cleaner)
 
     def decay(self, factor: float) -> "ASCounters":
-        """Multiplicatively age all four counters (streaming decay)."""
+        """Multiplicatively age all four counters (streaming decay).
+
+        Rounds half-up rather than truncating: truncation would collapse any
+        counter ``<= 1/factor`` straight to zero, silently erasing minority
+        evidence and skewing the share ratios after repeated decay.  Rounding
+        keeps e.g. a ``(99, 1)`` tagger/silent split near a 0.99 share instead
+        of snapping it to 1.0.
+
+        Consequence: with ``factor >= 0.5`` a counter of 1 is a fixed point,
+        so decay alone never fully ages evidence out.  Deployments that need
+        bounded state should evict (sliding windows) or use factors < 0.5.
+        """
         return ASCounters(
-            tagger=int(self.tagger * factor),
-            silent=int(self.silent * factor),
-            forward=int(self.forward * factor),
-            cleaner=int(self.cleaner * factor),
+            tagger=int(self.tagger * factor + 0.5),
+            silent=int(self.silent * factor + 0.5),
+            forward=int(self.forward * factor + 0.5),
+            cleaner=int(self.cleaner * factor + 0.5),
         )
 
     @property
@@ -180,6 +191,33 @@ class CounterStore:
             counters.silent += d_silent
             counters.forward += d_forward
             counters.cleaner += d_cleaner
+
+    def merge_from(self, other: "CounterStore") -> None:
+        """Element-wise add every counter of *other* into this store.
+
+        This is the shard-merge operation of the parallel execution layer:
+        because all counting phases produce commutative per-AS sums, merging
+        per-shard stores at a phase barrier is equivalent to having counted
+        the union of their inputs in one process.
+        """
+        for asn, counters in other._counters.items():
+            mine = self.counters_for(asn)
+            mine.tagger += counters.tagger
+            mine.silent += counters.silent
+            mine.forward += counters.forward
+            mine.cleaner += counters.cleaner
+
+    @classmethod
+    def merged(
+        cls,
+        stores: Iterable["CounterStore"],
+        thresholds: Optional[Thresholds] = None,
+    ) -> "CounterStore":
+        """A new store holding the element-wise sum of *stores*."""
+        merged = cls(thresholds)
+        for store in stores:
+            merged.merge_from(store)
+        return merged
 
     def prune_zeros(self) -> int:
         """Drop ASes whose evidence was fully retracted; returns the count.

@@ -9,7 +9,9 @@ Chains the stages the paper's measurement system performs:
 5. summarise the classification.
 
 The pipeline object is what the examples and the Table 3 experiment drive;
-each stage can also be used on its own.
+each stage can also be used on its own.  With ``workers=N`` the sanitation /
+dedup stage and the counting phases execute on N OS processes (see
+:mod:`repro.parallel`); the result is identical to the serial run.
 """
 
 from __future__ import annotations
@@ -36,6 +38,10 @@ class PipelineResult:
     tuples: List[PathCommTuple]
     sanitation: SanitationStats
     observations_in: int
+    #: ``False`` when the input bypassed sanitation (``run_from_tuples``):
+    #: the sanitation stats are then all-zero by construction, and no raw
+    #: observation count exists to report.
+    sanitized: bool = True
 
     @property
     def unique_tuples(self) -> int:
@@ -43,12 +49,19 @@ class PipelineResult:
         return len(self.tuples)
 
     def summary(self) -> Dict[str, int]:
-        """Flat summary combining sanitation and classification figures."""
-        return {
-            "observations_in": self.observations_in,
+        """Flat summary combining sanitation and classification figures.
+
+        ``observations_in`` is only reported for runs that actually consumed
+        raw observations; pre-sanitized tuple runs have no meaningful raw
+        observation count and claiming one would misstate the provenance.
+        """
+        summary = {
             "unique_tuples": self.unique_tuples,
             **self.result.summary(),
         }
+        if self.sanitized:
+            summary["observations_in"] = self.observations_in
+        return summary
 
 
 class InferencePipeline:
@@ -62,14 +75,18 @@ class InferencePipeline:
         prefix_allocation: Optional[PrefixAllocation] = None,
         sanitation: Optional[SanitationConfig] = None,
         algorithm: str = "column",
+        workers: int = 1,
     ) -> None:
         if algorithm not in ("column", "row"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
         self.thresholds = thresholds or Thresholds()
         self.asn_registry = asn_registry
         self.prefix_allocation = prefix_allocation
         self.sanitation_config = sanitation or SanitationConfig()
         self.algorithm = algorithm
+        self.workers = workers
 
     # -- stage helpers --------------------------------------------------------------------
     def _make_sanitizer(self) -> Sanitizer:
@@ -80,6 +97,12 @@ class InferencePipeline:
         )
 
     def _make_inference(self):
+        if self.workers > 1:
+            from repro.parallel.inference import ParallelColumnInference, ParallelRowInference
+
+            if self.algorithm == "row":
+                return ParallelRowInference(self.thresholds, workers=self.workers)
+            return ParallelColumnInference(self.thresholds, workers=self.workers)
         if self.algorithm == "row":
             return RowInference(self.thresholds)
         return ColumnInference(self.thresholds)
@@ -90,31 +113,49 @@ class InferencePipeline:
 
         *observations* may be any iterable, including a lazy generator: the
         input is streamed through the sanitizer one observation at a time, so
-        only the deduplicated unique tuples are ever held in memory.
+        only the deduplicated unique tuples are ever held in memory.  With
+        ``workers > 1`` the stream is partitioned by collector-peer AS
+        across worker processes; the output is identical.
         """
-        sanitizer = self._make_sanitizer()
-        tuples = sanitizer.to_unique_tuples(observations)
+        if self.workers > 1:
+            from repro.parallel.batch import parallel_unique_tuples
+
+            tuples, stats = parallel_unique_tuples(
+                observations,
+                self.workers,
+                asn_registry=self.asn_registry,
+                prefix_allocation=self.prefix_allocation,
+                sanitation=self.sanitation_config,
+            )
+        else:
+            sanitizer = self._make_sanitizer()
+            tuples = sanitizer.to_unique_tuples(observations)
+            stats = sanitizer.stats
         inference = self._make_inference()
         result = inference.run(tuples)
         return PipelineResult(
             result=result,
             tuples=tuples,
-            sanitation=sanitizer.stats,
-            observations_in=sanitizer.stats.observations_in,
+            sanitation=stats,
+            observations_in=stats.observations_in,
         )
 
     def run_from_tuples(self, tuples: Iterable[PathCommTuple]) -> PipelineResult:
-        """Classify pre-sanitized ``(path, comm)`` tuples directly."""
+        """Classify pre-sanitized ``(path, comm)`` tuples directly.
+
+        No sanitation happens here, so the result honestly reports all-zero
+        sanitation stats and ``sanitized=False`` instead of fabricating a
+        raw observation count from the tuple count.
+        """
         materialized = list(tuples)
         inference = self._make_inference()
         result = inference.run(materialized)
-        count = len(materialized)
-        stats = SanitationStats(observations_in=count, observations_out=count)
         return PipelineResult(
             result=result,
             tuples=materialized,
-            sanitation=stats,
-            observations_in=count,
+            sanitation=SanitationStats(),
+            observations_in=0,
+            sanitized=False,
         )
 
     def run_from_mrt(self, blobs: Mapping[str, bytes]) -> PipelineResult:

@@ -11,6 +11,12 @@ Cond1 / Cond2 safeguards:
   the collector and ``A_{x+1}`` receives forward evidence (they all must
   have forwarded it).
 
+Every tuple's contribution is independent of all counters, so the whole
+algorithm is one commutative sum of per-tuple deltas: :func:`row_tuple_delta`
+computes one tuple's contribution, :func:`count_row_phase` folds a chunk of
+tuples, and disjoint chunks merge exactly (the property both the streaming
+retraction path and the multi-process shard merge rely on).
+
 The paper argues (and Section 6 shows) that this approach cannot distinguish
 hidden behaviour from silence/cleaning and is therefore prone to
 misclassification; it is included as the comparison baseline and exercised by
@@ -19,13 +25,63 @@ the ablation benchmark.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN
+from repro.core.column import PreparedTuple, prepare_tuple
 from repro.core.counters import CounterStore
 from repro.core.results import ClassificationResult
 from repro.core.thresholds import Thresholds
+
+#: Per-AS four-component ``[dt, ds, df, dc]`` counter deltas.
+RowDelta = Dict[ASN, List[int]]
+
+
+def row_tuple_delta(prepared: PreparedTuple, delta: Optional[RowDelta] = None) -> RowDelta:
+    """The ``(t, s, f, c)`` contributions of one prepared tuple (order-free).
+
+    Folds into *delta* in place when one is given (chunk counting), else
+    returns a fresh mapping (per-tuple retraction in the streaming engine).
+    """
+    asns, uppers = prepared
+    if delta is None:
+        delta = {}
+
+    def entry(asn: ASN) -> List[int]:
+        found = delta.get(asn)
+        if found is None:
+            found = delta[asn] = [0, 0, 0, 0]
+        return found
+
+    # Tagging: every AS of the path, tagger when its own community is present.
+    for asn in asns:
+        if asn in uppers:
+            entry(asn)[0] += 1
+        else:
+            entry(asn)[1] += 1
+    # Forwarding: walk origin -> peer; a missing downstream community is
+    # cleaner evidence, a present one is forward evidence for all upstreams.
+    n = len(asns)
+    for x in range(n - 1, 0, -1):
+        if asns[x] not in uppers:
+            entry(asns[x - 1])[3] += 1
+        else:
+            for j in range(x):
+                entry(asns[j])[2] += 1
+    return delta
+
+
+def count_row_phase(prepared: Sequence[PreparedTuple]) -> RowDelta:
+    """Summed per-AS deltas of a chunk of prepared tuples.
+
+    Pure in *prepared*; chunks may be counted in any partition (including in
+    worker processes) and merged with :meth:`CounterStore.apply_delta`.
+    """
+    delta: RowDelta = {}
+    for item in prepared:
+        row_tuple_delta(item, delta)
+    return delta
 
 
 class RowInference:
@@ -39,29 +95,11 @@ class RowInference:
         store = CounterStore(self.thresholds)
         observed: Set[ASN] = set()
 
-        prepared: List[Tuple[Tuple[ASN, ...], FrozenSet[ASN]]] = []
+        prepared: List[PreparedTuple] = []
         for item in tuples:
             asns = item.path.asns
             observed.update(asns)
-            prepared.append((asns, frozenset(item.communities.upper_fields())))
+            prepared.append(prepare_tuple(item))
 
-        # PHASE 1: tagging evidence for every AS of every path.
-        for asns, uppers in prepared:
-            for asn in asns:
-                if asn in uppers:
-                    store.count_tagger(asn)
-                else:
-                    store.count_silent(asn)
-
-        # PHASE 2: forwarding evidence, walking each path origin -> peer.
-        for asns, uppers in prepared:
-            n = len(asns)
-            for x in range(n - 1, 0, -1):  # x = n-1 .. 1 (1-based indices)
-                downstream = asns[x]  # A_{x+1}
-                if downstream not in uppers:
-                    store.count_cleaner(asns[x - 1])
-                else:
-                    for j in range(x):
-                        store.count_forward(asns[j])
-
+        store.apply_delta(count_row_phase(prepared))
         return ClassificationResult(store=store, observed_ases=observed, algorithm="row")

@@ -4,14 +4,25 @@ Building the synthetic Internet, computing routes, and classifying the
 aggregate dataset are by far the most expensive steps; every experiment
 driver therefore works against an :class:`ExperimentContext` that constructs
 them lazily and exactly once.
+
+With ``cache_dir`` set, the expensive aggregate artifacts are additionally
+persisted on disk, keyed by ``(scale, seed, thresholds)``.  Writes are
+atomic (temp file + ``os.replace``), so any number of concurrent processes —
+the parallel experiment runner forks several — may share one cache
+directory: the worst case under a race is duplicated work, never a torn
+read.
 """
 
 from __future__ import annotations
 
 import enum
+import os
+import pickle
+import tempfile
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN
@@ -22,6 +33,8 @@ from repro.core.thresholds import Thresholds
 from repro.datasets.synthetic import AGGREGATE_PROJECTS, SyntheticConfig, SyntheticInternet
 from repro.topology.cone import CustomerCones
 from repro.usage.scenarios import ScenarioBuilder
+
+T = TypeVar("T")
 
 
 class ExperimentScale(enum.Enum):
@@ -67,6 +80,50 @@ class ExperimentContext:
     scale: ExperimentScale = ExperimentScale.DEFAULT
     seed: int = 1
     thresholds: Thresholds = field(default_factory=Thresholds)
+    #: Directory for the process-safe on-disk result cache (None = no cache).
+    cache_dir: Optional[Union[str, Path]] = None
+
+    # -- on-disk cache -----------------------------------------------------------------
+    def _cache_path(self, name: str) -> Optional[Path]:
+        """Cache file for artifact *name*, keyed by scale / seed / thresholds."""
+        if self.cache_dir is None:
+            return None
+        t = self.thresholds
+        key = (
+            f"{self.scale.value}-seed{self.seed}"
+            f"-t{t.tagger}-{t.silent}-{t.forward}-{t.cleaner}"
+        )
+        return Path(self.cache_dir) / f"{key}-{name}.pkl"
+
+    def _cached(self, name: str, build: Callable[[], T]) -> T:
+        """Load artifact *name* from the disk cache, or build and store it.
+
+        Concurrent processes may race on the same artifact; the atomic
+        ``os.replace`` ensures readers only ever see complete files.
+        """
+        path = self._cache_path(name)
+        if path is None:
+            return build()
+        if path.exists():
+            try:
+                with path.open("rb") as handle:
+                    return pickle.load(handle)
+            except (pickle.UnpicklingError, EOFError, OSError):
+                pass  # corrupt or unreadable: rebuild below
+        value = build()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return value
 
     # -- substrate ---------------------------------------------------------------------
     @cached_property
@@ -82,12 +139,15 @@ class ExperimentContext:
     @cached_property
     def aggregate_tuples(self) -> List[PathCommTuple]:
         """Unique ``(path, comm)`` tuples of the aggregated dataset."""
-        return self.internet.tuples_for_aggregate()
+        return self._cached("aggregate-tuples", self.internet.tuples_for_aggregate)
 
     @cached_property
     def aggregate_classification(self) -> ClassificationResult:
         """Classification of the aggregated dataset (used by many figures)."""
-        return ColumnInference(self.thresholds).run(self.aggregate_tuples)
+        return self._cached(
+            "aggregate-classification",
+            lambda: ColumnInference(self.thresholds).run(self.aggregate_tuples),
+        )
 
     @cached_property
     def scenario_paths(self) -> List[ASPath]:

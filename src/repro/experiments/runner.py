@@ -1,18 +1,31 @@
 """Run every experiment and print the paper's tables and figures.
 
+Both the :func:`run_all` API and the CLI default to the ``SMALL`` scale (a
+quick, laptop-sized run); pass ``--scale default`` to reproduce the numbers
+in EXPERIMENTS.md.  With ``--workers N`` independent experiments run in N
+worker processes, sharing the substrate via fork and (optionally) an
+on-disk result cache via ``--cache-dir``.
+
 Usage::
 
-    python -m repro.experiments --scale small
+    python -m repro.experiments                      # SMALL scale, serial
     python -m repro.experiments --scale default --only table2 figure6
+    python -m repro.experiments --workers 4 --cache-dir .cache/experiments
+    python -m repro.experiments --matrix --matrix-seeds 1 2 3 --matrix-scales tiny small
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import statistics
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.column import ColumnInference
+from repro.eval.metrics import evaluate_scenario
 from repro.experiments import (
     figure2,
     figure3,
@@ -26,6 +39,10 @@ from repro.experiments import (
     table5_6,
 )
 from repro.experiments.context import ExperimentContext, ExperimentScale
+from repro.usage.scenarios import ScenarioName
+
+#: The one documented default scale, shared by :func:`run_all` and the CLI.
+DEFAULT_SCALE = ExperimentScale.SMALL
 
 #: Experiment name -> module with ``run(context)`` and a ``format_text`` result.
 EXPERIMENTS: Dict[str, Callable] = {
@@ -41,30 +58,215 @@ EXPERIMENTS: Dict[str, Callable] = {
     "figure6": figure6.run,
 }
 
+#: Context shared with forked pool workers (set right before the fork).
+_POOL_CONTEXT: Optional[ExperimentContext] = None
+
+
+def _init_pool_context(context: ExperimentContext) -> None:
+    global _POOL_CONTEXT
+    _POOL_CONTEXT = context
+
+
+def _run_one_experiment(name: str) -> Tuple[str, object, float]:
+    """Pool task: run one experiment against the shared context."""
+    started = time.time()
+    result = EXPERIMENTS[name](_POOL_CONTEXT)
+    return name, result, time.time() - started
+
 
 def run_all(
-    scale: ExperimentScale = ExperimentScale.DEFAULT,
+    scale: ExperimentScale = DEFAULT_SCALE,
     *,
     only: Optional[Sequence[str]] = None,
     seed: int = 1,
     stream=None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the selected experiments and print their textual rendering."""
+    """Run the selected experiments and print their textual rendering.
+
+    With ``workers > 1`` the experiments run concurrently on a process pool;
+    the shared substrate is built once up front so forked workers inherit
+    it, and results are printed in the selected order regardless of which
+    worker finished first.
+    """
     stream = stream or sys.stdout
-    context = ExperimentContext(scale=scale, seed=seed)
+    context = ExperimentContext(scale=scale, seed=seed, cache_dir=cache_dir)
     selected = list(only) if only else list(EXPERIMENTS)
-    results: Dict[str, object] = {}
     for name in selected:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
+        if name not in EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
-        started = time.time()
-        result = runner(context)
+
+    if workers > 1 and len(selected) > 1:
+        # Build the expensive shared state before the fork so every worker
+        # inherits it instead of re-deriving it.
+        context.internet
+        context.aggregate_tuples
+        context.aggregate_classification
+        context.scenario_paths
+        with multiprocessing.get_context().Pool(
+            min(workers, len(selected)),
+            initializer=_init_pool_context,
+            initargs=(context,),
+        ) as pool:
+            outcomes = pool.map(_run_one_experiment, selected)
+    else:
+        _init_pool_context(context)
+        outcomes = [_run_one_experiment(name) for name in selected]
+
+    results: Dict[str, object] = {}
+    for name, result, elapsed in outcomes:
         results[name] = result
-        elapsed = time.time() - started
         print(f"\n===== {name} ({elapsed:.1f}s) =====", file=stream)
         print(result.format_text(), file=stream)
     return results
+
+
+# -- scenario stability matrix ---------------------------------------------------------
+
+
+@dataclass
+class MatrixCell:
+    """Evaluation of one (scale, scenario seed) combination."""
+
+    scale: str
+    seed: int
+    tagging_recall: float
+    tagging_precision: float
+    forwarding_recall: float
+    forwarding_precision: float
+
+    def as_row(self) -> Tuple:
+        return (
+            self.scale,
+            self.seed,
+            round(self.tagging_recall, 3),
+            round(self.tagging_precision, 3),
+            round(self.forwarding_recall, 3),
+            round(self.forwarding_precision, 3),
+        )
+
+
+@dataclass
+class MatrixResult:
+    """All cells of one seeds x scales sweep plus per-scale stability."""
+
+    scenario: str
+    cells: List[MatrixCell] = field(default_factory=list)
+
+    def stability(self) -> Dict[str, Dict[str, float]]:
+        """Per-scale mean / stdev of precision and recall across seeds."""
+        by_scale: Dict[str, List[MatrixCell]] = {}
+        for cell in self.cells:
+            by_scale.setdefault(cell.scale, []).append(cell)
+        summary: Dict[str, Dict[str, float]] = {}
+        for scale, cells in by_scale.items():
+            metrics = {
+                "rec_tagging": [c.tagging_recall for c in cells],
+                "prec_tagging": [c.tagging_precision for c in cells],
+                "rec_forwarding": [c.forwarding_recall for c in cells],
+                "prec_forwarding": [c.forwarding_precision for c in cells],
+            }
+            entry: Dict[str, float] = {}
+            for key, values in metrics.items():
+                entry[f"{key}_mean"] = statistics.fmean(values)
+                entry[f"{key}_stdev"] = (
+                    statistics.stdev(values) if len(values) > 1 else 0.0
+                )
+            summary[scale] = entry
+        return summary
+
+    def format_text(self) -> str:
+        """Render the matrix and the per-scale stability summary."""
+        header = (
+            f"{'scale':>10}{'seed':>6}{'rec_t':>8}{'prec_t':>8}"
+            f"{'rec_f':>8}{'prec_f':>8}"
+        )
+        lines = [f"scenario stability matrix ({self.scenario})", header, "-" * len(header)]
+        for cell in self.cells:
+            scale, seed, rec_t, prec_t, rec_f, prec_f = cell.as_row()
+            lines.append(
+                f"{scale:>10}{seed:>6}{rec_t:>8}{prec_t:>8}{rec_f:>8}{prec_f:>8}"
+            )
+        lines.append("")
+        for scale, entry in self.stability().items():
+            lines.append(
+                f"{scale}: prec_tagging {entry['prec_tagging_mean']:.3f}"
+                f" +- {entry['prec_tagging_stdev']:.3f},"
+                f" rec_tagging {entry['rec_tagging_mean']:.3f}"
+                f" +- {entry['rec_tagging_stdev']:.3f}"
+            )
+        return "\n".join(lines)
+
+
+#: Per-process context cache of the matrix pool (one substrate per scale).
+_MATRIX_CONTEXTS: Dict[Tuple[str, int, Optional[str]], ExperimentContext] = {}
+
+_MATRIX_CACHE_DIR: Optional[str] = None
+
+
+def _init_matrix_pool(cache_dir: Optional[str]) -> None:
+    global _MATRIX_CACHE_DIR
+    _MATRIX_CACHE_DIR = cache_dir
+
+
+def _run_matrix_cell(task: Tuple[str, int, int, str]) -> MatrixCell:
+    """Pool task: evaluate one (scale, scenario seed) combination."""
+    scale_value, base_seed, scenario_seed, scenario_value = task
+    key = (scale_value, base_seed, _MATRIX_CACHE_DIR)
+    context = _MATRIX_CONTEXTS.get(key)
+    if context is None:
+        context = ExperimentContext(
+            scale=ExperimentScale(scale_value), seed=base_seed, cache_dir=_MATRIX_CACHE_DIR
+        )
+        _MATRIX_CONTEXTS[key] = context
+    builder = context.scenario_builder(seed=scenario_seed)
+    dataset = builder.build(ScenarioName(scenario_value), seed=scenario_seed)
+    result = ColumnInference(context.thresholds).run(dataset.tuples)
+    evaluation = evaluate_scenario(dataset, result)
+    return MatrixCell(
+        scale=scale_value,
+        seed=scenario_seed,
+        tagging_recall=evaluation.tagging.recall,
+        tagging_precision=evaluation.tagging.precision,
+        forwarding_recall=evaluation.forwarding.recall,
+        forwarding_precision=evaluation.forwarding.precision,
+    )
+
+
+def run_matrix(
+    scales: Sequence[ExperimentScale],
+    seeds: Sequence[int],
+    *,
+    base_seed: int = 1,
+    scenario: ScenarioName = ScenarioName.RANDOM,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    stream=None,
+) -> MatrixResult:
+    """Sweep ScenarioBuilder seeds x scales (Table 2-style stability study).
+
+    Every cell re-assigns the scenario roles with a different seed over the
+    scale's substrate and evaluates precision / recall of the column
+    inference; cells are independent and run on a process pool.
+    """
+    stream = stream or sys.stdout
+    tasks = [
+        (scale.value, base_seed, seed, scenario.value) for scale in scales for seed in seeds
+    ]
+    if workers > 1 and len(tasks) > 1:
+        with multiprocessing.get_context().Pool(
+            min(workers, len(tasks)),
+            initializer=_init_matrix_pool,
+            initargs=(cache_dir,),
+        ) as pool:
+            cells = pool.map(_run_matrix_cell, tasks)
+    else:
+        _init_matrix_pool(cache_dir)
+        cells = [_run_matrix_cell(task) for task in tasks]
+    result = MatrixResult(scenario=scenario.value, cells=cells)
+    print(result.format_text(), file=stream)
+    return result
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -73,8 +275,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--scale",
         choices=[scale.value for scale in ExperimentScale],
-        default=ExperimentScale.SMALL.value,
-        help="experiment scale preset",
+        default=DEFAULT_SCALE.value,
+        help="experiment scale preset (default: %(default)s)",
     )
     parser.add_argument("--seed", type=int, default=1, help="substrate random seed")
     parser.add_argument(
@@ -83,6 +285,61 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help=f"subset of experiments to run ({', '.join(sorted(EXPERIMENTS))})",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for independent experiments / matrix cells",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the process-safe on-disk result cache",
+    )
+    parser.add_argument(
+        "--matrix",
+        action="store_true",
+        help="run the scenario stability matrix instead of the experiments",
+    )
+    parser.add_argument(
+        "--matrix-seeds",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3],
+        help="scenario role-assignment seeds swept by --matrix",
+    )
+    parser.add_argument(
+        "--matrix-scales",
+        nargs="+",
+        choices=[scale.value for scale in ExperimentScale],
+        default=None,
+        help="scales swept by --matrix (default: the --scale value)",
+    )
+    parser.add_argument(
+        "--matrix-scenario",
+        choices=[name.value for name in ScenarioName],
+        default=ScenarioName.RANDOM.value,
+        help="ground-truth scenario evaluated by --matrix",
+    )
     args = parser.parse_args(argv)
-    run_all(ExperimentScale(args.scale), only=args.only, seed=args.seed)
+    if args.matrix:
+        scales = [
+            ExperimentScale(value) for value in (args.matrix_scales or [args.scale])
+        ]
+        run_matrix(
+            scales,
+            args.matrix_seeds,
+            base_seed=args.seed,
+            scenario=ScenarioName(args.matrix_scenario),
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+        return 0
+    run_all(
+        ExperimentScale(args.scale),
+        only=args.only,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
     return 0

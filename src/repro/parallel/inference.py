@@ -1,0 +1,215 @@
+"""Multi-process counting for the column and row inference algorithms.
+
+Both algorithms spend essentially all their time in counting phases that are
+pure functions of ``(tuple chunk, decisions)`` and produce commutative
+per-AS sums (see :mod:`repro.core.column`).  That makes them map-reducible:
+split the prepared tuples into one chunk per worker, count every phase on
+all chunks concurrently, and merge the per-chunk deltas at the phase barrier
+before the decision view for the next phase is taken.
+
+Because the merged deltas are exactly the deltas a single process would have
+produced over the concatenated chunk list, the resulting counter stores,
+decision views, stall behaviour, and hence the final
+:class:`~repro.core.results.ClassificationResult` are **identical** to the
+serial :class:`~repro.core.column.ColumnInference` /
+:class:`~repro.core.row.RowInference` — a property the test suite pins down
+tuple-for-tuple.
+
+The chunks are shipped to the pool workers once, through the pool
+initializer (a no-copy fork inheritance on platforms with the ``fork`` start
+method); per-phase messages then carry only ``(chunk index, column,
+decision view)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.asn import ASN
+from repro.core.column import (
+    ColumnInferenceReport,
+    PhaseDelta,
+    PreparedTuple,
+    count_forwarding_phase,
+    count_tagging_phase,
+    merge_phase_deltas,
+    prepare_tuple,
+)
+from repro.core.counters import CounterStore, DecisionView
+from repro.core.results import ClassificationResult
+from repro.core.row import RowDelta, count_row_phase
+from repro.core.thresholds import Thresholds
+
+#: Below this many tuples the pool start-up cost dwarfs the counting work.
+MIN_PARALLEL_TUPLES = 256
+
+#: The tuple chunks of the current pool's workers (set by the initializer).
+_WORKER_CHUNKS: Optional[List[List[PreparedTuple]]] = None
+
+
+def _init_chunks(chunks: Optional[List[List[PreparedTuple]]]) -> None:
+    """Pool initializer: pin the prepared tuple chunks in the worker."""
+    global _WORKER_CHUNKS
+    _WORKER_CHUNKS = chunks
+
+
+def _count_column_chunk(
+    task: Tuple[int, str, int, DecisionView]
+) -> Tuple[PhaseDelta, int]:
+    """Count one phase of one column over one worker-resident chunk."""
+    chunk_index, phase, column, decisions = task
+    chunk = _WORKER_CHUNKS[chunk_index]
+    count = count_tagging_phase if phase == "tagging" else count_forwarding_phase
+    return count(chunk, column, decisions)
+
+
+def _count_row_chunk(chunk_index: int) -> RowDelta:
+    """Count the row deltas of one worker-resident chunk."""
+    return count_row_phase(_WORKER_CHUNKS[chunk_index])
+
+
+def split_chunks(prepared: Sequence[PreparedTuple], parts: int) -> List[List[PreparedTuple]]:
+    """Split *prepared* into at most *parts* contiguous, balanced chunks."""
+    parts = max(1, min(parts, len(prepared)))
+    size, remainder = divmod(len(prepared), parts)
+    chunks: List[List[PreparedTuple]] = []
+    start = 0
+    for index in range(parts):
+        end = start + size + (1 if index < remainder else 0)
+        chunks.append(list(prepared[start:end]))
+        start = end
+    return chunks
+
+
+class ParallelColumnInference:
+    """Byte-identical drop-in for :class:`ColumnInference` on N processes."""
+
+    def __init__(
+        self,
+        thresholds: Optional[Thresholds] = None,
+        *,
+        workers: int = 2,
+        max_columns: Optional[int] = None,
+        stop_when_stalled: bool = True,
+        context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.thresholds = thresholds or Thresholds()
+        self.workers = workers
+        self.max_columns = max_columns
+        self.stop_when_stalled = stop_when_stalled
+        self.report = ColumnInferenceReport()
+        self._context = context
+
+    def run(self, tuples: Sequence[PathCommTuple]) -> ClassificationResult:
+        """Infer the community usage classification for every observed AS."""
+        prepared: List[PreparedTuple] = []
+        observed: Set[ASN] = set()
+        max_length = 0
+        for item in tuples:
+            entry = prepare_tuple(item)
+            observed.update(entry[0])
+            prepared.append(entry)
+            if len(entry[0]) > max_length:
+                max_length = len(entry[0])
+
+        store = CounterStore(self.thresholds)
+        self.report = ColumnInferenceReport()
+        if not prepared:
+            return ClassificationResult(store=store, observed_ases=observed, algorithm="column")
+
+        limit = max_length if self.max_columns is None else min(max_length, self.max_columns)
+        try:
+            if self.workers == 1 or len(prepared) < MIN_PARALLEL_TUPLES:
+                _init_chunks([prepared])  # the serial fall-back reads the global too
+                self._run_columns(store, [prepared], limit, map)
+            else:
+                chunks = split_chunks(prepared, self.workers)
+                ctx = multiprocessing.get_context(self._context)
+                with ctx.Pool(
+                    len(chunks), initializer=_init_chunks, initargs=(chunks,)
+                ) as pool:
+                    self._run_columns(store, chunks, limit, pool.map)
+        finally:
+            _init_chunks(None)  # don't pin the dataset in the parent process
+        return ClassificationResult(store=store, observed_ases=observed, algorithm="column")
+
+    def _run_columns(self, store, chunks, limit, map_tasks) -> None:
+        """The column loop; counting is dispatched through *map_tasks*."""
+        for column in range(1, limit + 1):
+            tagging_delta, tagging_increments = self._count_phase(
+                map_tasks, chunks, "tagging", column, store.decision_view()
+            )
+            store.apply_tagging_delta(tagging_delta)
+            forwarding_delta, forwarding_increments = self._count_phase(
+                map_tasks, chunks, "forwarding", column, store.decision_view()
+            )
+            store.apply_forwarding_delta(forwarding_delta)
+            self.report.columns_processed = column
+            self.report.tagging_counts_per_column.append(tagging_increments)
+            self.report.forwarding_counts_per_column.append(forwarding_increments)
+            if (
+                self.stop_when_stalled
+                and column > 1
+                and tagging_increments == 0
+                and forwarding_increments == 0
+            ):
+                break
+
+    @staticmethod
+    def _count_phase(map_tasks, chunks, phase, column, decisions) -> Tuple[PhaseDelta, int]:
+        """One phase over all chunks, merged at the barrier."""
+        outcomes = map_tasks(
+            _count_column_chunk,
+            [(index, phase, column, decisions) for index in range(len(chunks))],
+        )
+        outcomes = list(outcomes)
+        delta = merge_phase_deltas(delta for delta, _ in outcomes)
+        increments = sum(increments for _, increments in outcomes)
+        return delta, increments
+
+
+class ParallelRowInference:
+    """Byte-identical drop-in for :class:`RowInference` on N processes."""
+
+    def __init__(
+        self,
+        thresholds: Optional[Thresholds] = None,
+        *,
+        workers: int = 2,
+        context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.thresholds = thresholds or Thresholds()
+        self.workers = workers
+        self._context = context
+
+    def run(self, tuples: Sequence[PathCommTuple]) -> ClassificationResult:
+        """Infer classifications with the row-based counting rules."""
+        prepared: List[PreparedTuple] = []
+        observed: Set[ASN] = set()
+        for item in tuples:
+            entry = prepare_tuple(item)
+            observed.update(entry[0])
+            prepared.append(entry)
+
+        store = CounterStore(self.thresholds)
+        if not prepared:
+            return ClassificationResult(store=store, observed_ases=observed, algorithm="row")
+
+        if self.workers == 1 or len(prepared) < MIN_PARALLEL_TUPLES:
+            deltas = [count_row_phase(prepared)]
+        else:
+            chunks = split_chunks(prepared, self.workers)
+            ctx = multiprocessing.get_context(self._context)
+            with ctx.Pool(
+                len(chunks), initializer=_init_chunks, initargs=(chunks,)
+            ) as pool:
+                deltas = pool.map(_count_row_chunk, range(len(chunks)))
+        for delta in deltas:
+            store.apply_delta(delta)
+        return ClassificationResult(store=store, observed_ases=observed, algorithm="row")

@@ -1,0 +1,142 @@
+"""Multi-process execution of the streaming engine.
+
+:class:`ParallelStreamEngine` keeps the windowing, classification, and
+checkpoint logic of :class:`~repro.stream.engine.StreamEngine` in the main
+process and moves only the per-shard sanitation + dedup state into a
+:class:`~repro.parallel.pool.ShardProcessPool`.  Events are read in batches;
+when an event's timestamp crosses a window boundary the in-flight batch is
+drained (scatter/gather) *before* the window flushes, so every window
+snapshot — and the fully drained final classification — is identical to the
+synchronous engine's, event for event.
+
+The one intentional divergence: ``checkpoint_every`` auto-checkpoints are
+deferred to the next batch boundary, where the pool state and the classifier
+state are mutually consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bgp.announcement import RouteObservation
+from repro.core.results import ClassificationResult
+from repro.sanitize.filters import SanitationStats
+from repro.stream.engine import StreamConfig, StreamEngine, TupleKey
+from repro.parallel.pool import ShardProcessPool
+
+#: Events shipped to the worker fleet per scatter/gather round-trip.
+DEFAULT_STREAM_BATCH = 1024
+
+
+class ParallelStreamEngine(StreamEngine):
+    """A :class:`StreamEngine` whose shard workers live in other processes."""
+
+    def __init__(
+        self,
+        config: Optional[StreamConfig] = None,
+        *,
+        workers: int = 2,
+        batch_size: int = DEFAULT_STREAM_BATCH,
+        **kwargs,
+    ) -> None:
+        super().__init__(config, **kwargs)
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        self.workers = workers
+        self.batch_size = batch_size
+        self._pool: Optional[ShardProcessPool] = None
+        self._checkpoint_pending = False
+
+    # -- driving ------------------------------------------------------------------------
+    def ingest(self, observation: RouteObservation) -> None:
+        """Single-event ingestion is owned by the worker fleet; use :meth:`run`."""
+        raise NotImplementedError(
+            "ParallelStreamEngine processes events in batches; drive it with run()"
+        )
+
+    def run(
+        self, source, *, finish: bool = True
+    ) -> ClassificationResult:
+        """Drain *source* through the worker fleet; returns the final result."""
+        pool = ShardProcessPool(
+            self.config.shards,
+            self.workers,
+            asn_registry=self._asn_registry,
+            prefix_allocation=self._prefix_allocation,
+            sanitation=self.config.sanitation,
+        )
+        self._pool = pool
+        try:
+            # Hand any restored shard state to the processes.
+            pool.load_state_dicts([worker.state_dict() for worker in self.router.workers])
+            batch: List[RouteObservation] = []
+            for observation in source:
+                closed = self.clock.advance(observation.timestamp)
+                if closed is not None:
+                    # The crossing event belongs to the *next* window: absorb
+                    # everything before it, flush, then start a new batch.
+                    self._drain(batch)
+                    batch = []
+                    self._flush(closed)
+                batch.append(observation)
+                if len(batch) >= self.batch_size:
+                    self._drain(batch)
+                    batch = []
+            self._drain(batch)
+            self._sync_router_state()
+            if finish:
+                return self.finish()
+            return self.result()
+        finally:
+            self._pool = None
+            pool.close()
+
+    def _drain(self, batch: List[RouteObservation]) -> None:
+        """Scatter one batch to the fleet and absorb the gathered outcomes."""
+        if not batch:
+            return
+        results = self._pool.process_batch(list(enumerate(batch)))
+        for seq, shard_id, outcome in results:
+            self._absorb(batch[seq].timestamp, shard_id, outcome)
+        if self._checkpoint_pending:
+            self._checkpoint_pending = False
+            self.checkpoint()
+
+    # -- state plumbing -----------------------------------------------------------------
+    def _sync_router_state(self) -> None:
+        """Mirror the fleet's shard state into the in-process router."""
+        for worker, state in zip(self.router.workers, self._pool.state_dicts()):
+            worker.load_state_dict(state)
+
+    def _router_evict(self, by_shard: Dict[int, List[TupleKey]]) -> None:
+        if self._pool is not None:
+            self._pool.evict(by_shard)
+        else:
+            super()._router_evict(by_shard)
+
+    def _auto_checkpoint(self) -> None:
+        # Mid-batch the pool has already sanitized events the classifier has
+        # not absorbed yet; defer to the batch boundary where both agree.
+        self._checkpoint_pending = True
+
+    def checkpoint(self):
+        """Persist the engine state (pulls shard state off the fleet first)."""
+        if self._pool is not None:
+            self._sync_router_state()
+        return super().checkpoint()
+
+    # -- views --------------------------------------------------------------------------
+    @property
+    def unique_tuples(self) -> int:
+        """Unique ``(path, comm)`` tuples currently folded in."""
+        if self._pool is not None:
+            return self._pool.unique_tuples
+        return super().unique_tuples
+
+    def sanitation_stats(self) -> SanitationStats:
+        """Merged sanitation statistics across all shards."""
+        if self._pool is not None:
+            return self._pool.sanitation_stats()
+        return super().sanitation_stats()

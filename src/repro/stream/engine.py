@@ -182,16 +182,29 @@ class StreamEngine:
         closed = self.clock.advance(observation.timestamp)
         if closed is not None:
             self._flush(closed)
-        self.stats.events_in += 1
         worker = self.router.worker_for(observation)
-        outcome = worker.process(observation)
+        self._absorb(observation.timestamp, worker.shard_id, worker.process(observation))
+
+    def _absorb(
+        self,
+        timestamp: int,
+        shard_id: int,
+        outcome: Optional[Tuple[TupleKey, Optional[PathCommTuple]]],
+    ) -> None:
+        """Fold one shard-worker sanitation outcome into the engine state.
+
+        Split out of :meth:`ingest` so execution layers that sanitize
+        elsewhere (the multiprocessing batch driver) can feed outcomes back
+        in while keeping the clock / window bookkeeping identical.
+        """
+        self.stats.events_in += 1
         if outcome is not None:
             key, new_tuple = outcome
             if self.config.window.policy is WindowPolicy.SLIDING:
                 previous = self._last_seen.get(key)
                 # A late out-of-order duplicate must not rewind retention.
-                if previous is None or observation.timestamp > previous[0]:
-                    self._last_seen[key] = (observation.timestamp, worker.shard_id)
+                if previous is None or timestamp > previous[0]:
+                    self._last_seen[key] = (timestamp, shard_id)
             if new_tuple is not None:
                 self.classifier.add_tuple(new_tuple)
         self._events_since_checkpoint += 1
@@ -200,7 +213,11 @@ class StreamEngine:
             and self.config.checkpoint_every is not None
             and self._events_since_checkpoint >= self.config.checkpoint_every
         ):
-            self.checkpoint()
+            self._auto_checkpoint()
+
+    def _auto_checkpoint(self) -> None:
+        """Periodic checkpoint trigger (overridable by execution layers)."""
+        self.checkpoint()
 
     def run(
         self, source: Iterable[RouteObservation], *, finish: bool = True
@@ -235,13 +252,17 @@ class StreamEngine:
         for key in expired:
             _, shard_id = self._last_seen.pop(key)
             by_shard.setdefault(shard_id, []).append(key)
-        self.router.evict(by_shard)
+        self._router_evict(by_shard)
         evicted_tuples = [PathCommTuple(path, communities) for path, communities in expired]
         remaining = [
             PathCommTuple(path, communities) for path, communities in self._last_seen
         ]
         self.classifier.evict(evicted_tuples, remaining)
         self.stats.tuples_evicted += len(expired)
+
+    def _router_evict(self, by_shard: Dict[int, List[TupleKey]]) -> None:
+        """Forget expired keys wherever the shard dedup state lives."""
+        self.router.evict(by_shard)
 
     def _flush(self, closed: ClosedWindow) -> None:
         """Close one window: evict, reclassify, snapshot, notify."""
@@ -255,7 +276,7 @@ class StreamEngine:
             window_end=closed.end,
             skipped_windows=closed.skipped,
             events_total=self.stats.events_in,
-            unique_tuples=self.router.unique_tuples,
+            unique_tuples=self.unique_tuples,
             result=result,
             changed=changed,
         )

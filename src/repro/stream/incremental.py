@@ -38,10 +38,12 @@ from repro.core.column import (
     PreparedTuple,
     count_forwarding_phase,
     count_tagging_phase,
+    merge_phase_delta,
     prepare_tuple,
 )
 from repro.core.counters import CounterStore, DecisionView
 from repro.core.results import ClassificationResult
+from repro.core.row import row_tuple_delta
 from repro.core.thresholds import Thresholds
 
 
@@ -81,17 +83,6 @@ class IncrementalStats:
             "recount_phases": self.recount_phases,
             "resets": self.resets,
         }
-
-
-def _merge_phase_delta(target: PhaseDelta, extra: PhaseDelta) -> None:
-    """Fold *extra* phase deltas into *target* in place."""
-    for asn, (first, second) in extra.items():
-        entry = target.get(asn)
-        if entry is None:
-            target[asn] = [first, second]
-        else:
-            entry[0] += first
-            entry[1] += second
 
 
 class IncrementalColumnClassifier:
@@ -186,7 +177,7 @@ class IncrementalColumnClassifier:
         if record is not None and record.decisions == decisions:
             if pending:
                 delta, increments = count_phase(pending, column, decisions)
-                _merge_phase_delta(record.delta, delta)
+                merge_phase_delta(record.delta, delta)
                 record.increments += increments
             self.stats.delta_phases += 1
         else:
@@ -302,33 +293,6 @@ class IncrementalRowClassifier:
         self._observed: Set[ASN] = set()
         self._tuple_count = 0
 
-    # -- per-tuple deltas ---------------------------------------------------------------
-    @staticmethod
-    def _tuple_delta(prepared: PreparedTuple) -> Dict[ASN, List[int]]:
-        """The ``(t, s, f, c)`` contributions of one tuple (order-free)."""
-        asns, uppers = prepared
-        delta: Dict[ASN, List[int]] = {}
-
-        def entry(asn: ASN) -> List[int]:
-            found = delta.get(asn)
-            if found is None:
-                found = delta[asn] = [0, 0, 0, 0]
-            return found
-
-        for asn in asns:
-            if asn in uppers:
-                entry(asn)[0] += 1
-            else:
-                entry(asn)[1] += 1
-        n = len(asns)
-        for x in range(n - 1, 0, -1):
-            if asns[x] not in uppers:
-                entry(asns[x - 1])[3] += 1
-            else:
-                for j in range(x):
-                    entry(asns[j])[2] += 1
-        return delta
-
     # -- ingestion ---------------------------------------------------------------------
     @property
     def tuple_count(self) -> int:
@@ -339,7 +303,7 @@ class IncrementalRowClassifier:
         """Fold one new unique tuple into the counters immediately."""
         prepared = prepare_tuple(item)
         self._observed.update(prepared[0])
-        self._store.apply_delta(self._tuple_delta(prepared))
+        self._store.apply_delta(row_tuple_delta(prepared))
         self._tuple_count += 1
         self.stats.tuples_added += 1
         self.stats.delta_phases += 1
@@ -360,7 +324,7 @@ class IncrementalRowClassifier:
             prepared = prepare_tuple(item)
             negated = {
                 asn: [-a, -b, -c, -d]
-                for asn, (a, b, c, d) in self._tuple_delta(prepared).items()
+                for asn, (a, b, c, d) in row_tuple_delta(prepared).items()
             }
             self._store.apply_delta(negated)
             self._tuple_count -= 1

@@ -134,10 +134,17 @@ class WindowClock:
         return ClosedWindow(start=start, end=end, skipped=skipped)
 
     def close_current(self) -> Optional[ClosedWindow]:
-        """Close the in-progress window (end of stream / final drain)."""
+        """Close the in-progress window (end of stream / final drain).
+
+        Draining is idempotent: once the window containing the newest event
+        has been closed there is nothing left in progress, so repeated calls
+        return ``None`` instead of fabricating empty future windows.
+        """
         if self.max_timestamp is None or self._next_index is None:
             return None
-        index = max(self._next_index, self.spec.window_index(self.max_timestamp))
+        index = self.spec.window_index(self.max_timestamp)
+        if index < self._next_index:
+            return None
         start, end = self.spec.bounds(index)
         skipped = index - self._next_index
         self._next_index = index + 1

@@ -71,6 +71,13 @@ class TestClassifyCommand:
         assert main(["classify", str(mrt_file), "--threshold", "0.6", "-o", str(output)]) == 0
         assert output.exists()
 
+    def test_classify_with_workers_matches_serial(self, mrt_file, tmp_path):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        assert main(["classify", str(mrt_file), "-o", str(serial)]) == 0
+        assert main(["classify", str(mrt_file), "--workers", "2", "-o", str(parallel)]) == 0
+        assert parallel.read_text() == serial.read_text()
+
 
 class TestShowCommand:
     def test_show_summary_and_single_asn(self, mrt_file, tmp_path, capsys):
@@ -93,3 +100,13 @@ class TestShowCommand:
         output = tmp_path / "db.json"
         main(["classify", str(mrt_file), "--format", "json", "-o", str(output)])
         assert main(["show", str(output)]) == 0
+
+
+class TestStreamCommand:
+    def test_stream_with_workers_matches_serial(self, mrt_file, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        assert main(["stream", str(mrt_file), "-o", str(serial)]) == 0
+        assert main(["stream", str(mrt_file), "--workers", "2", "-o", str(parallel)]) == 0
+        assert parallel.read_text() == serial.read_text()
+        assert "streamed" in capsys.readouterr().err

@@ -10,7 +10,8 @@ import pytest
 
 from repro.experiments import figure2, figure3, figure4, figure5, figure6, table1, table2, table3, table4, table5_6
 from repro.experiments.context import ExperimentContext, ExperimentScale
-from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.experiments.runner import DEFAULT_SCALE, EXPERIMENTS, run_all, run_matrix
+from repro.experiments import runner as runner_module
 from repro.usage.scenarios import ScenarioName
 
 
@@ -208,3 +209,106 @@ class TestRunner:
             "figure6",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_api_and_cli_share_one_default_scale(self, monkeypatch):
+        """run_all and the CLI must use the same documented default scale."""
+        import inspect
+
+        assert inspect.signature(run_all).parameters["scale"].default is DEFAULT_SCALE
+
+        seen = {}
+
+        def spy_run_all(scale, **kwargs):
+            seen["scale"] = scale
+            return {}
+
+        monkeypatch.setattr(runner_module, "run_all", spy_run_all)
+        assert runner_module.main([]) == 0
+        assert seen["scale"] is DEFAULT_SCALE
+
+    def test_run_all_parallel_matches_serial(self, context):
+        serial_stream = io.StringIO()
+        parallel_stream = io.StringIO()
+        serial = run_all(
+            ExperimentScale.TINY, only=["table3", "figure6"], seed=2, stream=serial_stream
+        )
+        parallel = run_all(
+            ExperimentScale.TINY,
+            only=["table3", "figure6"],
+            seed=2,
+            stream=parallel_stream,
+            workers=2,
+        )
+        assert set(serial) == set(parallel) == {"table3", "figure6"}
+        assert (
+            parallel["figure6"].format_text() == serial["figure6"].format_text()
+        )
+        assert parallel["table3"].format_text() == serial["table3"].format_text()
+
+
+class TestContextCache:
+    def test_aggregate_artifacts_round_trip_through_cache(self, tmp_path):
+        warm = ExperimentContext(scale=ExperimentScale.TINY, seed=2, cache_dir=tmp_path)
+        tuples = warm.aggregate_tuples
+        classification = warm.aggregate_classification
+        assert any(tmp_path.iterdir())  # cache files written
+
+        cold = ExperimentContext(scale=ExperimentScale.TINY, seed=2, cache_dir=tmp_path)
+        assert cold.aggregate_tuples == tuples
+        assert (
+            cold.aggregate_classification.as_code_map() == classification.as_code_map()
+        )
+        assert (
+            cold.aggregate_classification.store.state_dict()
+            == classification.store.state_dict()
+        )
+
+    def test_cache_key_separates_scales_seeds_and_thresholds(self, tmp_path):
+        from repro.core.thresholds import Thresholds
+
+        a = ExperimentContext(scale=ExperimentScale.TINY, seed=2, cache_dir=tmp_path)
+        b = ExperimentContext(scale=ExperimentScale.TINY, seed=3, cache_dir=tmp_path)
+        c = ExperimentContext(
+            scale=ExperimentScale.TINY,
+            seed=2,
+            thresholds=Thresholds.uniform(0.9),
+            cache_dir=tmp_path,
+        )
+        paths = {
+            ctx._cache_path("aggregate-tuples") for ctx in (a, b, c)
+        }
+        assert len(paths) == 3
+
+    def test_corrupt_cache_entry_is_rebuilt(self, tmp_path):
+        context = ExperimentContext(scale=ExperimentScale.TINY, seed=2, cache_dir=tmp_path)
+        path = context._cache_path("aggregate-tuples")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"definitely not a pickle")
+        assert len(context.aggregate_tuples) > 0
+
+
+class TestMatrix:
+    def test_matrix_sweeps_seeds_and_scales(self):
+        stream = io.StringIO()
+        result = run_matrix(
+            [ExperimentScale.TINY],
+            [1, 2],
+            base_seed=2,
+            scenario=ScenarioName.RANDOM,
+            stream=stream,
+        )
+        assert len(result.cells) == 2
+        assert {cell.seed for cell in result.cells} == {1, 2}
+        stability = result.stability()
+        assert "tiny" in stability
+        assert stability["tiny"]["prec_tagging_mean"] >= 0.0
+        assert "scenario stability matrix" in stream.getvalue()
+
+    def test_matrix_parallel_matches_serial(self):
+        serial = run_matrix(
+            [ExperimentScale.TINY], [1, 2], base_seed=2, stream=io.StringIO()
+        )
+        parallel = run_matrix(
+            [ExperimentScale.TINY], [1, 2], base_seed=2, workers=2, stream=io.StringIO()
+        )
+        assert [c.as_row() for c in parallel.cells] == [c.as_row() for c in serial.cells]

@@ -1,0 +1,289 @@
+"""Tests for the multi-process execution layer (repro.parallel).
+
+The load-bearing property is *byte identity*: for any worker count, any
+shard count, and both algorithms, the parallel batch pipeline and the
+parallel stream engine must produce exactly the classification of their
+serial counterparts — same counters, same codes, same observed ASes, same
+unique-tuple order, same window snapshots.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.announcement import PathCommTuple, RouteObservation
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import parse_prefix
+from repro.core.column import ColumnInference
+from repro.core.pipeline import InferencePipeline
+from repro.core.row import RowInference
+from repro.parallel import (
+    ParallelColumnInference,
+    ParallelRowInference,
+    ParallelStreamEngine,
+    ShardProcessPool,
+    parallel_unique_tuples,
+    split_chunks,
+)
+from repro.sanitize.filters import SanitationConfig, Sanitizer
+from repro.stream import MemorySource, ScenarioSource, StreamConfig, StreamEngine, WindowSpec
+
+
+def result_fingerprint(result):
+    """Everything that defines a classification outcome."""
+    return (
+        result.as_code_map(),
+        result.store.state_dict(),
+        set(result.observed_ases),
+    )
+
+
+@pytest.fixture(scope="module")
+def feed(scenario_builder):
+    from repro.usage.scenarios import ScenarioName
+
+    dataset = scenario_builder.build(ScenarioName.RANDOM)
+    return list(ScenarioSource(dataset.tuples, duration=86400, repeat=2))
+
+
+@pytest.fixture(scope="module")
+def tuples(feed):
+    return Sanitizer().to_unique_tuples(feed)
+
+
+# ---------------------------------------------------------------------------------------
+class TestSplitChunks:
+    def test_balanced_and_order_preserving(self):
+        chunks = split_chunks(list(range(10)), 3)
+        assert [len(chunk) for chunk in chunks] == [4, 3, 3]
+        assert [item for chunk in chunks for item in chunk] == list(range(10))
+
+    def test_more_parts_than_items(self):
+        chunks = split_chunks([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+
+# ---------------------------------------------------------------------------------------
+class TestShardProcessPool:
+    def test_process_batch_matches_serial_sanitizer(self, feed):
+        sample = feed[:500]
+        serial = Sanitizer()
+        expected = serial.to_unique_tuples(sample)
+        with ShardProcessPool(shards=4, workers=2) as pool:
+            outcomes = pool.process_batch(list(enumerate(sample)))
+            unique = [out[1] for _, _, out in outcomes if out is not None and out[1] is not None]
+            stats = pool.sanitation_stats()
+        assert unique == expected
+        assert stats.as_dict() == serial.stats.as_dict()
+
+    def test_state_round_trip(self, feed):
+        with ShardProcessPool(shards=3, workers=2) as pool:
+            pool.process_batch(list(enumerate(feed[:200])))
+            states = pool.state_dicts()
+            unique_before = pool.unique_tuples
+        with ShardProcessPool(shards=3, workers=3) as pool:
+            pool.load_state_dicts(states)
+            assert pool.unique_tuples == unique_before
+            # Known tuples stay deduplicated after the hand-off.
+            outcomes = pool.process_batch(list(enumerate(feed[:200])))
+            assert all(out is None or out[1] is None for _, _, out in outcomes)
+
+    def test_rejects_unsharded_tuple_identity(self):
+        with pytest.raises(ValueError):
+            ShardProcessPool(
+                shards=4, workers=2, sanitation=SanitationConfig(prepend_peer_asn=False)
+            )
+
+    def test_workers_clamped_to_shards(self):
+        with ShardProcessPool(shards=2, workers=8) as pool:
+            assert pool.workers == 2
+
+
+# ---------------------------------------------------------------------------------------
+class TestParallelInference:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_column_identical_to_serial(self, tuples, workers):
+        serial = ColumnInference()
+        parallel = ParallelColumnInference(workers=workers)
+        expected = serial.run(tuples)
+        actual = parallel.run(tuples)
+        assert result_fingerprint(actual) == result_fingerprint(expected)
+        assert parallel.report.columns_processed == serial.report.columns_processed
+        assert (
+            parallel.report.tagging_counts_per_column
+            == serial.report.tagging_counts_per_column
+        )
+        assert (
+            parallel.report.forwarding_counts_per_column
+            == serial.report.forwarding_counts_per_column
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_row_identical_to_serial(self, tuples, workers):
+        expected = RowInference().run(tuples)
+        actual = ParallelRowInference(workers=workers).run(tuples)
+        assert result_fingerprint(actual) == result_fingerprint(expected)
+
+    def test_empty_input(self):
+        assert len(ParallelColumnInference(workers=2).run([])) == 0
+        assert len(ParallelRowInference(workers=2).run([])) == 0
+
+    def test_small_inputs_take_the_serial_path(self, tuples):
+        # Below MIN_PARALLEL_TUPLES no pool is spawned, but results agree.
+        sample = tuples[:10]
+        expected = ColumnInference().run(sample)
+        actual = ParallelColumnInference(workers=4).run(sample)
+        assert result_fingerprint(actual) == result_fingerprint(expected)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelColumnInference(workers=0)
+        with pytest.raises(ValueError):
+            ParallelRowInference(workers=-1)
+
+
+# ---------------------------------------------------------------------------------------
+class TestParallelBatchPipeline:
+    def test_parallel_sanitation_matches_serial(self, feed):
+        serial = Sanitizer()
+        expected = serial.to_unique_tuples(feed)
+        actual, stats = parallel_unique_tuples(feed, workers=3)
+        assert actual == expected  # same tuples in the same first-appearance order
+        assert stats.as_dict() == serial.stats.as_dict()
+
+    @pytest.mark.parametrize("algorithm", ["column", "row"])
+    def test_pipeline_workers_identical(self, feed, algorithm):
+        serial = InferencePipeline(algorithm=algorithm).run_from_observations(feed)
+        parallel = InferencePipeline(algorithm=algorithm, workers=4).run_from_observations(
+            feed
+        )
+        assert result_fingerprint(parallel.result) == result_fingerprint(serial.result)
+        assert parallel.tuples == serial.tuples
+        assert parallel.sanitation.as_dict() == serial.sanitation.as_dict()
+        assert parallel.observations_in == serial.observations_in
+
+    def test_pipeline_workers_from_tuples(self, tuples):
+        serial = InferencePipeline().run_from_tuples(tuples)
+        parallel = InferencePipeline(workers=2).run_from_tuples(tuples)
+        assert result_fingerprint(parallel.result) == result_fingerprint(serial.result)
+        assert parallel.sanitized is False
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            InferencePipeline(workers=0)
+
+
+# ---------------------------------------------------------------------------------------
+class TestParallelStreamEngine:
+    def snapshot_fingerprints(self, engine):
+        return [
+            (s.window_start, s.window_end, s.skipped_windows, s.events_total,
+             s.unique_tuples, s.changed, result_fingerprint(s.result))
+            for s in engine.snapshots
+        ]
+
+    @pytest.mark.parametrize("shards,workers", [(1, 1), (4, 2), (5, 3)])
+    def test_identical_to_serial_engine(self, feed, shards, workers):
+        config = StreamConfig(window=WindowSpec(size=3600), shards=shards)
+        serial = StreamEngine(config)
+        serial_result = serial.run(MemorySource(feed))
+        parallel = ParallelStreamEngine(config, workers=workers, batch_size=128)
+        parallel_result = parallel.run(MemorySource(feed))
+        assert result_fingerprint(parallel_result) == result_fingerprint(serial_result)
+        assert parallel.stats.events_in == serial.stats.events_in
+        assert parallel.stats.windows_closed == serial.stats.windows_closed
+        assert self.snapshot_fingerprints(parallel) == self.snapshot_fingerprints(serial)
+
+    def test_sliding_policy_identical(self, feed):
+        config = StreamConfig(
+            window=WindowSpec(size=3600, policy="sliding", horizon=7200), shards=3
+        )
+        serial = StreamEngine(config)
+        serial_result = serial.run(MemorySource(feed))
+        parallel = ParallelStreamEngine(config, workers=2, batch_size=64)
+        parallel_result = parallel.run(MemorySource(feed))
+        assert result_fingerprint(parallel_result) == result_fingerprint(serial_result)
+        assert parallel.stats.tuples_evicted == serial.stats.tuples_evicted
+        assert self.snapshot_fingerprints(parallel) == self.snapshot_fingerprints(serial)
+
+    def test_checkpoint_and_resume(self, feed, tmp_path):
+        from repro.stream import CheckpointManager
+
+        split = len(feed) // 2
+        config = StreamConfig(window=WindowSpec(size=3600), shards=2)
+
+        manager = CheckpointManager(tmp_path / "ckpt")
+        first = ParallelStreamEngine(
+            config, workers=2, batch_size=128, checkpoints=manager
+        )
+        first.run(MemorySource(feed[:split]), finish=False)
+        first.checkpoint()
+
+        resumed = ParallelStreamEngine.restore(manager)
+        resumed.workers = 2
+        resumed_result = resumed.run(MemorySource(feed[split:]))
+
+        uninterrupted = StreamEngine(config).run(MemorySource(feed))
+        assert result_fingerprint(resumed_result) == result_fingerprint(uninterrupted)
+
+    def test_single_event_ingest_is_rejected(self, feed):
+        engine = ParallelStreamEngine(StreamConfig(window=WindowSpec(size=3600)))
+        with pytest.raises(NotImplementedError):
+            engine.ingest(feed[0])
+
+
+# ---------------------------------------------------------------------------------------
+# Property test: workers=1 == workers=4 over random synthetic internets.
+# ---------------------------------------------------------------------------------------
+
+_asns = st.integers(min_value=1, max_value=50)
+_path_lists = st.lists(_asns, min_size=1, max_size=6, unique=True)
+
+
+@st.composite
+def random_internets(draw):
+    """A small random internet: observations with random paths/communities."""
+    paths = draw(st.lists(_path_lists, min_size=1, max_size=40))
+    observations = []
+    for index, asns in enumerate(paths):
+        tagged = draw(st.sets(st.sampled_from(asns)))
+        observations.append(
+            RouteObservation(
+                collector="rrc00",
+                peer_asn=asns[0],
+                prefix=parse_prefix("8.8.8.0/24"),
+                path=ASPath(asns),
+                communities=CommunitySet.from_strings([f"{asn}:1" for asn in tagged]),
+                timestamp=1000 + index,
+            )
+        )
+    return observations
+
+
+class TestWorkerCountInvariance:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(observations=random_internets(), algorithm=st.sampled_from(["column", "row"]))
+    def test_workers_1_and_4_agree(self, monkeypatch_min_tuples, observations, algorithm):
+        serial = InferencePipeline(algorithm=algorithm, workers=1).run_from_observations(
+            observations
+        )
+        parallel = InferencePipeline(algorithm=algorithm, workers=4).run_from_observations(
+            observations
+        )
+        assert result_fingerprint(parallel.result) == result_fingerprint(serial.result)
+        assert parallel.tuples == serial.tuples
+
+    @pytest.fixture(scope="class")
+    def monkeypatch_min_tuples(self):
+        # Force the chunk-parallel counting path even for tiny random inputs.
+        import repro.parallel.inference as inference
+
+        original = inference.MIN_PARALLEL_TUPLES
+        inference.MIN_PARALLEL_TUPLES = 0
+        yield
+        inference.MIN_PARALLEL_TUPLES = original

@@ -14,6 +14,7 @@ from repro.bgp.path import ASPath
 from repro.bgp.prefix import parse_prefix
 from repro.core.pipeline import InferencePipeline
 from repro.mrt.encoder import MRTEncoder
+from repro.sanitize.filters import SanitationStats
 from repro.stream import MemorySource, ScenarioSource, StreamConfig, StreamEngine, WindowSpec
 
 #: (path, communities) inputs with a clear tagger/forwarder structure.
@@ -83,8 +84,25 @@ class TestRunFromTuples:
             for asns, comms in SCENARIO
         ]
         outcome = InferencePipeline().run_from_tuples(tuples)
-        assert outcome.observations_in == len(tuples)
+        assert outcome.unique_tuples == len(tuples)
         assert outcome.result.classification_of(30).tagging.code == "t"
+
+    def test_zero_sanitation_is_reported_honestly(self):
+        """Pre-sanitized tuples must not masquerade as raw observations."""
+        tuples = [
+            PathCommTuple(ASPath(asns), CommunitySet.from_strings(comms))
+            for asns, comms in SCENARIO
+        ]
+        outcome = InferencePipeline().run_from_tuples(tuples)
+        assert outcome.sanitized is False
+        assert outcome.observations_in == 0
+        assert outcome.sanitation.as_dict() == SanitationStats().as_dict()
+        assert "observations_in" not in outcome.summary()
+        assert outcome.summary()["unique_tuples"] == len(tuples)
+        # The observation path still reports the raw count.
+        sanitized = InferencePipeline().run_from_observations(make_observations())
+        assert sanitized.sanitized is True
+        assert sanitized.summary()["observations_in"] == len(SCENARIO)
 
     def test_accepts_generators(self):
         tuples = [

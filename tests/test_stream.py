@@ -100,7 +100,19 @@ class TestWindowClock:
         clock.advance(250)
         closed = clock.close_current()
         assert (closed.start, closed.end) == (200, 300)
-        assert clock.close_current().start == 300  # idempotent-ish: next window
+
+    def test_close_current_is_idempotent(self):
+        """A fully drained clock must not emit spurious empty windows."""
+        clock = WindowClock(WindowSpec(size=100))
+        clock.advance(250)
+        assert clock.close_current() is not None
+        assert clock.close_current() is None
+        assert clock.close_current() is None
+        # New events re-open windows and draining works again.
+        assert clock.advance(310) is None  # window [300, 400) is now in progress
+        closed = clock.close_current()
+        assert (closed.start, closed.end) == (300, 400)
+        assert clock.close_current() is None
 
     def test_state_roundtrip(self):
         clock = WindowClock(WindowSpec(size=100, allowed_lateness=10))
@@ -538,9 +550,16 @@ class TestCounterStreamingAPIs:
     def test_decay_ages_and_prunes(self):
         store = CounterStore()
         store.apply_delta({10: (100, 0, 0, 0), 20: (1, 0, 0, 0)})
+        store.decay(0.4)
+        assert store.get(10).tagger == 40
+        assert 20 not in store  # rounded to zero and pruned
+
+    def test_decay_rounds_instead_of_truncating(self):
+        store = CounterStore()
+        store.apply_delta({10: (100, 0, 0, 0), 20: (1, 0, 0, 0)})
         store.decay(0.5)
         assert store.get(10).tagger == 50
-        assert 20 not in store  # decayed to zero and pruned
+        assert store.get(20).tagger == 1  # minority evidence survives
 
     def test_decay_validates_factor(self):
         with pytest.raises(ValueError):
