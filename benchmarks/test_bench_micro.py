@@ -11,7 +11,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.column import ColumnInference
-from repro.datasets.synthetic import AGGREGATE_PROJECTS
 from repro.mrt.decoder import decode_records
 from repro.mrt.encoder import MRTEncoder
 from repro.bgp.messages import PathAttributes

@@ -1,0 +1,137 @@
+"""Benchmarks of the classification results service.
+
+Measures what the consumer side of the system cares about:
+
+* sustained query throughput over HTTP against a warm store — the
+  acceptance floor is 2,000 queries/sec, overridable via the
+  ``REPRO_BENCH_MIN_SERVICE_QPS`` environment variable (0 disables);
+* the same hot path without the socket (service routing + LRU cache), which
+  bounds what the HTTP layer costs;
+* cold store reads (cache disabled by rotating ASes), pinning the indexed
+  per-AS lookup path;
+* producer-side write throughput: snapshots persisted per second.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service import (
+    ClassificationServer,
+    ClassificationService,
+    ServiceClient,
+    SnapshotStore,
+    attach_store,
+)
+from repro.stream import MemorySource, ScenarioSource, StreamConfig, StreamEngine, WindowSpec
+
+#: Acceptance floor for sustained HTTP query throughput.
+MIN_QUERIES_PER_SEC = float(os.environ.get("REPRO_BENCH_MIN_SERVICE_QPS", "2000"))
+
+#: Queries issued per measured round.
+QUERY_BATCH = 500
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory, context):
+    """A store populated by a fully drained stream run (the warm serving set)."""
+    path = tmp_path_factory.mktemp("bench-service") / "snapshots.db"
+    store = SnapshotStore(path)
+    engine = StreamEngine(StreamConfig(window=WindowSpec(size=7200), shards=2))
+    attach_store(engine, store)
+    engine.run(MemorySource(ScenarioSource(context.aggregate_tuples, duration=86400)))
+    yield store, engine
+    store.close()
+
+
+@pytest.fixture()
+def hot_ases(warm_store):
+    """A rotating set of popular ASes for per-AS query load."""
+    _, engine = warm_store
+    observed = sorted(engine.snapshots[-1].result.observed_ases)
+    return observed[:: max(1, len(observed) // 32)][:32]
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_http_queries_per_sec(benchmark, warm_store, hot_ases):
+    """Sustained mixed GET load over one keep-alive HTTP connection."""
+    store, engine = warm_store
+    with ClassificationServer(store) as server:
+        server.start()
+        client = ServiceClient(server.url)
+        targets = ["/healthz", "/v1/snapshot/latest", "/v1/diff"] + [
+            f"/v1/as/{asn}" for asn in hot_ases
+        ]
+        client.health()  # connection + cache warmup
+
+        def query_batch():
+            for index in range(QUERY_BATCH):
+                client.get(targets[index % len(targets)])
+
+        benchmark.pedantic(query_batch, rounds=5, iterations=1)
+        client.close()
+
+    queries_per_sec = QUERY_BATCH / benchmark.stats.stats.mean
+    benchmark.extra_info["queries_per_sec"] = round(queries_per_sec)
+    benchmark.extra_info["ases_served"] = len(engine.snapshots[-1].result.observed_ases)
+    if MIN_QUERIES_PER_SEC:
+        assert queries_per_sec >= MIN_QUERIES_PER_SEC, (
+            f"sustained {queries_per_sec:,.0f} queries/sec is below the "
+            f"{MIN_QUERIES_PER_SEC:,.0f} floor (override via REPRO_BENCH_MIN_SERVICE_QPS)"
+        )
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_routing_hot_path(benchmark, warm_store, hot_ases):
+    """The socket-free hot path: routing + generation check + LRU hit."""
+    store, _ = warm_store
+    service = ClassificationService(store)
+    targets = ["/v1/snapshot/latest"] + [f"/v1/as/{asn}" for asn in hot_ases]
+    for target in targets:  # warm the cache
+        service.handle(target)
+
+    def serve_batch():
+        for index in range(QUERY_BATCH):
+            status, _ = service.handle(targets[index % len(targets)])
+            assert status == 200
+
+    benchmark.pedantic(serve_batch, rounds=5, iterations=1)
+    hits_per_sec = QUERY_BATCH / benchmark.stats.stats.mean
+    benchmark.extra_info["cached_queries_per_sec"] = round(hits_per_sec)
+    stats = service.stats.as_dict()
+    assert stats["cache_hits"] >= QUERY_BATCH  # the hot path really hit the cache
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_cold_as_lookups(benchmark, warm_store):
+    """Indexed per-AS history queries straight off SQLite (cache bypassed)."""
+    store, engine = warm_store
+    observed = sorted(engine.snapshots[-1].result.observed_ases)
+
+    def lookup_all():
+        for asn in observed:
+            entry = store.as_latest(asn)
+            assert entry is not None
+
+    benchmark.pedantic(lookup_all, rounds=3, iterations=1)
+    lookups_per_sec = len(observed) / benchmark.stats.stats.mean
+    benchmark.extra_info["as_lookups_per_sec"] = round(lookups_per_sec)
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_snapshot_writes(benchmark, tmp_path, context):
+    """Producer-side cost: persisting one full snapshot per window close."""
+    engine = StreamEngine(StreamConfig(window=WindowSpec(size=7200)))
+    engine.run(MemorySource(ScenarioSource(context.aggregate_tuples, duration=86400)))
+    snapshot = engine.snapshots[-1]
+    store = SnapshotStore(tmp_path / "writes.db")
+
+    def persist():
+        store.append_snapshot(snapshot)
+
+    benchmark(persist)
+    benchmark.extra_info["records_per_snapshot"] = len(snapshot.result.observed_ases)
+    assert len(store) > 0
+    store.close()

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.collectors.archive import ArchiveConfig
 from repro.core import InferencePipeline
-from repro.datasets import DatasetStatistics, SyntheticConfig, SyntheticInternet, compute_statistics
+from repro.datasets import SyntheticConfig, SyntheticInternet, compute_statistics
 from repro.datasets.stats import format_table
 
 

@@ -15,7 +15,7 @@ Run with::
 from __future__ import annotations
 
 from repro.core import ColumnInference, CommunityAttribution
-from repro.core.classes import ForwardingClass, TaggingClass
+from repro.core.classes import TaggingClass
 from repro.datasets import SyntheticConfig, SyntheticInternet
 
 
@@ -42,7 +42,7 @@ def main() -> None:
         print(f"  {key:>20}: {summary[key]}")
     for key in ("forward", "cleaner", "forwarding_undecided", "forwarding_none"):
         print(f"  {key:>20}: {summary[key]}")
-    print(f"  fully classified   : " + ", ".join(f"{k[5:]}={v}" for k, v in summary.items() if k.startswith("full_")))
+    print("  fully classified   : " + ", ".join(f"{k[5:]}={v}" for k, v in summary.items() if k.startswith("full_")))
 
     # 4. Inspect a few individual ASes and compare with the (normally
     #    unknown) ground-truth roles of the simulation.

@@ -2,7 +2,8 @@
 
 Kept so that legacy editable installs (``pip install -e . --no-use-pep517``)
 work in offline environments that lack the ``wheel`` package; all project
-metadata lives in ``pyproject.toml``.
+metadata lives in ``pyproject.toml`` (name, version, the ``src/`` layout,
+and the ``repro`` console script).
 """
 
 from setuptools import setup

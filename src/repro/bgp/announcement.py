@@ -11,7 +11,7 @@ the inference algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from repro.bgp.asn import ASN
 from repro.bgp.community import CommunitySet

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Union
 
 from repro.bgp.asn import ASN, MAX_ASN_16BIT, MAX_ASN_32BIT
 

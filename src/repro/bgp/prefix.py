@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
 

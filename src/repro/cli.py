@@ -14,6 +14,9 @@ Usage::
     python -m repro show classification.txt --asn 3356
     python -m repro stream updates.mrt --window 3600 --checkpoint-dir state/
     python -m repro stream updates.mrt --workers 4       # multi-process shard workers
+    python -m repro stream updates.mrt --store results.db   # materialize snapshots
+    python -m repro serve --store results.db --port 8080    # HTTP query API
+    python -m repro query http://localhost:8080 as 3356     # ask the running service
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.column import ColumnInference
 from repro.core.export import ClassificationDatabase
@@ -38,6 +41,20 @@ def _write_database(database: ClassificationDatabase, output: Optional[str], fmt
         sys.stdout.write(text)
 
 
+def _publish_batch(args: argparse.Namespace, result, events_total: int, unique_tuples: int) -> None:
+    """Materialize a batch result into ``--store`` (no-op without the flag)."""
+    if not getattr(args, "store", None):
+        return
+    from repro.service import publish_result
+    from repro.service.store import open_store
+
+    with open_store(args.store) as store:
+        snapshot_id = publish_result(
+            store, result, events_total=events_total, unique_tuples=unique_tuples
+        )
+    print(f"stored batch snapshot {snapshot_id} in {args.store}", file=sys.stderr)
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     """``classify``: run the pipeline on MRT files."""
     blobs = {Path(filename).name: Path(filename).read_bytes() for filename in args.inputs}
@@ -49,6 +66,7 @@ def cmd_classify(args: argparse.Namespace) -> int:
     outcome = pipeline.run_from_mrt(blobs)
     database = ClassificationDatabase.from_result(outcome.result)
     _write_database(database, args.output, args.format)
+    _publish_batch(args, outcome.result, outcome.observations_in, outcome.unique_tuples)
     print(
         f"classified {len(database)} ASes from {outcome.observations_in} observations "
         f"({outcome.unique_tuples} unique tuples)",
@@ -70,6 +88,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     source = MRTReplaySource.from_files(args.inputs, order=args.order)
     manager = CheckpointManager(args.checkpoint_dir) if args.checkpoint_dir else None
+    store = None
+    if args.store:
+        from repro.service.store import open_store
+
+        store = open_store(args.store, retention=args.store_retention)
     workers = args.workers
     # Each worker process hosts >= 1 shard; lift the shard count so every
     # requested worker actually gets a partition to own.
@@ -120,9 +143,18 @@ def cmd_stream(args: argparse.Namespace) -> int:
         else:
             engine = engine_cls(config, checkpoints=manager, on_window=report)
 
-    result = engine.run(source)
-    if manager is not None:
-        engine.checkpoint()
+    publisher = None
+    if store is not None:
+        from repro.service import attach_store
+
+        publisher = attach_store(engine, store)
+    try:
+        result = engine.run(source)
+        if manager is not None:
+            engine.checkpoint()
+    finally:
+        if store is not None:
+            store.close()
     database = ClassificationDatabase.from_result(result)
     _write_database(database, args.output, args.format)
     stats = engine.stats
@@ -132,6 +164,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
         f"{engine.late_events} late events, {stats.checkpoints_written} checkpoints)",
         file=sys.stderr,
     )
+    if publisher is not None:
+        print(
+            f"stored {publisher.published} window snapshots in {args.store}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -144,6 +181,70 @@ def cmd_demo(args: argparse.Namespace) -> int:
     database = ClassificationDatabase.from_result(result)
     _write_database(database, args.output, args.format)
     print(f"classified {len(database)} ASes on the synthetic Internet", file=sys.stderr)
+    _publish_batch(args, result, 0, len(context.aggregate_tuples))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: expose a snapshot store over the JSON HTTP API."""
+    from repro.service import ClassificationServer
+    from repro.service.store import SnapshotStore
+
+    if not Path(args.store).exists():
+        print(f"error: store {args.store!r} does not exist", file=sys.stderr)
+        return 1
+    store = SnapshotStore(args.store, retention=args.retention)
+    if args.retention is not None:
+        # The serving process never appends, so retention only takes effect
+        # through an explicit prune here at startup.
+        dropped = store.compact()
+        if dropped:
+            print(f"pruned {dropped} snapshots beyond --retention", file=sys.stderr)
+    server = ClassificationServer(
+        store, host=args.host, port=args.port, cache_size=args.cache_size
+    )
+    print(f"serving {args.store} at {server.url} (Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+        store.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``query``: ask a running service and print the JSON response."""
+    import json as _json
+
+    from repro.service import ServiceClient, ServiceError
+
+    with ServiceClient(args.url) as client:
+        try:
+            if args.what == "health":
+                payload = client.health()
+            elif args.what == "latest":
+                payload = client.latest_snapshot()
+            elif args.what == "stats":
+                payload = client.stats()
+            elif args.what == "diff":
+                window = int(args.arg) if args.arg is not None else None
+                payload = client.diff(window_end=window)
+            elif args.what == "as":
+                if args.arg is None:
+                    print("error: 'query URL as' needs an AS number", file=sys.stderr)
+                    return 2
+                payload = client.as_info(int(args.arg), history=args.history)
+            else:  # window
+                if args.arg is None:
+                    print("error: 'query URL window' needs a window end", file=sys.stderr)
+                    return 2
+                payload = client.snapshot(int(args.arg))
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    print(_json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -194,6 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for sanitation and counting (default: 1, serial)",
     )
+    classify.add_argument(
+        "--store", help="also materialize the result into this snapshot store (SQLite)"
+    )
     classify.set_defaults(handler=cmd_classify)
 
     stream = subparsers.add_parser(
@@ -238,6 +342,17 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--resume", action="store_true", help="resume from the latest checkpoint if present"
     )
+    stream.add_argument(
+        "--store",
+        help="persist every window snapshot into this snapshot store (SQLite); "
+        "serve it afterwards with 'repro serve --store'",
+    )
+    stream.add_argument(
+        "--store-retention",
+        type=int,
+        default=None,
+        help="keep only the newest N snapshots in --store (default: keep all)",
+    )
     stream.set_defaults(handler=cmd_stream)
 
     demo = subparsers.add_parser("demo", help="classify the synthetic Internet")
@@ -246,12 +361,48 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("-o", "--output", help="output file (default: stdout)")
     demo.add_argument("--format", choices=("text", "json"), default="text")
     demo.add_argument("--threshold", type=float, default=0.99)
+    demo.add_argument(
+        "--store", help="also materialize the result into this snapshot store (SQLite)"
+    )
     demo.set_defaults(handler=cmd_demo)
 
     show = subparsers.add_parser("show", help="inspect an exported database")
     show.add_argument("database", help="database file written by classify/demo")
     show.add_argument("--asn", type=int, default=None, help="show a single AS")
     show.set_defaults(handler=cmd_show)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a snapshot store over the JSON HTTP API"
+    )
+    serve.add_argument("--store", required=True, help="snapshot store to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--cache-size", type=int, default=512, help="encoded responses kept in the LRU cache"
+    )
+    serve.add_argument(
+        "--retention",
+        type=int,
+        default=None,
+        help="prune the store to the newest N snapshots at startup "
+        "(ongoing caps belong to the producer: stream --store-retention)",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    query = subparsers.add_parser("query", help="query a running results service")
+    query.add_argument("url", help="service base URL, e.g. http://localhost:8080")
+    query.add_argument(
+        "what",
+        choices=("health", "latest", "stats", "diff", "as", "window"),
+        help="what to ask for",
+    )
+    query.add_argument(
+        "arg", nargs="?", default=None, help="AS number (as) or window end (window/diff)"
+    )
+    query.add_argument(
+        "--history", type=int, default=None, help="with 'as': include the last N snapshots"
+    )
+    query.set_defaults(handler=cmd_query)
     return parser
 
 

@@ -22,16 +22,15 @@ inference but must flow through the pipeline.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.bgp.announcement import RouteObservation
 from repro.bgp.asn import ASN
 from repro.bgp.community import CommunitySet, make_community
 from repro.bgp.messages import BGPUpdate, PathAttributes
 from repro.bgp.path import ASPath
-from repro.bgp.prefix import Prefix
-from repro.collectors.collector import Collector, CollectorProject
+from repro.collectors.collector import CollectorProject
 from repro.mrt.decoder import MRTDecoder
 from repro.mrt.encoder import MRTEncoder
 from repro.mrt.records import BGP4MPMessage, PeerIndexTable, RIBEntryRecord

@@ -16,9 +16,8 @@ sets overlap, since real ASes frequently peer with several projects.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
-from repro.bgp.asn import ASN
 from repro.collectors.collector import Collector, CollectorProject
 from repro.topology.generator import Topology
 

@@ -18,7 +18,7 @@ signalling-vs-informational analyses or automated community filtering.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Sequence
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN

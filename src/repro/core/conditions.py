@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.bgp.asn import ASN
 from repro.bgp.path import ASPath
 from repro.core.counters import CounterStore
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, TextIO, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, TextIO
 
 from repro.bgp.asn import ASN
 from repro.core.classes import UsageClassification

@@ -16,8 +16,8 @@ dedup stage and the counting phases execute on N OS processes (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.asn import ASNRegistry

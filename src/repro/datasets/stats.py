@@ -10,10 +10,9 @@ communities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.bgp.announcement import RouteObservation
 from repro.bgp.asn import ASN, ASNRegistry, is_32bit_only
 from repro.bgp.community import CommunitySet
 from repro.bgp.path import ASPath

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN

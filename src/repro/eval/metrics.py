@@ -15,12 +15,11 @@ Two views are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.bgp.asn import ASN
 from repro.core.classes import ForwardingClass, TaggingClass
 from repro.core.results import ClassificationResult
-from repro.usage.roles import ForwardingRole, TaggingRole
 from repro.usage.scenarios import GroundTruthDataset
 
 #: Column order of the confusion matrices (classification result).

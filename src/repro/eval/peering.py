@@ -20,8 +20,8 @@ the regular (passive) dataset.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.bgp.asn import ASN
 from repro.bgp.community import Community, CommunitySet

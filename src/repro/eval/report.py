@@ -13,8 +13,8 @@ the published dataset typically wants:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.bgp.asn import ASN, is_32bit_only
 from repro.bgp.community import AnyCommunity

@@ -16,7 +16,7 @@ be classified and would only dilute both rates).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.classes import ForwardingClass, TaggingClass
 from repro.core.column import ColumnInference

@@ -15,7 +15,7 @@ Two analyses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 from repro.bgp.asn import ASN
 from repro.core.results import FULL_CLASS_CODES, ClassificationResult

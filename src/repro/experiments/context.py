@@ -22,10 +22,9 @@ import tempfile
 from dataclasses import dataclass, field
 from functools import cached_property
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, List, Optional, TypeVar, Union
 
 from repro.bgp.announcement import PathCommTuple
-from repro.bgp.asn import ASN
 from repro.bgp.path import ASPath
 from repro.core.column import ColumnInference
 from repro.core.results import ClassificationResult
@@ -139,7 +138,9 @@ class ExperimentContext:
     @cached_property
     def aggregate_tuples(self) -> List[PathCommTuple]:
         """Unique ``(path, comm)`` tuples of the aggregated dataset."""
-        return self._cached("aggregate-tuples", self.internet.tuples_for_aggregate)
+        # Lazy: referencing the bound method would build the (expensive)
+        # internet substrate even when the disk cache already has the tuples.
+        return self._cached("aggregate-tuples", lambda: self.internet.tuples_for_aggregate())
 
     @cached_property
     def aggregate_classification(self) -> ClassificationResult:

@@ -9,7 +9,7 @@ very sensitive to the threshold — shows up as short, steep curves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.eval.roc import DEFAULT_THRESHOLD_GRID, ROCPoint, threshold_sweep
 from repro.experiments.context import ExperimentContext, ExperimentScale

@@ -8,11 +8,11 @@ new / stable / recurring ASes per full classification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.bgp.announcement import RouteObservation
 from repro.core.pipeline import InferencePipeline
-from repro.core.results import ClassificationResult, FULL_CLASS_CODES
+from repro.core.results import ClassificationResult
 from repro.eval.stability import DayClassCounts, IncrementalDayAnalysis
 from repro.experiments.context import ExperimentContext, ExperimentScale
 

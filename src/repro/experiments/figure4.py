@@ -11,7 +11,7 @@ so the series shows how robust the counts are to ordinary data variation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import InferencePipeline
 from repro.core.results import FULL_CLASS_CODES, ClassificationResult

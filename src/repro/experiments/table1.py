@@ -9,7 +9,7 @@ communities, unique upper fields with and without private/stray).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.collectors.archive import DayArchive
 from repro.datasets.stats import DatasetStatistics, compute_statistics, format_table

@@ -9,7 +9,7 @@ column uses the PCH-like project, which provides no RIB data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.classes import ForwardingClass, TaggingClass
 from repro.core.results import ClassificationResult

@@ -10,7 +10,7 @@ communities survived (should be rare) versus paths where they were removed
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.eval.peering import PeeringExperiment, PeeringValidationResult
 from repro.experiments.context import ExperimentContext, ExperimentScale

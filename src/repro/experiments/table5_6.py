@@ -7,7 +7,7 @@ consistent, selective, hidden, and leaf groups) with the inferred classes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.column import ColumnInference
 from repro.eval.metrics import ConfusionMatrix, evaluate_scenario

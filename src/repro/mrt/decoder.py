@@ -10,7 +10,7 @@ sanitation and inference.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional
 
 from repro.bgp.asn import ASN
 from repro.bgp.community import Community, CommunitySet, LargeCommunity

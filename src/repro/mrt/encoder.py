@@ -10,16 +10,15 @@ from __future__ import annotations
 
 import struct
 from io import BytesIO
-from typing import BinaryIO, Iterable, List, Optional, Sequence, Tuple
+from typing import BinaryIO, List, Optional, Sequence, Tuple
 
 from repro.bgp.asn import ASN
-from repro.bgp.community import Community, CommunitySet, LargeCommunity
+from repro.bgp.community import CommunitySet, LargeCommunity
 from repro.bgp.messages import BGPUpdate, PathAttributes
-from repro.bgp.path import ASPath, PathSegment
+from repro.bgp.path import ASPath
 from repro.bgp.prefix import Prefix
 from repro.mrt.constants import (
     AFI_IPV4,
-    AFI_IPV6,
     ATTR_FLAG_EXTENDED_LENGTH,
     ATTR_FLAG_OPTIONAL,
     ATTR_FLAG_TRANSITIVE,
@@ -30,7 +29,6 @@ from repro.mrt.constants import (
     PathAttributeType,
     TableDumpV2Subtype,
 )
-from repro.mrt.records import PeerEntry, PeerIndexTable, RIBAfiEntry
 
 
 def _encode_prefix_nlri(prefix: Prefix) -> bytes:

@@ -2,15 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.bgp.asn import ASN
-from repro.bgp.community import CommunitySet
-from repro.bgp.messages import BGPUpdate, Origin, PathAttributes, RIBEntry
-from repro.bgp.path import ASPath
+from repro.bgp.messages import BGPUpdate, PathAttributes, RIBEntry
 from repro.bgp.prefix import Prefix
-from repro.mrt.constants import BGP4MPSubtype, MRTType, TableDumpV2Subtype
+from repro.mrt.constants import BGP4MPSubtype, MRTType
 
 
 @dataclass(frozen=True)

@@ -8,15 +8,15 @@ of Section 4.1 and recording statistics about what was dropped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.asn import ASN, ASNRegistry, is_public_asn
 from repro.bgp.community import CommunitySet
 from repro.bgp.messages import BGPUpdate, RIBEntry
 from repro.bgp.path import ASPath
-from repro.bgp.prefix import Prefix, PrefixAllocation
+from repro.bgp.prefix import PrefixAllocation
 
 
 @dataclass

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import enum
 from collections import Counter
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict
 
-from repro.bgp.asn import ASN, is_private_asn, is_public_asn
+from repro.bgp.asn import is_public_asn
 from repro.bgp.community import AnyCommunity, CommunitySet
 from repro.bgp.path import ASPath
 

@@ -1,0 +1,61 @@
+"""Persistence and serving of classification results.
+
+The streaming engine (PR 1) and the parallel execution layer (PR 2) built
+the *producer* side of a live community-usage classification: results exist
+as in-memory :class:`~repro.stream.engine.WindowSnapshot` objects capped at
+``StreamConfig.max_snapshots``, or as one-shot batch exports.  This package
+builds the *consumer* side:
+
+* :mod:`repro.service.store` -- a SQLite-WAL-backed :class:`SnapshotStore`
+  that durably persists every window snapshot and batch result with schema
+  versioning, atomic writes, retention / compaction, and indexed per-AS
+  history queries;
+* :mod:`repro.service.server` -- a stdlib-only JSON HTTP API over a store
+  (``/v1/as/{asn}``, ``/v1/snapshot/latest``, ``/v1/snapshot/{window}``,
+  ``/v1/diff``, ``/v1/stats``, ``/healthz``) with an LRU read cache keyed
+  on the store generation, so hot ASes are served without touching disk;
+* :mod:`repro.service.publish` -- publisher hooks that wire a running
+  :class:`~repro.stream.engine.StreamEngine` (or the batch pipeline) into a
+  store, so ``repro stream --store`` / ``repro classify --store``
+  materialise results as they run;
+* :mod:`repro.service.client` -- a small stdlib HTTP client for the API.
+
+Entry points most callers want: ``repro serve --store db.sqlite`` and
+``repro query http://host:port latest`` on the CLI, or
+:func:`attach_store` + :class:`ClassificationServer` in code.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.publish import SnapshotPublisher, attach_store, publish_result
+from repro.service.server import (
+    ClassificationServer,
+    ClassificationService,
+    LRUCache,
+    ServiceStats,
+)
+from repro.service.store import (
+    SCHEMA_VERSION,
+    ASHistoryEntry,
+    SnapshotStore,
+    StoreError,
+    StoredSnapshot,
+    snapshot_payload,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ASHistoryEntry",
+    "ClassificationServer",
+    "ClassificationService",
+    "LRUCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceStats",
+    "SnapshotPublisher",
+    "SnapshotStore",
+    "StoreError",
+    "StoredSnapshot",
+    "attach_store",
+    "publish_result",
+    "snapshot_payload",
+]

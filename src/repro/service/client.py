@@ -1,0 +1,110 @@
+"""Stdlib HTTP client for the classification results API.
+
+A thin convenience wrapper around :mod:`http.client` that keeps one TCP
+connection alive across queries (the server speaks HTTP/1.1), decodes the
+JSON bodies, and raises :class:`ServiceError` for non-200 responses.  Used
+by the ``repro query`` CLI, the end-to-end tests, and the serving benchmark.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Optional
+from urllib.parse import urlsplit
+
+
+class ServiceError(Exception):
+    """A non-200 response from the service (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """A persistent-connection client for one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.netloc:
+            raise ValueError(f"expected an http://host:port base URL, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing -----------------------------------------------------------------------
+    def _conn(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._connection
+
+    def get(self, target: str) -> Dict[str, object]:
+        """``GET`` *target* and decode the JSON body (raises on non-200)."""
+        connection = self._conn()
+        try:
+            connection.request("GET", target)
+            response = connection.getresponse()
+            body = response.read()
+        except (http.client.HTTPException, OSError):
+            # One reconnect: the server may have dropped an idle keep-alive.
+            self.close()
+            connection = self._conn()
+            connection.request("GET", target)
+            response = connection.getresponse()
+            body = response.read()
+        payload = json.loads(body.decode("utf-8"))
+        if response.status != 200:
+            message = payload.get("error", "") if isinstance(payload, dict) else ""
+            raise ServiceError(response.status, str(message))
+        if not isinstance(payload, dict):
+            raise ServiceError(response.status, "malformed response body")
+        return payload
+
+    def close(self) -> None:
+        """Drop the persistent connection."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- endpoints ----------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """``/healthz``."""
+        return self.get("/healthz")
+
+    def latest_snapshot(self) -> Dict[str, object]:
+        """``/v1/snapshot/latest``."""
+        return self.get("/v1/snapshot/latest")
+
+    def snapshot(self, window_end: int) -> Dict[str, object]:
+        """``/v1/snapshot/{window_end}``."""
+        return self.get(f"/v1/snapshot/{int(window_end)}")
+
+    def as_info(self, asn: int, *, history: Optional[int] = None) -> Dict[str, object]:
+        """``/v1/as/{asn}`` (optionally with ``?history=N``)."""
+        target = f"/v1/as/{int(asn)}"
+        if history is not None:
+            target += f"?history={int(history)}"
+        return self.get(target)
+
+    def diff(self, *, window_end: Optional[int] = None) -> Dict[str, object]:
+        """``/v1/diff`` (optionally pinned to one window)."""
+        target = "/v1/diff"
+        if window_end is not None:
+            target += f"?window={int(window_end)}"
+        return self.get(target)
+
+    def stats(self) -> Dict[str, object]:
+        """``/v1/stats``."""
+        return self.get("/v1/stats")

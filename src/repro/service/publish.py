@@ -1,0 +1,95 @@
+"""Publisher hooks: wire running producers into a :class:`SnapshotStore`.
+
+The streaming engine already exposes an ``on_window`` callback; a
+:class:`SnapshotPublisher` is such a callback that durably appends every
+emitted snapshot (and chains to any previously installed callback, so
+persistence composes with progress reporting).  :func:`attach_store` does
+the wiring on a live engine, and :func:`publish_result` materialises a
+one-shot batch :class:`~repro.core.results.ClassificationResult` as a
+``kind="batch"`` snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.bgp.asn import ASN
+from repro.core.results import ClassificationResult
+from repro.service.store import SnapshotStore
+from repro.stream.engine import StreamEngine, WindowSnapshot
+
+#: Signature of an ``on_window`` engine callback.
+WindowCallback = Callable[[WindowSnapshot], None]
+
+
+class SnapshotPublisher:
+    """An ``on_window`` callback that persists snapshots into a store."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        *,
+        kind: str = "window",
+        forward: Optional[WindowCallback] = None,
+    ) -> None:
+        self.store = store
+        self.kind = kind
+        self.forward = forward
+        self.published = 0
+        self.last_snapshot_id: Optional[int] = None
+
+    def __call__(self, snapshot: WindowSnapshot) -> None:
+        """Persist one snapshot, then invoke the chained callback (if any).
+
+        The store write happens *first*: if persistence fails the error
+        surfaces in the producer instead of being silently swallowed after
+        a cosmetic progress line.
+        """
+        self.last_snapshot_id = self.store.append_snapshot(snapshot, kind=self.kind)
+        self.published += 1
+        if self.forward is not None:
+            self.forward(snapshot)
+
+
+def attach_store(engine: StreamEngine, store: SnapshotStore) -> SnapshotPublisher:
+    """Make *engine* persist every window snapshot into *store*.
+
+    Any ``on_window`` callback already installed keeps firing (after the
+    write).  Returns the publisher so callers can inspect what was written.
+    """
+    publisher = SnapshotPublisher(store, forward=engine.on_window)
+    engine.on_window = publisher
+    return publisher
+
+
+def publish_result(
+    store: SnapshotStore,
+    result: ClassificationResult,
+    *,
+    events_total: int = 0,
+    unique_tuples: int = 0,
+    window_start: int = 0,
+    window_end: int = 0,
+) -> int:
+    """Persist a batch classification result as a ``kind="batch"`` snapshot.
+
+    Batch runs have no window clock; callers pass whatever provenance they
+    have (observation count, unique tuples, the time span of the input).
+    The change map is computed against the store's current latest snapshot,
+    so repeated batch publishes surface classification drift the same way
+    streaming windows do.
+    """
+    previous = store.latest()
+    last_codes: Dict[ASN, str] = {}
+    if previous is not None:
+        last_codes = store.load_snapshot(previous.snapshot_id).result.as_code_map()
+    snapshot = WindowSnapshot(
+        window_start=window_start,
+        window_end=window_end,
+        skipped_windows=0,
+        events_total=events_total,
+        unique_tuples=unique_tuples,
+        result=result,
+        changed=result.changed_since(last_codes),
+    )
+    return store.append_snapshot(snapshot, kind="batch")

@@ -1,0 +1,345 @@
+"""Stdlib-only JSON HTTP API over a :class:`SnapshotStore`.
+
+Endpoints (all ``GET``, all responses ``application/json``):
+
+=============================  =====================================================
+``/healthz``                   liveness + store generation / snapshot count
+``/v1/snapshot/latest``        the newest persisted snapshot, full payload
+``/v1/snapshot/{window_end}``  the snapshot whose window ends at ``window_end``
+``/v1/as/{asn}``               latest classification of one AS (+ ``?history=N``)
+``/v1/diff``                   change set of the latest (or ``?window=``) snapshot
+``/v1/stats``                  store statistics + server request / cache counters
+=============================  =====================================================
+
+The service keeps an LRU cache of encoded response bodies keyed on
+``(store generation, request path)``.  The generation bumps on every store
+commit, so a cache hit is always consistent with the durable state, and hot
+entries (the latest snapshot, popular ASes) are served from memory without
+rebuilding multi-thousand-row payloads from SQLite.  Requests are handled on
+a :class:`ThreadingHTTPServer`; SQLite reads use per-thread connections
+against the WAL, so readers never block the producer.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.store import SnapshotStore, StoreError, snapshot_payload
+
+
+class ApiError(Exception):
+    """An HTTP error response (status + message) raised by route handlers."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServiceStats:
+    """Live request / cache counters of one service instance."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.errors = 0
+        self._lock = threading.Lock()
+
+    def record(self, *, hit: bool = False, error: bool = False) -> None:
+        """Count one handled request."""
+        with self._lock:
+            self.requests += 1
+            if error:
+                self.errors += 1
+            elif hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "errors": self.errors,
+            }
+
+
+class LRUCache:
+    """A small thread-safe LRU mapping cache keys to encoded bodies."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[int, str], bytes]" = OrderedDict()
+
+    def get(self, key: Tuple[int, str]) -> Optional[bytes]:
+        """The cached body for *key*, refreshing its recency."""
+        with self._lock:
+            body = self._entries.get(key)
+            if body is not None:
+                self._entries.move_to_end(key)
+            return body
+
+    def put(self, key: Tuple[int, str], body: bytes) -> None:
+        """Insert *body*, evicting the least recently used entry when full."""
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Default number of encoded responses kept hot.
+DEFAULT_CACHE_SIZE = 512
+
+
+class ClassificationService:
+    """Routing + caching logic of the HTTP API, independent of any socket.
+
+    Tests (and the benchmark's store-level mode) drive :meth:`handle`
+    directly; the HTTP handler below is a thin socket adapter around it.
+    """
+
+    def __init__(self, store: SnapshotStore, *, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self.store = store
+        self.cache = LRUCache(cache_size)
+        self.stats = ServiceStats()
+
+    #: Endpoints whose payloads change without a store write (request
+    #: counters, liveness): caching them would serve stale operational data.
+    VOLATILE_PATHS = frozenset({"/healthz", "/v1/stats"})
+
+    # -- entry point --------------------------------------------------------------------
+    def handle(self, target: str) -> Tuple[int, bytes]:
+        """Serve one request target; returns ``(status, encoded JSON body)``."""
+        split = urlsplit(target)
+        cacheable = split.path not in self.VOLATILE_PATHS
+        if cacheable:
+            cache_key = (self.store.generation(), target)
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                self.stats.record(hit=True)
+                return 200, cached
+        try:
+            payload = self._route(split.path, parse_qs(split.query))
+        except ApiError as error:
+            self.stats.record(error=True)
+            return error.status, _encode({"error": error.message, "status": error.status})
+        except StoreError as error:
+            # A snapshot resolved a moment ago may be pruned by the producer
+            # before its rows are read; that is a 404, not a dropped socket.
+            self.stats.record(error=True)
+            return 404, _encode({"error": str(error), "status": 404})
+        except sqlite3.Error as error:
+            self.stats.record(error=True)
+            return 500, _encode({"error": f"store failure: {error}", "status": 500})
+        body = _encode(payload)
+        if cacheable:
+            self.cache.put(cache_key, body)
+        self.stats.record()
+        return 200, body
+
+    # -- routing ------------------------------------------------------------------------
+    def _route(self, path: str, query: Dict[str, List[str]]) -> Dict[str, object]:
+        parts = [part for part in path.split("/") if part]
+        if parts == ["healthz"]:
+            return self._healthz()
+        if len(parts) >= 2 and parts[0] == "v1":
+            if parts[1] == "snapshot" and len(parts) == 3:
+                if parts[2] == "latest":
+                    return self._snapshot_latest()
+                return self._snapshot_by_window(_int_operand(parts[2], "window"))
+            if parts[1] == "as" and len(parts) == 3:
+                return self._as_info(_int_operand(parts[2], "asn"), query)
+            if parts[1] == "diff" and len(parts) == 2:
+                return self._diff(query)
+            if parts[1] == "stats" and len(parts) == 2:
+                return self._stats()
+        raise ApiError(404, f"unknown endpoint {path!r}")
+
+    # -- endpoints ----------------------------------------------------------------------
+    def _healthz(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "generation": self.store.generation(),
+            "snapshots": len(self.store),
+        }
+
+    def _latest_or_404(self) -> int:
+        latest = self.store.latest()
+        if latest is None:
+            raise ApiError(404, "store holds no snapshots yet")
+        return latest.snapshot_id
+
+    def _snapshot_latest(self) -> Dict[str, object]:
+        return snapshot_payload(self.store.load_snapshot(self._latest_or_404()))
+
+    def _snapshot_by_window(self, window_end: int) -> Dict[str, object]:
+        meta = self.store.by_window_end(window_end)
+        if meta is None:
+            raise ApiError(404, f"no snapshot with window_end {window_end}")
+        return snapshot_payload(self.store.load_snapshot(meta.snapshot_id))
+
+    def _as_info(self, asn: int, query: Dict[str, List[str]]) -> Dict[str, object]:
+        if asn < 0:
+            raise ApiError(400, f"invalid asn {asn}")
+        self._latest_or_404()
+        history_limit = None
+        if "history" in query:
+            history_limit = _int_operand(query["history"][-1], "history")
+            if history_limit < 1:
+                raise ApiError(400, "history must be >= 1")
+        latest = self.store.as_latest(asn)
+        payload: Dict[str, object] = {
+            "asn": asn,
+            # An AS the store never saw is validly "nn": no evidence at all.
+            "code": latest.code if latest is not None else "nn",
+            "observed": latest is not None,
+        }
+        if latest is not None:
+            payload["latest"] = latest.to_dict()
+        if history_limit is not None:
+            payload["history"] = [
+                entry.to_dict() for entry in self.store.as_history(asn, limit=history_limit)
+            ]
+        return payload
+
+    def _diff(self, query: Dict[str, List[str]]) -> Dict[str, object]:
+        if "window" in query:
+            window_end = _int_operand(query["window"][-1], "window")
+            meta = self.store.by_window_end(window_end)
+            if meta is None:
+                raise ApiError(404, f"no snapshot with window_end {window_end}")
+            snapshot_id = meta.snapshot_id
+        else:
+            snapshot_id = self._latest_or_404()
+            meta = self.store.get(snapshot_id)
+            assert meta is not None
+        return {
+            "snapshot_id": snapshot_id,
+            "window_start": meta.window_start,
+            "window_end": meta.window_end,
+            "changed": {
+                str(asn): [old, new]
+                for asn, (old, new) in sorted(self.store.changes(snapshot_id).items())
+            },
+        }
+
+    def _stats(self) -> Dict[str, object]:
+        return {
+            "store": self.store.stats(),
+            "server": {**self.stats.as_dict(), "cache_entries": len(self.cache)},
+        }
+
+
+def _encode(payload: Dict[str, object]) -> bytes:
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def _int_operand(text: str, name: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ApiError(400, f"{name} must be an integer, got {text!r}") from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Socket adapter: one GET in, one cached JSON body out."""
+
+    # Keep-alive matters for the queries/sec target: HTTP/1.1 + an explicit
+    # Content-Length lets clients reuse one TCP connection for many queries.
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate writes; with Nagle enabled the
+    # kernel holds the second one for the peer's delayed ACK (~40ms per
+    # request), capping a keep-alive connection at ~25 queries/sec.
+    disable_nagle_algorithm = True
+    service: ClassificationService  # injected by ClassificationServer
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        status, body = self.service.handle(self.path)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # keep the serving hot path quiet; stats live in /v1/stats
+
+
+class ClassificationServer:
+    """A :class:`ThreadingHTTPServer` bound to one store.
+
+    ``start()`` serves from a daemon thread (tests, examples, embedding into
+    a producer process); ``serve_forever()`` blocks (the ``repro serve``
+    CLI).  Always ``close()`` when done.
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.service = ClassificationService(store, cache_size=cache_size)
+        handler = type("BoundHandler", (_Handler,), {"service": self.service})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved when 0 was requested)."""
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ClassificationServer":
+        """Serve requests from a background daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve requests on the calling thread until interrupted."""
+        self.httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ClassificationServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,597 @@
+"""Durable snapshot store for classification results.
+
+The :class:`SnapshotStore` persists every
+:class:`~repro.stream.engine.WindowSnapshot` (and batch
+:class:`~repro.core.results.ClassificationResult`) into a single SQLite
+database in WAL mode, so results outlive the producing process and many
+concurrent readers can share one producer:
+
+* **atomic writes** -- one snapshot is one transaction; readers never see a
+  half-written snapshot;
+* **schema versioning** -- the database carries its schema version and the
+  store refuses to open an incompatible file instead of corrupting it;
+* **retention / compaction** -- an optional cap on retained window
+  snapshots, applied at append time, plus an explicit :meth:`compact`;
+* **indexed per-AS history** -- ``(asn, snapshot)`` indexed records answer
+  "how was AS X classified over time" without scanning snapshots;
+* **generation counter** -- every committed write bumps a monotonically
+  increasing generation, which the HTTP server uses to key its read cache.
+
+Reads and writes may come from different threads: each thread gets its own
+SQLite connection (WAL readers do not block the writer), and writes are
+serialised through a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.bgp.asn import ASN
+from repro.core.counters import ASCounters, CounterStore
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+from repro.stream.engine import WindowSnapshot
+
+#: Version of the on-disk schema this module reads and writes.
+SCHEMA_VERSION = 1
+
+#: Snapshot kinds accepted by the store.
+SNAPSHOT_KINDS = ("window", "batch")
+
+
+class StoreError(Exception):
+    """Raised for unusable databases and invalid store operations."""
+
+
+@dataclass(frozen=True)
+class StoredSnapshot:
+    """Metadata row of one persisted snapshot (records fetched separately)."""
+
+    snapshot_id: int
+    kind: str
+    window_start: int
+    window_end: int
+    skipped_windows: int
+    events_total: int
+    unique_tuples: int
+    algorithm: str
+    thresholds: Thresholds
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly metadata view."""
+        return {
+            "snapshot_id": self.snapshot_id,
+            "kind": self.kind,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "skipped_windows": self.skipped_windows,
+            "events_total": self.events_total,
+            "unique_tuples": self.unique_tuples,
+            "algorithm": self.algorithm,
+        }
+
+
+@dataclass(frozen=True)
+class ASHistoryEntry:
+    """One AS's classification in one persisted snapshot."""
+
+    snapshot_id: int
+    window_start: int
+    window_end: int
+    code: str
+    counters: ASCounters
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view used by the HTTP API."""
+        return {
+            "snapshot_id": self.snapshot_id,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "code": self.code,
+            "counters": _counters_dict(self.counters),
+        }
+
+
+def _counters_dict(counters: ASCounters) -> Dict[str, int]:
+    return {
+        "tagger": counters.tagger,
+        "silent": counters.silent,
+        "forward": counters.forward,
+        "cleaner": counters.cleaner,
+    }
+
+
+def _shares_dict(counters: ASCounters) -> Dict[str, float]:
+    return {
+        "tagger": counters.tagger_share(),
+        "silent": counters.silent_share(),
+        "forward": counters.forward_share(),
+        "cleaner": counters.cleaner_share(),
+    }
+
+
+def snapshot_payload(snapshot: WindowSnapshot) -> Dict[str, object]:
+    """Canonical JSON-friendly encoding of one window snapshot.
+
+    This is *the* wire format of the serving layer: the HTTP server emits it
+    for snapshots loaded from the store, and tests compare it against the
+    payload of the engine's in-memory snapshot to pin down store round-trip
+    fidelity field by field.
+    """
+    result = snapshot.result
+    ases: Dict[str, object] = {}
+    for asn in sorted(result.observed_ases):
+        counters = result.counters_of(asn)
+        ases[str(asn)] = {
+            "code": result.classification_of(asn).code,
+            "counters": _counters_dict(counters),
+            "shares": _shares_dict(counters),
+        }
+    return {
+        "window_start": snapshot.window_start,
+        "window_end": snapshot.window_end,
+        "skipped_windows": snapshot.skipped_windows,
+        "events_total": snapshot.events_total,
+        "unique_tuples": snapshot.unique_tuples,
+        "algorithm": result.algorithm,
+        "summary": snapshot.summary(),
+        "ases": ases,
+        "changed": {
+            str(asn): [old, new] for asn, (old, new) in sorted(snapshot.changed.items())
+        },
+    }
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshots (
+    id              INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind            TEXT NOT NULL,
+    window_start    INTEGER NOT NULL,
+    window_end      INTEGER NOT NULL,
+    skipped_windows INTEGER NOT NULL,
+    events_total    INTEGER NOT NULL,
+    unique_tuples   INTEGER NOT NULL,
+    algorithm       TEXT NOT NULL,
+    thresholds      TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_snapshots_window_end ON snapshots (window_end);
+CREATE TABLE IF NOT EXISTS as_records (
+    snapshot_id INTEGER NOT NULL,
+    asn         INTEGER NOT NULL,
+    code        TEXT NOT NULL,
+    tagger      INTEGER NOT NULL,
+    silent      INTEGER NOT NULL,
+    forward     INTEGER NOT NULL,
+    cleaner     INTEGER NOT NULL,
+    PRIMARY KEY (snapshot_id, asn)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_as_records_asn ON as_records (asn, snapshot_id);
+CREATE TABLE IF NOT EXISTS changes (
+    snapshot_id INTEGER NOT NULL,
+    asn         INTEGER NOT NULL,
+    old_code    TEXT NOT NULL,
+    new_code    TEXT NOT NULL,
+    PRIMARY KEY (snapshot_id, asn)
+) WITHOUT ROWID;
+"""
+
+
+class SnapshotStore:
+    """SQLite-WAL-backed persistence for classification snapshots."""
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        retention: Optional[int] = None,
+    ) -> None:
+        if retention is not None and retention < 1:
+            raise ValueError(f"retention must be >= 1, got {retention}")
+        self.path = str(path)
+        self.retention = retention
+        self._write_lock = threading.Lock()
+        self._local = threading.local()
+        self._closed = False
+        # In-memory databases are per-connection; share one connection (and
+        # serialise reads through the write lock) so tests can use ":memory:".
+        self._shared: Optional[sqlite3.Connection] = None
+        if self.path == ":memory:":
+            self._shared = self._connect()
+        self._initialise()
+
+    # -- connection management ----------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self.path, check_same_thread=False)
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        return connection
+
+    def _conn(self) -> sqlite3.Connection:
+        if self._closed:
+            raise StoreError("store is closed")
+        if self._shared is not None:
+            return self._shared
+        connection: Optional[sqlite3.Connection] = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._connect()
+            self._local.connection = connection
+        return connection
+
+    def _initialise(self) -> None:
+        with self._write_lock:
+            connection = self._conn()
+            with connection:
+                connection.executescript(_SCHEMA)
+                row = connection.execute(
+                    "SELECT value FROM meta WHERE key = 'schema_version'"
+                ).fetchone()
+                if row is None:
+                    connection.execute(
+                        "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                        (str(SCHEMA_VERSION),),
+                    )
+                    connection.execute(
+                        "INSERT INTO meta (key, value) VALUES ('generation', '0')"
+                    )
+                elif int(row[0]) != SCHEMA_VERSION:
+                    raise StoreError(
+                        f"store {self.path!r} has schema version {row[0]}, "
+                        f"this build reads version {SCHEMA_VERSION}"
+                    )
+
+    def close(self) -> None:
+        """Close every connection this store opened in this thread."""
+        self._closed = True
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+            return
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def __enter__(self) -> "SnapshotStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writes -------------------------------------------------------------------------
+    def append_snapshot(self, snapshot: WindowSnapshot, *, kind: str = "window") -> int:
+        """Durably persist one snapshot; returns its snapshot id.
+
+        The snapshot metadata, every observed AS's classification record,
+        and the per-window change set commit in a single transaction, and
+        the store generation is bumped with them: readers either see the
+        whole snapshot at a newer generation or none of it.
+        """
+        if kind not in SNAPSHOT_KINDS:
+            raise ValueError(f"unknown snapshot kind {kind!r}")
+        result = snapshot.result
+        thresholds = result.thresholds
+        records = []
+        for asn in result.observed_ases:
+            counters = result.counters_of(asn)
+            records.append(
+                (
+                    int(asn),
+                    result.classification_of(asn).code,
+                    counters.tagger,
+                    counters.silent,
+                    counters.forward,
+                    counters.cleaner,
+                )
+            )
+        with self._write_lock:
+            connection = self._conn()
+            with connection:
+                cursor = connection.execute(
+                    "INSERT INTO snapshots (kind, window_start, window_end,"
+                    " skipped_windows, events_total, unique_tuples, algorithm,"
+                    " thresholds) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        kind,
+                        snapshot.window_start,
+                        snapshot.window_end,
+                        snapshot.skipped_windows,
+                        snapshot.events_total,
+                        snapshot.unique_tuples,
+                        result.algorithm,
+                        json.dumps(
+                            [
+                                thresholds.tagger,
+                                thresholds.silent,
+                                thresholds.forward,
+                                thresholds.cleaner,
+                            ]
+                        ),
+                    ),
+                )
+                snapshot_id = int(cursor.lastrowid or 0)
+                connection.executemany(
+                    "INSERT INTO as_records (snapshot_id, asn, code, tagger,"
+                    " silent, forward, cleaner) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    [(snapshot_id, *record) for record in records],
+                )
+                connection.executemany(
+                    "INSERT INTO changes (snapshot_id, asn, old_code, new_code)"
+                    " VALUES (?, ?, ?, ?)",
+                    [
+                        (snapshot_id, int(asn), old, new)
+                        for asn, (old, new) in snapshot.changed.items()
+                    ],
+                )
+                if self.retention is not None:
+                    self._apply_retention(connection)
+                connection.execute(
+                    "UPDATE meta SET value = CAST(value AS INTEGER) + 1"
+                    " WHERE key = 'generation'"
+                )
+        return snapshot_id
+
+    def _apply_retention(self, connection: sqlite3.Connection) -> int:
+        """Drop the oldest snapshots beyond the retention cap (returns count)."""
+        assert self.retention is not None
+        stale = connection.execute(
+            "SELECT id FROM snapshots ORDER BY id DESC LIMIT -1 OFFSET ?",
+            (self.retention,),
+        ).fetchall()
+        for (snapshot_id,) in stale:
+            connection.execute("DELETE FROM as_records WHERE snapshot_id = ?", (snapshot_id,))
+            connection.execute("DELETE FROM changes WHERE snapshot_id = ?", (snapshot_id,))
+            connection.execute("DELETE FROM snapshots WHERE id = ?", (snapshot_id,))
+        return len(stale)
+
+    def compact(self) -> int:
+        """Apply retention, reclaim free pages, and truncate the WAL.
+
+        Returns the number of snapshots dropped.  Safe to call while readers
+        are active (VACUUM briefly takes the database over, so compaction is
+        an explicit maintenance call rather than part of the append path).
+        """
+        with self._write_lock:
+            connection = self._conn()
+            with connection:
+                dropped = 0
+                if self.retention is not None:
+                    dropped = self._apply_retention(connection)
+                if dropped:
+                    connection.execute(
+                        "UPDATE meta SET value = CAST(value AS INTEGER) + 1"
+                        " WHERE key = 'generation'"
+                    )
+            connection.execute("VACUUM")
+            connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        return dropped
+
+    # -- metadata reads -----------------------------------------------------------------
+    def generation(self) -> int:
+        """Monotonic write counter (the read-cache key of the server)."""
+        row = self._conn().execute(
+            "SELECT value FROM meta WHERE key = 'generation'"
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def __len__(self) -> int:
+        row = self._conn().execute("SELECT COUNT(*) FROM snapshots").fetchone()
+        return int(row[0])
+
+    def _snapshot_from_row(
+        self, row: Tuple[int, str, int, int, int, int, int, str, str]
+    ) -> StoredSnapshot:
+        tagger, silent, forward, cleaner = json.loads(row[8])
+        return StoredSnapshot(
+            snapshot_id=int(row[0]),
+            kind=row[1],
+            window_start=int(row[2]),
+            window_end=int(row[3]),
+            skipped_windows=int(row[4]),
+            events_total=int(row[5]),
+            unique_tuples=int(row[6]),
+            algorithm=row[7],
+            thresholds=Thresholds(
+                tagger=tagger, silent=silent, forward=forward, cleaner=cleaner
+            ),
+        )
+
+    _SNAPSHOT_COLUMNS = (
+        "id, kind, window_start, window_end, skipped_windows,"
+        " events_total, unique_tuples, algorithm, thresholds"
+    )
+
+    def latest(self) -> Optional[StoredSnapshot]:
+        """Metadata of the newest snapshot, or ``None`` on an empty store."""
+        row = self._conn().execute(
+            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots ORDER BY id DESC LIMIT 1"
+        ).fetchone()
+        return self._snapshot_from_row(row) if row is not None else None
+
+    def get(self, snapshot_id: int) -> Optional[StoredSnapshot]:
+        """Metadata of one snapshot by id."""
+        row = self._conn().execute(
+            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots WHERE id = ?",
+            (snapshot_id,),
+        ).fetchone()
+        return self._snapshot_from_row(row) if row is not None else None
+
+    def by_window_end(self, window_end: int) -> Optional[StoredSnapshot]:
+        """Metadata of the newest snapshot whose window ends at *window_end*."""
+        row = self._conn().execute(
+            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots"
+            " WHERE window_end = ? ORDER BY id DESC LIMIT 1",
+            (window_end,),
+        ).fetchone()
+        return self._snapshot_from_row(row) if row is not None else None
+
+    def snapshots(self) -> List[StoredSnapshot]:
+        """Metadata of every retained snapshot, oldest first."""
+        rows = self._conn().execute(
+            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots ORDER BY id"
+        ).fetchall()
+        return [self._snapshot_from_row(row) for row in rows]
+
+    # -- full snapshot reads ------------------------------------------------------------
+    @contextmanager
+    def _read_txn(self) -> Iterator[sqlite3.Connection]:
+        """A consistent multi-statement read view.
+
+        WAL gives snapshot isolation per transaction, not per statement; a
+        concurrent retention prune between two autocommit SELECTs would
+        otherwise tear a multi-query read (metadata found, records already
+        deleted).  On the shared in-memory connection the write lock stands
+        in for the transaction.
+        """
+        connection = self._conn()
+        if self._shared is not None:
+            with self._write_lock:
+                yield connection
+            return
+        connection.execute("BEGIN")
+        try:
+            yield connection
+        finally:
+            connection.execute("COMMIT")
+
+    def load_snapshot(self, snapshot_id: int) -> WindowSnapshot:
+        """Reconstruct the full :class:`WindowSnapshot` persisted under *snapshot_id*.
+
+        The reconstruction is field-faithful: per-AS codes, raw counters
+        (hence shares), the observed-AS set, the algorithm, the thresholds,
+        and the per-window change map all round-trip.  All reads happen in
+        one transaction, so a snapshot pruned concurrently either loads
+        whole or raises :class:`StoreError` -- never a torn half.
+        """
+        with self._read_txn() as connection:
+            row = connection.execute(
+                f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots WHERE id = ?",
+                (snapshot_id,),
+            ).fetchone()
+            if row is None:
+                raise StoreError(f"no snapshot {snapshot_id} in {self.path!r}")
+            meta = self._snapshot_from_row(row)
+            counter_state: Dict[ASN, Tuple[int, int, int, int]] = {}
+            observed: Set[ASN] = set()
+            for asn, tagger, silent, forward, cleaner in connection.execute(
+                "SELECT asn, tagger, silent, forward, cleaner FROM as_records"
+                " WHERE snapshot_id = ?",
+                (snapshot_id,),
+            ):
+                observed.add(asn)
+                if tagger or silent or forward or cleaner:
+                    counter_state[asn] = (tagger, silent, forward, cleaner)
+            changed = {
+                asn: (old, new)
+                for asn, old, new in connection.execute(
+                    "SELECT asn, old_code, new_code FROM changes WHERE snapshot_id = ?",
+                    (snapshot_id,),
+                )
+            }
+        result = ClassificationResult(
+            store=CounterStore.from_state(counter_state, meta.thresholds),
+            observed_ases=observed,
+            algorithm=meta.algorithm,
+        )
+        return WindowSnapshot(
+            window_start=meta.window_start,
+            window_end=meta.window_end,
+            skipped_windows=meta.skipped_windows,
+            events_total=meta.events_total,
+            unique_tuples=meta.unique_tuples,
+            result=result,
+            changed=changed,
+        )
+
+    def changes(self, snapshot_id: int) -> Dict[ASN, Tuple[str, str]]:
+        """The ``{asn: (old_code, new_code)}`` change set of one snapshot."""
+        return {
+            asn: (old, new)
+            for asn, old, new in self._conn().execute(
+                "SELECT asn, old_code, new_code FROM changes WHERE snapshot_id = ?",
+                (snapshot_id,),
+            )
+        }
+
+    # -- per-AS queries -----------------------------------------------------------------
+    def as_history(self, asn: ASN, *, limit: Optional[int] = None) -> List[ASHistoryEntry]:
+        """Classification history of one AS, newest snapshot first.
+
+        Served by the ``(asn, snapshot_id)`` index: cost is proportional to
+        the history length of this AS, not to the store size.
+        """
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        query = (
+            "SELECT r.snapshot_id, s.window_start, s.window_end, r.code,"
+            " r.tagger, r.silent, r.forward, r.cleaner"
+            " FROM as_records r JOIN snapshots s ON s.id = r.snapshot_id"
+            " WHERE r.asn = ? ORDER BY r.snapshot_id DESC"
+        )
+        parameters: Tuple[int, ...] = (int(asn),)
+        if limit is not None:
+            query += " LIMIT ?"
+            parameters = (int(asn), limit)
+        return [
+            ASHistoryEntry(
+                snapshot_id=row[0],
+                window_start=row[1],
+                window_end=row[2],
+                code=row[3],
+                counters=ASCounters(
+                    tagger=row[4], silent=row[5], forward=row[6], cleaner=row[7]
+                ),
+            )
+            for row in self._conn().execute(query, parameters)
+        ]
+
+    def as_latest(self, asn: ASN) -> Optional[ASHistoryEntry]:
+        """The newest persisted classification of one AS (``None`` if unseen)."""
+        history = self.as_history(asn, limit=1)
+        return history[0] if history else None
+
+    # -- statistics ---------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Store-level statistics for ``/v1/stats`` and operations."""
+        connection = self._conn()
+        snapshots = int(connection.execute("SELECT COUNT(*) FROM snapshots").fetchone()[0])
+        records = int(connection.execute("SELECT COUNT(*) FROM as_records").fetchone()[0])
+        distinct = int(
+            connection.execute("SELECT COUNT(DISTINCT asn) FROM as_records").fetchone()[0]
+        )
+        size_bytes = 0
+        if self.path != ":memory:":
+            try:
+                size_bytes = os.stat(self.path).st_size
+            except OSError:
+                size_bytes = 0
+        return {
+            "path": self.path,
+            "schema_version": SCHEMA_VERSION,
+            "generation": self.generation(),
+            "snapshots": snapshots,
+            "as_records": records,
+            "distinct_ases": distinct,
+            "retention": self.retention,
+            "size_bytes": size_bytes,
+        }
+
+
+def open_store(
+    path: Union[str, os.PathLike], *, retention: Optional[int] = None
+) -> SnapshotStore:
+    """Open (creating if needed) a snapshot store, ensuring the parent exists."""
+    target = Path(path)
+    if str(target) != ":memory:" and str(target.parent) not in ("", "."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    return SnapshotStore(target, retention=retention)

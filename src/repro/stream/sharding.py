@@ -16,7 +16,6 @@ queue, which is why their full state is checkpointable independently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.bgp.announcement import PathCommTuple, RouteObservation

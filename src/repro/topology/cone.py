@@ -9,7 +9,7 @@ number of edges for Internet-scale graphs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.bgp.asn import ASN
 from repro.topology.relationships import ASRelationships

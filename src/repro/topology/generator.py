@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bgp.asn import ASN, ASNRegistry, MAX_ASN_16BIT
 from repro.bgp.prefix import Prefix, PrefixAllocation, PrefixGenerator
-from repro.topology.relationships import ASRelationships, Relationship
+from repro.topology.relationships import ASRelationships
 
 
 class ASTier(enum.Enum):

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, TextIO, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, TextIO, Tuple
 
 from repro.bgp.asn import ASN
 

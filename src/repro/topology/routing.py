@@ -74,7 +74,6 @@ class RoutingEngine:
         included with a single-element path, since peers originate their own
         prefixes too).
         """
-        relationships = self.relationships
         # best[asn] = (rank, length) of the best known route; predecessor
         # reconstruction uses parent[(asn, phase)].
         best: Dict[ASN, Tuple[int, int]] = {}

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Dict, Iterable, Set
 
 from repro.bgp.asn import ASN
 from repro.bgp.community import CommunitySet, make_community

@@ -21,13 +21,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.bgp.asn import ASN, MAX_ASN_16BIT
+from repro.bgp.asn import ASN
 from repro.bgp.community import AnyCommunity, CommunitySet, make_community
 from repro.bgp.path import ASPath
 from repro.topology.relationships import ASRelationships, Relationship
-from repro.usage.roles import RoleAssignment, SelectivePolicy, UsageRole
+from repro.usage.roles import RoleAssignment, UsageRole
 
 
 @dataclass

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN
@@ -31,7 +31,6 @@ from repro.usage.noise import NoiseConfig, NoiseInjector
 from repro.usage.propagation import CommunityPropagator, TaggerCommunityPlan
 from repro.usage.roles import (
     ForwardingRole,
-    ROLE_CODES,
     RoleAssignment,
     SelectivePolicy,
     TaggingRole,

@@ -18,7 +18,7 @@ separately; :class:`VisibilityAnalysis` computes exactly those sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Iterable, Set
 
 from repro.bgp.asn import ASN
 from repro.bgp.path import ASPath

@@ -2,12 +2,10 @@
 
 import pytest
 
-from repro.core.classes import ForwardingClass
 from repro.core.column import ColumnInference
 from repro.eval.characterization import ConeDistribution, cone_cdf_by_class, peer_community_types
 from repro.eval.peering import PEERING_ASN, PeeringExperiment
 from repro.sanitize.sources import CommunitySource
-from repro.topology.cone import CustomerCones
 
 
 class TestConeDistribution:

@@ -110,3 +110,28 @@ class TestStreamCommand:
         assert main(["stream", str(mrt_file), "--workers", "2", "-o", str(parallel)]) == 0
         assert parallel.read_text() == serial.read_text()
         assert "streamed" in capsys.readouterr().err
+
+    def test_stream_store_with_retention(self, mrt_file, tmp_path, capsys):
+        from repro.service import SnapshotStore
+
+        store_path = tmp_path / "stream.db"
+        assert (
+            main(
+                [
+                    "stream",
+                    str(mrt_file),
+                    "-o",
+                    str(tmp_path / "db.txt"),
+                    "--store",
+                    str(store_path),
+                    "--store-retention",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "window snapshots in" in capsys.readouterr().err
+        with SnapshotStore(store_path) as store:
+            assert store.retention is None  # retention is not persisted...
+            assert len(store) == 1  # ...but the producer honored it
+            assert store.latest().kind == "window"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.collectors.archive import ArchiveConfig, CollectorArchive, observations_from_mrt
+from repro.collectors.archive import ArchiveConfig, observations_from_mrt
 from repro.collectors.collector import Collector, CollectorProject, merge_peer_sets
 from repro.collectors.projects import DEFAULT_PROJECT_NAMES, build_default_projects
 from repro.core.pipeline import InferencePipeline

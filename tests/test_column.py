@@ -5,7 +5,6 @@ the paper; the scenario-level tests check the paper's headline claims
 (100% precision on consistent behaviour, no classification of hidden ASes).
 """
 
-import pytest
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.community import CommunitySet

@@ -4,7 +4,7 @@ import pytest
 
 from repro.collectors.archive import ArchiveConfig
 from repro.datasets.stats import compute_statistics, format_table
-from repro.datasets.synthetic import AGGREGATE_PROJECTS, SyntheticConfig, SyntheticInternet
+from repro.datasets.synthetic import AGGREGATE_PROJECTS, SyntheticConfig
 
 
 class TestSyntheticInternet:

@@ -1,9 +1,8 @@
 """Unit tests for the topology generator (repro.topology.generator)."""
 
-import pytest
 
 from repro.bgp.asn import MAX_ASN_16BIT
-from repro.topology.generator import ASTier, InternetTopologyGenerator, Topology, TopologyConfig
+from repro.topology.generator import ASTier, InternetTopologyGenerator, TopologyConfig
 
 
 class TestTopologyConfig:

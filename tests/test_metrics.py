@@ -98,9 +98,6 @@ class TestROCSweep:
 class TestStability:
     def _result_with(self, codes):
         """Build a fake classification result with given full classes."""
-        from repro.bgp.announcement import PathCommTuple
-        from repro.bgp.community import CommunitySet
-        from repro.bgp.path import ASPath
         from repro.core.counters import CounterStore
 
         store = CounterStore(Thresholds())

@@ -11,7 +11,6 @@ from repro.core.attribution import CommunityAttribution
 from repro.core.classes import ForwardingClass, TaggingClass
 from repro.core.column import ColumnInference
 from repro.core.pipeline import InferencePipeline
-from repro.core.results import ClassificationResult
 from repro.sanitize.filters import SanitationConfig
 
 

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.topology.generator import ASTier
 from repro.topology.relationships import ASRelationships, Relationship
-from repro.topology.routing import RoutingEngine, ValleyFreePath
+from repro.topology.routing import RoutingEngine
 
 
 def is_valley_free(path, relationships):

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.bgp.community import CommunitySet
 from repro.bgp.path import ASPath
 from repro.usage.roles import RoleAssignment, UsageRole
 from repro.usage.scenarios import (
-    GroundTruthDataset,
     ScenarioBuilder,
     ScenarioName,
     assign_realistic_roles,
