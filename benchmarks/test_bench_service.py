@@ -9,21 +9,32 @@ Measures what the consumer side of the system cares about:
   bounds what the HTTP layer costs;
 * cold store reads (cache disabled by rotating ASes), pinning the indexed
   per-AS lookup path;
-* producer-side write throughput: snapshots persisted per second.
+* producer-side write throughput: snapshots persisted per second;
+* the multi-worker fan-out: 4 ``SO_REUSEPORT`` worker processes under
+  concurrent client load must sustain at least 2x the single-worker
+  queries/sec while answering byte-identically — the floor only makes
+  sense with >= 4 CPUs and working ``SO_REUSEPORT``, so elsewhere it is
+  disabled by default (override via ``REPRO_BENCH_MIN_WORKER_SPEEDUP``,
+  0 disables).
 """
 
 from __future__ import annotations
 
+import http.client
+import multiprocessing
 import os
+import time
 
 import pytest
 
 from repro.service import (
     ClassificationServer,
     ClassificationService,
+    MultiWorkerServer,
     ServiceClient,
     SnapshotStore,
     attach_store,
+    reuseport_supported,
 )
 from repro.stream import MemorySource, ScenarioSource, StreamConfig, StreamEngine, WindowSpec
 
@@ -32,6 +43,19 @@ MIN_QUERIES_PER_SEC = float(os.environ.get("REPRO_BENCH_MIN_SERVICE_QPS", "2000"
 
 #: Queries issued per measured round.
 QUERY_BATCH = 500
+
+#: Worker processes (and concurrent client processes) of the fan-out bench.
+WORKER_FANOUT = 4
+
+#: Acceptance floor for the 4-worker fan-out speedup over one worker.
+MIN_WORKER_SPEEDUP = float(
+    os.environ.get(
+        "REPRO_BENCH_MIN_WORKER_SPEEDUP",
+        "2.0"
+        if (os.cpu_count() or 1) >= WORKER_FANOUT and reuseport_supported()
+        else "0",
+    )
+)
 
 
 @pytest.fixture(scope="module")
@@ -118,6 +142,117 @@ def test_bench_service_cold_as_lookups(benchmark, warm_store):
     benchmark.pedantic(lookup_all, rounds=3, iterations=1)
     lookups_per_sec = len(observed) / benchmark.stats.stats.mean
     benchmark.extra_info["as_lookups_per_sec"] = round(lookups_per_sec)
+
+
+def _hammer(host, port, targets, count, results):
+    """One load-generator process: *count* keep-alive GETs, no JSON decode.
+
+    Module-level so every multiprocessing start method can import it; the
+    per-client wall time goes back through *results*.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    started = time.perf_counter()
+    for index in range(count):
+        connection.request("GET", targets[index % len(targets)])
+        response = connection.getresponse()
+        response.read()
+        assert response.status == 200
+    elapsed = time.perf_counter() - started
+    connection.close()
+    results.put(elapsed)
+
+
+def _concurrent_qps(address, targets, clients, per_client):
+    """Queries/sec sustained by *clients* concurrent processes."""
+    host, port = address
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    results = ctx.Queue()
+    processes = [
+        ctx.Process(target=_hammer, args=(host, port, targets, per_client, results))
+        for _ in range(clients)
+    ]
+    started = time.perf_counter()
+    for process in processes:
+        process.start()
+    elapsed = [results.get(timeout=120) for _ in processes]
+    wall = time.perf_counter() - started
+    for process in processes:
+        process.join(timeout=10)
+    assert max(elapsed) <= wall
+    return clients * per_client / wall
+
+
+def _fetch(address, target):
+    """One GET on a fresh connection; returns the raw body bytes."""
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", target)
+        response = connection.getresponse()
+        body = response.read()
+        assert response.status == 200
+        return body
+    finally:
+        connection.close()
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_multi_worker_fanout(benchmark, warm_store, hot_ases):
+    """4 SO_REUSEPORT workers vs one server under concurrent client load.
+
+    Also pins the fan-out contract the speedup is worthless without:
+    every deterministic endpoint answers byte-identically from the fleet,
+    on both the uncached (first hit) and the cached (second hit) path.
+    """
+    store, engine = warm_store
+    targets = ["/healthz", "/v1/snapshot/latest", "/v1/diff"] + [
+        f"/v1/as/{asn}" for asn in hot_ases
+    ]
+
+    with ClassificationServer(store) as single:
+        single.start()
+        # Uncached then cached bytes of every endpoint, single-worker.
+        expected = [(target, _fetch(single.address, target)) for target in targets]
+        for target, body in expected:
+            assert _fetch(single.address, target) == body  # cached == uncached
+        single_times = []
+        for _ in range(3):
+            started = time.perf_counter()
+            _concurrent_qps(single.address, targets, WORKER_FANOUT, QUERY_BATCH)
+            single_times.append(time.perf_counter() - started)
+        single_qps = WORKER_FANOUT * QUERY_BATCH / min(single_times)
+
+    fanout_mode = "process" if reuseport_supported() else "thread"
+    with MultiWorkerServer(
+        store.path, workers=WORKER_FANOUT, mode=fanout_mode
+    ) as fanout:
+        fanout.start()
+        # Byte-identity across the fleet: enough fresh connections per
+        # target that every worker serves both its cold and its warm path.
+        for target, body in expected:
+            for _ in range(2 * WORKER_FANOUT):
+                assert _fetch(fanout.address, target) == body
+
+        def fanout_round():
+            return _concurrent_qps(fanout.address, targets, WORKER_FANOUT, QUERY_BATCH)
+
+        benchmark.pedantic(fanout_round, rounds=3, iterations=1)
+        fanout_qps = WORKER_FANOUT * QUERY_BATCH / benchmark.stats.stats.min
+
+    speedup = fanout_qps / single_qps
+    benchmark.extra_info["mode"] = fanout_mode
+    benchmark.extra_info["workers"] = WORKER_FANOUT
+    benchmark.extra_info["single_worker_qps"] = round(single_qps)
+    benchmark.extra_info["fanout_qps"] = round(fanout_qps)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    if MIN_WORKER_SPEEDUP:
+        assert speedup >= MIN_WORKER_SPEEDUP, (
+            f"{WORKER_FANOUT}-worker fan-out is only {speedup:.2f}x one worker "
+            f"({fanout_qps:,.0f} vs {single_qps:,.0f} queries/sec), below the "
+            f"{MIN_WORKER_SPEEDUP:.1f}x floor (override via REPRO_BENCH_MIN_WORKER_SPEEDUP)"
+        )
 
 
 @pytest.mark.benchmark(group="service")

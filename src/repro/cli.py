@@ -16,6 +16,7 @@ Usage::
     python -m repro stream updates.mrt --workers 4       # multi-process shard workers
     python -m repro stream updates.mrt --store results.db   # materialize snapshots
     python -m repro serve --store results.db --port 8080    # HTTP query API
+    python -m repro serve --store results.db --http-workers 4   # SO_REUSEPORT fan-out
     python -m repro query http://localhost:8080 as 3356     # ask the running service
 """
 
@@ -77,6 +78,8 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 def cmd_stream(args: argparse.Namespace) -> int:
     """``stream``: replay MRT update archives through the streaming engine."""
+    from contextlib import ExitStack
+
     from repro.stream import (
         CheckpointManager,
         MRTReplaySource,
@@ -88,11 +91,6 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     source = MRTReplaySource.from_files(args.inputs, order=args.order)
     manager = CheckpointManager(args.checkpoint_dir) if args.checkpoint_dir else None
-    store = None
-    if args.store:
-        from repro.service.store import open_store
-
-        store = open_store(args.store, retention=args.store_retention)
     workers = args.workers
     # Each worker process hosts >= 1 shard; lift the shard count so every
     # requested worker actually gets a partition to own.
@@ -107,68 +105,99 @@ def cmd_stream(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    engine_cls = StreamEngine
-    if workers > 1:
-        from repro.parallel import ParallelStreamEngine
+    # The store lives on the stack so *any* exit -- engine construction
+    # errors, a mid-run engine failure, Ctrl-C -- closes the SQLite handle
+    # and checkpoints the WAL, not just the success path.
+    with ExitStack() as stack:
+        store = None
+        if args.store:
+            from repro.service.store import open_store
 
-        engine_cls = ParallelStreamEngine
-    if args.resume and manager is not None and manager.latest() is not None:
-        engine = engine_cls.restore(manager, on_window=report)
+            store = stack.enter_context(
+                open_store(args.store, retention=args.store_retention)
+            )
+        engine_cls = StreamEngine
         if workers > 1:
-            engine.workers = workers
-            if engine.config.shards < workers:
-                # The checkpoint pins the shard count; fewer shards than
-                # workers means the extra processes would own no partition.
+            from repro.parallel import ParallelStreamEngine
+
+            engine_cls = ParallelStreamEngine
+        resumed = args.resume and manager is not None and manager.latest() is not None
+        if resumed:
+            engine = engine_cls.restore(manager, on_window=report)
+            if workers > 1:
+                engine.workers = workers
+                if engine.config.shards < workers:
+                    # The checkpoint pins the shard count; fewer shards than
+                    # workers means the extra processes would own no partition.
+                    print(
+                        f"warning: checkpoint has {engine.config.shards} shard(s); "
+                        f"--workers {workers} is capped to that many processes",
+                        file=sys.stderr,
+                    )
+            print(f"resumed from {manager.latest()}", file=sys.stderr)
+        else:
+            config = StreamConfig(
+                window=WindowSpec(
+                    size=args.window,
+                    policy=WindowPolicy(args.policy),
+                    horizon=args.horizon,
+                    allowed_lateness=args.allowed_lateness,
+                ),
+                shards=shards,
+                algorithm=args.algorithm,
+                thresholds=Thresholds.uniform(args.threshold),
+                checkpoint_every=args.checkpoint_every,
+            )
+            if workers > 1:
+                engine = engine_cls(
+                    config, workers=workers, checkpoints=manager, on_window=report
+                )
+            else:
+                engine = engine_cls(config, checkpoints=manager, on_window=report)
+
+        publisher = None
+        if store is not None:
+            from repro.service import attach_store
+
+            # On --resume the publisher deduplicates against the windows the
+            # store already holds: the engine restores to its last
+            # checkpoint and re-emits every window closed between that
+            # checkpoint and the crash, and each re-emission must land on
+            # the store's existing copy (exactly-once publishing).  Keyed on
+            # the --resume *intent*, not on whether a checkpoint was found:
+            # a resume whose checkpoint directory was lost starts the engine
+            # fresh, and without dedup it would re-append every window the
+            # store already holds.
+            publisher = attach_store(engine, store, resume=args.resume)
+            if args.resume and publisher.resume_window_end is not None:
                 print(
-                    f"warning: checkpoint has {engine.config.shards} shard(s); "
-                    f"--workers {workers} is capped to that many processes",
+                    f"store already holds windows through {publisher.resume_window_end}; "
+                    "re-emitted windows will be deduplicated",
                     file=sys.stderr,
                 )
-        print(f"resumed from {manager.latest()}", file=sys.stderr)
-    else:
-        config = StreamConfig(
-            window=WindowSpec(
-                size=args.window,
-                policy=WindowPolicy(args.policy),
-                horizon=args.horizon,
-                allowed_lateness=args.allowed_lateness,
-            ),
-            shards=shards,
-            algorithm=args.algorithm,
-            thresholds=Thresholds.uniform(args.threshold),
-            checkpoint_every=args.checkpoint_every,
-        )
-        if workers > 1:
-            engine = engine_cls(config, workers=workers, checkpoints=manager, on_window=report)
-        else:
-            engine = engine_cls(config, checkpoints=manager, on_window=report)
-
-    publisher = None
-    if store is not None:
-        from repro.service import attach_store
-
-        publisher = attach_store(engine, store)
-    try:
         result = engine.run(source)
         if manager is not None:
             engine.checkpoint()
-    finally:
-        if store is not None:
-            store.close()
-    database = ClassificationDatabase.from_result(result)
-    _write_database(database, args.output, args.format)
-    stats = engine.stats
-    print(
-        f"streamed {stats.events_in} events through {stats.windows_closed} windows: "
-        f"classified {len(database)} ASes ({engine.unique_tuples} unique tuples, "
-        f"{engine.late_events} late events, {stats.checkpoints_written} checkpoints)",
-        file=sys.stderr,
-    )
-    if publisher is not None:
+        database = ClassificationDatabase.from_result(result)
+        _write_database(database, args.output, args.format)
+        stats = engine.stats
         print(
-            f"stored {publisher.published} window snapshots in {args.store}",
+            f"streamed {stats.events_in} events through {stats.windows_closed} windows: "
+            f"classified {len(database)} ASes ({engine.unique_tuples} unique tuples, "
+            f"{engine.late_events} late events, {stats.checkpoints_written} checkpoints)",
             file=sys.stderr,
         )
+        if publisher is not None:
+            deduplicated = (
+                f" ({publisher.deduplicated} duplicate windows skipped)"
+                if publisher.deduplicated
+                else ""
+            )
+            print(
+                f"stored {publisher.published} window snapshots in {args.store}"
+                f"{deduplicated}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -187,19 +216,55 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: expose a snapshot store over the JSON HTTP API."""
-    from repro.service import ClassificationServer
+    from repro.service import ClassificationServer, MultiWorkerServer
     from repro.service.store import SnapshotStore
 
     if not Path(args.store).exists():
         print(f"error: store {args.store!r} does not exist", file=sys.stderr)
         return 1
-    store = SnapshotStore(args.store, retention=args.retention)
+    if args.http_workers < 1:
+        print(f"error: --http-workers must be >= 1, got {args.http_workers}", file=sys.stderr)
+        return 2
     if args.retention is not None:
-        # The serving process never appends, so retention only takes effect
+        # The serving processes never append, so retention only takes effect
         # through an explicit prune here at startup.
-        dropped = store.compact()
+        with SnapshotStore(args.store, retention=args.retention) as pruning:
+            dropped = pruning.compact()
         if dropped:
             print(f"pruned {dropped} snapshots beyond --retention", file=sys.stderr)
+    if args.http_workers > 1:
+        import signal
+
+        with MultiWorkerServer(
+            args.store,
+            workers=args.http_workers,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            retention=args.retention,
+        ) as fanout:
+            fanout.start()
+            print(
+                f"serving {args.store} at {fanout.url} with {fanout.workers} "
+                f"{fanout.mode} workers (Ctrl-C to stop)",
+                file=sys.stderr,
+            )
+
+            def _terminate(signum: int, frame: object) -> None:
+                # SIGTERM must tear the fleet down like Ctrl-C does:
+                # the default handler would kill only the supervisor and
+                # orphan the workers on the port.
+                raise KeyboardInterrupt
+
+            previous = signal.signal(signal.SIGTERM, _terminate)
+            try:
+                fanout.serve_forever()
+            except KeyboardInterrupt:
+                print("shutting down", file=sys.stderr)
+            finally:
+                signal.signal(signal.SIGTERM, previous)
+        return 0
+    store = SnapshotStore(args.store, retention=args.retention)
     server = ClassificationServer(
         store, host=args.host, port=args.port, cache_size=args.cache_size
     )
@@ -379,6 +444,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
         "--cache-size", type=int, default=512, help="encoded responses kept in the LRU cache"
+    )
+    serve.add_argument(
+        "--http-workers",
+        type=int,
+        default=1,
+        help="serving workers: 1 (default) runs one threaded server in-process; "
+        "N > 1 fans out across N SO_REUSEPORT worker processes sharing the port "
+        "(accept-loop threads where SO_REUSEPORT is unavailable), supervised "
+        "and respawned on crash",
     )
     serve.add_argument(
         "--retention",

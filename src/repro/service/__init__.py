@@ -18,11 +18,16 @@ builds the *consumer* side:
   :class:`~repro.stream.engine.StreamEngine` (or the batch pipeline) into a
   store, so ``repro stream --store`` / ``repro classify --store``
   materialise results as they run;
-* :mod:`repro.service.client` -- a small stdlib HTTP client for the API.
+* :mod:`repro.service.client` -- a small stdlib HTTP client for the API;
+* :mod:`repro.service.workers` -- horizontal fan-out: N supervised
+  ``SO_REUSEPORT`` worker processes (accept-loop threads where that is
+  unavailable) serving one store on one port, respawned on crash, with
+  fleet-aggregated ``/v1/stats``.
 
-Entry points most callers want: ``repro serve --store db.sqlite`` and
-``repro query http://host:port latest`` on the CLI, or
-:func:`attach_store` + :class:`ClassificationServer` in code.
+Entry points most callers want: ``repro serve --store db.sqlite``
+(``--http-workers N`` to fan out) and ``repro query http://host:port
+latest`` on the CLI, or :func:`attach_store` + :class:`ClassificationServer`
+/ :class:`MultiWorkerServer` in code.
 """
 
 from repro.service.client import ServiceClient, ServiceError
@@ -41,6 +46,11 @@ from repro.service.store import (
     StoredSnapshot,
     snapshot_payload,
 )
+from repro.service.workers import (
+    MultiWorkerServer,
+    WorkerStatsBoard,
+    reuseport_supported,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -48,6 +58,7 @@ __all__ = [
     "ClassificationServer",
     "ClassificationService",
     "LRUCache",
+    "MultiWorkerServer",
     "ServiceClient",
     "ServiceError",
     "ServiceStats",
@@ -55,7 +66,9 @@ __all__ = [
     "SnapshotStore",
     "StoreError",
     "StoredSnapshot",
+    "WorkerStatsBoard",
     "attach_store",
     "publish_result",
+    "reuseport_supported",
     "snapshot_payload",
 ]

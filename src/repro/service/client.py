@@ -23,6 +23,18 @@ class ServiceError(Exception):
         self.message = message
 
 
+def _error_message(body: bytes) -> str:
+    """Best-effort error text from a non-200 body (JSON or otherwise)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        text = " ".join(body.decode("utf-8", "replace").split())
+        return text[:120] if text else "non-JSON error body"
+    if isinstance(payload, dict):
+        return str(payload.get("error", ""))
+    return ""
+
+
 class ServiceClient:
     """A persistent-connection client for one service base URL."""
 
@@ -58,10 +70,16 @@ class ServiceClient:
             connection.request("GET", target)
             response = connection.getresponse()
             body = response.read()
-        payload = json.loads(body.decode("utf-8"))
+        # Decide on the status *before* trusting the body to be JSON: a
+        # fronting proxy (the recommended deployment) answers 502/504 with
+        # an HTML error page, which must surface as a ServiceError rather
+        # than escape as a raw JSONDecodeError.
         if response.status != 200:
-            message = payload.get("error", "") if isinstance(payload, dict) else ""
-            raise ServiceError(response.status, str(message))
+            raise ServiceError(response.status, _error_message(body))
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceError(response.status, "malformed response body") from None
         if not isinstance(payload, dict):
             raise ServiceError(response.status, "malformed response body")
         return payload

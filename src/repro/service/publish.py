@@ -7,6 +7,18 @@ persistence composes with progress reporting).  :func:`attach_store` does
 the wiring on a live engine, and :func:`publish_result` materialises a
 one-shot batch :class:`~repro.core.results.ClassificationResult` as a
 ``kind="batch"`` snapshot.
+
+Exactly-once resume
+-------------------
+
+A checkpointed engine restores to its *last checkpoint*, which is usually
+older than the *last published window*: every window closed between the
+checkpoint and the crash is already in the store, and a naive resumed run
+re-publishes all of them.  A publisher attached with ``resume=True`` learns
+the store's latest persisted ``window_end`` at attach time and routes every
+re-emitted window at or before it through the store's idempotent append, so
+the resumed producer lands exactly one copy of every window.  Windows past
+the resume point are provably new and take the plain fast path.
 """
 
 from __future__ import annotations
@@ -31,12 +43,23 @@ class SnapshotPublisher:
         *,
         kind: str = "window",
         forward: Optional[WindowCallback] = None,
+        resume: bool = False,
     ) -> None:
         self.store = store
         self.kind = kind
         self.forward = forward
         self.published = 0
+        self.deduplicated = 0
         self.last_snapshot_id: Optional[int] = None
+        #: The store's newest persisted window_end when this publisher
+        #: attached with ``resume=True`` (``None``: no dedup, or empty store).
+        self.resume_window_end: Optional[int] = None
+        #: Highest window_end this publisher has durably confirmed; engines
+        #: record it in their checkpoints (see StreamEngine.state_dict).
+        self.published_through: Optional[int] = None
+        if resume:
+            self.resume_window_end = store.latest_window_end(kind)
+            self.published_through = self.resume_window_end
 
     def __call__(self, snapshot: WindowSnapshot) -> None:
         """Persist one snapshot, then invoke the chained callback (if any).
@@ -45,19 +68,58 @@ class SnapshotPublisher:
         surfaces in the producer instead of being silently swallowed after
         a cosmetic progress line.
         """
-        self.last_snapshot_id = self.store.append_snapshot(snapshot, kind=self.kind)
-        self.published += 1
+        dedupe = (
+            self.resume_window_end is not None
+            and snapshot.window_end <= self.resume_window_end
+        )
+        if dedupe:
+            existing = self.store.find_window(
+                self.kind, snapshot.window_start, snapshot.window_end
+            )
+            if existing is not None:
+                # The window survived the crash: keep the store's copy.
+                self.last_snapshot_id = existing.snapshot_id
+                self.deduplicated += 1
+            else:
+                self.last_snapshot_id = self.store.append_snapshot(
+                    snapshot, kind=self.kind, if_absent=True
+                )
+                self.published += 1
+        else:
+            self.last_snapshot_id = self.store.append_snapshot(snapshot, kind=self.kind)
+            self.published += 1
+        if self.published_through is None or snapshot.window_end > self.published_through:
+            self.published_through = snapshot.window_end
         if self.forward is not None:
             self.forward(snapshot)
 
 
-def attach_store(engine: StreamEngine, store: SnapshotStore) -> SnapshotPublisher:
+def attach_store(
+    engine: StreamEngine, store: SnapshotStore, *, resume: bool = False
+) -> SnapshotPublisher:
     """Make *engine* persist every window snapshot into *store*.
 
     Any ``on_window`` callback already installed keeps firing (after the
-    write).  Returns the publisher so callers can inspect what was written.
+    write).  With ``resume=True`` (the ``stream --resume`` path) the
+    publisher deduplicates against the windows the store already holds, so
+    a restored engine re-emitting windows it published before the crash
+    appends nothing twice.  The dedup bound is the *later* of the store's
+    newest persisted window and the publish progress recorded in the
+    checkpoint the engine was restored from -- raising the bound is always
+    safe (it only widens the range of windows that get the idempotent
+    existence check; absent windows are still appended), and it keeps the
+    exactly-once guarantee even if the two records disagree.  Returns the
+    publisher so callers can inspect what was written (``published``) and
+    what was skipped (``deduplicated``).
     """
-    publisher = SnapshotPublisher(store, forward=engine.on_window)
+    publisher = SnapshotPublisher(store, forward=engine.on_window, resume=resume)
+    if resume:
+        checkpointed = engine.restored_published_through
+        if checkpointed is not None and (
+            publisher.resume_window_end is None
+            or checkpointed > publisher.resume_window_end
+        ):
+            publisher.resume_window_end = checkpointed
     engine.on_window = publisher
     return publisher
 

@@ -27,10 +27,27 @@ import sqlite3
 import threading
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple, Type
 from urllib.parse import parse_qs, urlsplit
 
 from repro.service.store import SnapshotStore, StoreError, snapshot_payload
+
+
+class StatsSink(Protocol):
+    """Cross-worker request accounting (see :mod:`repro.service.workers`).
+
+    A multi-worker deployment hands every worker's service the same sink;
+    each request is mirrored into it under the worker's id, and any worker
+    can render the fleet-wide aggregate into its ``/v1/stats`` response.
+    """
+
+    def record(self, worker_id: int, *, hit: bool, error: bool) -> None:
+        """Count one request handled by *worker_id*."""
+        ...
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-friendly fleet aggregate for ``/v1/stats``."""
+        ...
 
 
 class ApiError(Exception):
@@ -116,16 +133,31 @@ class ClassificationService:
     directly; the HTTP handler below is a thin socket adapter around it.
     """
 
-    def __init__(self, store: SnapshotStore, *, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        store: SnapshotStore,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        worker_id: int = 0,
+        stats_sink: Optional[StatsSink] = None,
+    ) -> None:
         self.store = store
         self.cache = LRUCache(cache_size)
         self.stats = ServiceStats()
+        self.worker_id = worker_id
+        self.stats_sink = stats_sink
 
     #: Endpoints whose payloads change without a store write (request
     #: counters, liveness): caching them would serve stale operational data.
     VOLATILE_PATHS = frozenset({"/healthz", "/v1/stats"})
 
     # -- entry point --------------------------------------------------------------------
+    def _record(self, *, hit: bool = False, error: bool = False) -> None:
+        """Count one request locally and (if fleet-attached) in the sink."""
+        self.stats.record(hit=hit, error=error)
+        if self.stats_sink is not None:
+            self.stats_sink.record(self.worker_id, hit=hit, error=error)
+
     def handle(self, target: str) -> Tuple[int, bytes]:
         """Serve one request target; returns ``(status, encoded JSON body)``."""
         split = urlsplit(target)
@@ -134,25 +166,25 @@ class ClassificationService:
             cache_key = (self.store.generation(), target)
             cached = self.cache.get(cache_key)
             if cached is not None:
-                self.stats.record(hit=True)
+                self._record(hit=True)
                 return 200, cached
         try:
             payload = self._route(split.path, parse_qs(split.query))
         except ApiError as error:
-            self.stats.record(error=True)
+            self._record(error=True)
             return error.status, _encode({"error": error.message, "status": error.status})
         except StoreError as error:
             # A snapshot resolved a moment ago may be pruned by the producer
             # before its rows are read; that is a 404, not a dropped socket.
-            self.stats.record(error=True)
+            self._record(error=True)
             return 404, _encode({"error": str(error), "status": 404})
         except sqlite3.Error as error:
-            self.stats.record(error=True)
+            self._record(error=True)
             return 500, _encode({"error": f"store failure: {error}", "status": 500})
         body = _encode(payload)
         if cacheable:
             self.cache.put(cache_key, body)
-        self.stats.record()
+        self._record()
         return 200, body
 
     # -- routing ------------------------------------------------------------------------
@@ -242,10 +274,20 @@ class ClassificationService:
         }
 
     def _stats(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "store": self.store.stats(),
-            "server": {**self.stats.as_dict(), "cache_entries": len(self.cache)},
+            "server": {
+                **self.stats.as_dict(),
+                "cache_entries": len(self.cache),
+                "worker_id": self.worker_id,
+            },
         }
+        if self.stats_sink is not None:
+            # Any worker of a fan-out deployment answers for the whole
+            # fleet: the supervisor's shared board aggregates every
+            # sibling's counters.
+            payload["workers"] = self.stats_sink.payload()
+        return payload
 
 
 def _encode(payload: Dict[str, object]) -> bytes:
@@ -283,6 +325,16 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # keep the serving hot path quiet; stats live in /v1/stats
 
 
+def build_handler(service: ClassificationService) -> Type[BaseHTTPRequestHandler]:
+    """A request-handler class bound to one :class:`ClassificationService`.
+
+    Both the single-process :class:`ClassificationServer` and the
+    multi-worker fan-out (:mod:`repro.service.workers`) serve through this
+    adapter, so every worker speaks byte-identical HTTP.
+    """
+    return type("BoundHandler", (_Handler,), {"service": service})
+
+
 class ClassificationServer:
     """A :class:`ThreadingHTTPServer` bound to one store.
 
@@ -300,8 +352,7 @@ class ClassificationServer:
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         self.service = ClassificationService(store, cache_size=cache_size)
-        handler = type("BoundHandler", (_Handler,), {"service": self.service})
-        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd = ThreadingHTTPServer((host, port), build_handler(self.service))
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 

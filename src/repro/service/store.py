@@ -269,13 +269,24 @@ class SnapshotStore:
         self.close()
 
     # -- writes -------------------------------------------------------------------------
-    def append_snapshot(self, snapshot: WindowSnapshot, *, kind: str = "window") -> int:
+    def append_snapshot(
+        self, snapshot: WindowSnapshot, *, kind: str = "window", if_absent: bool = False
+    ) -> int:
         """Durably persist one snapshot; returns its snapshot id.
 
         The snapshot metadata, every observed AS's classification record,
         and the per-window change set commit in a single transaction, and
         the store generation is bumped with them: readers either see the
         whole snapshot at a newer generation or none of it.
+
+        With ``if_absent=True`` the append is idempotent per
+        ``(kind, window_start, window_end)``: if the store already holds a
+        snapshot for that window the existing id is returned, nothing is
+        written, and the generation does not move.  This is what makes
+        resumed producers exactly-once -- a window re-emitted after a
+        checkpoint restore lands on the copy the store already has.  The
+        existence check runs inside the write transaction, so concurrent
+        publishers on the same store cannot both insert.
         """
         if kind not in SNAPSHOT_KINDS:
             raise ValueError(f"unknown snapshot kind {kind!r}")
@@ -297,6 +308,21 @@ class SnapshotStore:
         with self._write_lock:
             connection = self._conn()
             with connection:
+                if if_absent:
+                    # sqlite3's legacy isolation starts the transaction at
+                    # the first DML, so a bare SELECT here would run in
+                    # autocommit and two *processes* could both miss the
+                    # existing row.  BEGIN IMMEDIATE takes the write lock
+                    # up front, making check + insert one atomic unit (the
+                    # surrounding `with connection` still commits it).
+                    connection.execute("BEGIN IMMEDIATE")
+                    existing = connection.execute(
+                        "SELECT id FROM snapshots WHERE kind = ? AND window_start = ?"
+                        " AND window_end = ? ORDER BY id DESC LIMIT 1",
+                        (kind, snapshot.window_start, snapshot.window_end),
+                    ).fetchone()
+                    if existing is not None:
+                        return int(existing[0])
                 cursor = connection.execute(
                     "INSERT INTO snapshots (kind, window_start, window_end,"
                     " skipped_windows, events_total, unique_tuples, algorithm,"
@@ -434,6 +460,35 @@ class SnapshotStore:
             (window_end,),
         ).fetchone()
         return self._snapshot_from_row(row) if row is not None else None
+
+    def find_window(
+        self, kind: str, window_start: int, window_end: int
+    ) -> Optional[StoredSnapshot]:
+        """Metadata of the newest snapshot matching the exact window key.
+
+        This is the idempotency key of :meth:`append_snapshot`: one
+        ``(kind, window_start, window_end)`` triple identifies one published
+        window of one producer run (or its exact re-emission after resume).
+        """
+        row = self._conn().execute(
+            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots"
+            " WHERE kind = ? AND window_start = ? AND window_end = ?"
+            " ORDER BY id DESC LIMIT 1",
+            (kind, window_start, window_end),
+        ).fetchone()
+        return self._snapshot_from_row(row) if row is not None else None
+
+    def latest_window_end(self, kind: str = "window") -> Optional[int]:
+        """The largest persisted ``window_end`` of *kind* (``None`` when empty).
+
+        A resume-aware publisher reads this once at attach time: windows at
+        or before it may already be in the store and need the idempotency
+        check; windows past it are certainly new.
+        """
+        row = self._conn().execute(
+            "SELECT MAX(window_end) FROM snapshots WHERE kind = ?", (kind,)
+        ).fetchone()
+        return int(row[0]) if row is not None and row[0] is not None else None
 
     def snapshots(self) -> List[StoredSnapshot]:
         """Metadata of every retained snapshot, oldest first."""

@@ -155,6 +155,11 @@ class StreamEngine:
         #: Sliding policy only: tuple key -> (last observed event time, shard).
         self._last_seen: Dict[TupleKey, Tuple[int, int]] = {}
         self._events_since_checkpoint = 0
+        #: Publish progress recorded in the checkpoint this engine was
+        #: restored from: the highest window_end a store-attached publisher
+        #: had durably confirmed when the checkpoint was written.  ``None``
+        #: for fresh engines or checkpoints written without a publisher.
+        self.restored_published_through: Optional[int] = None
 
     # -- convenience views --------------------------------------------------------------
     @property
@@ -300,6 +305,11 @@ class StreamEngine:
             "stats": self.stats,
             "last_codes": dict(self._last_codes),
             "last_seen": dict(self._last_seen),
+            # Publish progress rides along when a store publisher is the
+            # installed on_window callback (duck-typed: the stream layer
+            # does not import repro.service).  A resumed run can then tell
+            # how far ahead of this checkpoint the store already is.
+            "published_through": getattr(self.on_window, "published_through", None),
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -319,6 +329,7 @@ class StreamEngine:
         self._last_codes = dict(state["last_codes"])
         self._last_seen = dict(state["last_seen"])
         self._events_since_checkpoint = 0
+        self.restored_published_through = state.get("published_through")
 
     def checkpoint(self) -> Optional[os.PathLike]:
         """Persist the current state through the checkpoint manager."""

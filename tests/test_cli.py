@@ -135,3 +135,183 @@ class TestStreamCommand:
             assert store.retention is None  # retention is not persisted...
             assert len(store) == 1  # ...but the producer honored it
             assert store.latest().kind == "window"
+
+
+@pytest.fixture()
+def windowed_mrt_file(tmp_path):
+    """An MRT update feed whose timestamps span many streaming windows."""
+    encoder = MRTEncoder()
+    for index, stamp in enumerate(range(0, 500, 25)):
+        encoder.write_update(
+            BGPUpdate(
+                peer_asn=10,
+                timestamp=stamp,
+                announced=(parse_prefix("8.8.8.0/24"),),
+                attributes=PathAttributes(
+                    as_path=ASPath([10, 20] if index % 2 else [10, 30]),
+                    communities=CommunitySet.from_strings(["10:1"]),
+                ),
+            )
+        )
+    path = tmp_path / "windowed.mrt"
+    path.write_bytes(encoder.getvalue())
+    return path
+
+
+class TestStreamResumeStore:
+    def test_resume_store_has_no_duplicate_windows(
+        self, windowed_mrt_file, tmp_path, capsys
+    ):
+        """`stream --resume --store` republishes nothing the store holds.
+
+        Run 1 streams the feed to completion (checkpointing as it goes).
+        The crash is simulated by deleting the newest checkpoint: the
+        resumed run restores an older mid-stream state and re-emits every
+        window closed after it -- windows the store already persisted.
+        """
+        from collections import Counter
+
+        from repro.service import SnapshotStore
+
+        store_path = tmp_path / "resume.db"
+        checkpoint_dir = tmp_path / "ckpt"
+        base = [
+            "stream",
+            str(windowed_mrt_file),
+            "-o",
+            str(tmp_path / "out.txt"),
+            "--window",
+            "50",
+            "--checkpoint-dir",
+            str(checkpoint_dir),
+            "--checkpoint-every",
+            "4",
+            "--store",
+            str(store_path),
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        with SnapshotStore(store_path) as store:
+            windows_after_first_run = [
+                (meta.kind, meta.window_start, meta.window_end)
+                for meta in store.snapshots()
+            ]
+        assert len(windows_after_first_run) > 3
+
+        # Simulate the crash: the last pre-crash checkpoint is gone, so the
+        # resume restores a state older than the store's newest window.
+        checkpoints = sorted(checkpoint_dir.glob("*"))
+        checkpoints[-1].unlink()
+
+        assert main(base + ["--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "resumed from" in err
+        assert "duplicate windows skipped" in err
+        with SnapshotStore(store_path) as store:
+            keys = Counter(
+                (meta.kind, meta.window_start, meta.window_end)
+                for meta in store.snapshots()
+            )
+            assert all(count == 1 for count in keys.values()), keys
+            # The resumed run added no windows the full run had not already
+            # produced: the store history is exactly the first run's.
+            assert list(keys) == windows_after_first_run
+
+    def test_resume_with_lost_checkpoints_still_deduplicates(
+        self, windowed_mrt_file, tmp_path, capsys
+    ):
+        """Dedup keys on the --resume *intent*, not on a found checkpoint.
+
+        If the checkpoint directory is lost entirely, the resumed engine
+        starts fresh -- but the store still holds every window, and the
+        re-run must not append a second copy of any of them.
+        """
+        import shutil
+        from collections import Counter
+
+        from repro.service import SnapshotStore
+
+        store_path = tmp_path / "lostckpt.db"
+        checkpoint_dir = tmp_path / "ckpt"
+        base = [
+            "stream",
+            str(windowed_mrt_file),
+            "-o",
+            str(tmp_path / "out.txt"),
+            "--window",
+            "50",
+            "--checkpoint-dir",
+            str(checkpoint_dir),
+            "--store",
+            str(store_path),
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        with SnapshotStore(store_path) as store:
+            first_run_count = len(store)
+        shutil.rmtree(checkpoint_dir)
+
+        assert main(base + ["--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "resumed from" not in err  # no checkpoint survived
+        assert "duplicate windows skipped" in err
+        with SnapshotStore(store_path) as store:
+            keys = Counter(
+                (meta.kind, meta.window_start, meta.window_end)
+                for meta in store.snapshots()
+            )
+            assert all(count == 1 for count in keys.values()), keys
+            assert len(store) == first_run_count
+
+    def test_plain_rerun_appends_without_dedup(self, windowed_mrt_file, tmp_path, capsys):
+        """A plain re-run (no --resume) keeps the historical append-only
+        semantics: every window is appended again, documenting why the
+        dedup is tied to the resume path."""
+        from repro.service import SnapshotStore
+
+        store_path = tmp_path / "plain.db"
+        base = [
+            "stream",
+            str(windowed_mrt_file),
+            "-o",
+            str(tmp_path / "out.txt"),
+            "--window",
+            "50",
+            "--store",
+            str(store_path),
+        ]
+        assert main(base) == 0
+        with SnapshotStore(store_path) as store:
+            first = len(store)
+        assert main(base) == 0
+        with SnapshotStore(store_path) as store:
+            assert len(store) == 2 * first
+
+    def test_store_closed_when_engine_fails_mid_run(
+        self, windowed_mrt_file, tmp_path, monkeypatch
+    ):
+        """An engine crash must not leak the SQLite handle / WAL."""
+        from repro.stream import StreamEngine
+
+        store_path = tmp_path / "leak.db"
+        wal_path = tmp_path / "leak.db-wal"
+
+        def exploding_run(self, source, *, finish=True):
+            # The store is open at this point: its WAL exists on disk.
+            assert wal_path.exists()
+            raise RuntimeError("engine blew up mid-run")
+
+        monkeypatch.setattr(StreamEngine, "run", exploding_run)
+        with pytest.raises(RuntimeError, match="blew up"):
+            main(
+                [
+                    "stream",
+                    str(windowed_mrt_file),
+                    "--store",
+                    str(store_path),
+                ]
+            )
+        # Context management closed the store on the failure path: SQLite
+        # checkpointed and removed the WAL on the last connection close.
+        assert not wal_path.exists()
+        assert store_path.exists()

@@ -1,0 +1,313 @@
+"""Tests for the multi-worker serving fan-out (repro.service.workers).
+
+Covers the shared stats board, both fan-out modes (``SO_REUSEPORT`` worker
+processes and the shared-listener thread fallback), the contracts the
+fan-out is built on -- byte-identical responses no matter which worker the
+kernel picks -- and the supervisor's respawn of killed workers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service import (
+    ClassificationServer,
+    MultiWorkerServer,
+    SnapshotStore,
+    WorkerStatsBoard,
+    attach_store,
+    reuseport_supported,
+)
+from repro.stream import MemorySource, StreamConfig, StreamEngine, WindowSpec
+from tests.test_stream import observation
+
+requires_reuseport = pytest.mark.skipif(
+    not reuseport_supported(), reason="SO_REUSEPORT unavailable on this platform"
+)
+
+#: Deterministic endpoints: identical bytes regardless of serving worker.
+#: (/v1/stats is volatile by design -- request counters differ per worker.)
+DETERMINISTIC_TARGETS = (
+    "/healthz",
+    "/v1/snapshot/latest",
+    "/v1/as/10",
+    "/v1/as/10?history=2",
+    "/v1/as/65000",
+    "/v1/diff",
+)
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    """A file-backed store populated by a small drained stream run."""
+    path = tmp_path / "workers.db"
+    events = [
+        observation([10], ["10:1"], timestamp=5),
+        observation([20], [], timestamp=30),
+        observation([30], ["30:1"], timestamp=80),
+        observation([10, 30], ["10:1", "30:1"], timestamp=130),
+        observation([20, 30], ["30:1"], timestamp=180),
+        observation([40, 10, 30], ["10:1", "30:1"], timestamp=230),
+    ]
+    with SnapshotStore(path) as store:
+        engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+        attach_store(engine, store)
+        engine.run(MemorySource(events))
+    return path
+
+
+def fetch(address, target):
+    """One request on a *fresh* connection; returns ``(status, body bytes)``.
+
+    A fresh connection per request is the point: ``SO_REUSEPORT`` hashes the
+    connection 4-tuple, so distinct source ports spread across the workers.
+    """
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        connection.request("GET", target)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+class TestWorkerStatsBoard:
+    def test_per_worker_slots_and_aggregate(self):
+        board = WorkerStatsBoard.create(3)
+        try:
+            board.record(0, hit=True, error=False)
+            board.record(0, hit=False, error=False)
+            board.record(2, hit=False, error=True)
+            rows = board.per_worker()
+            assert rows[0] == {
+                "requests": 2,
+                "cache_hits": 1,
+                "cache_misses": 1,
+                "errors": 0,
+            }
+            assert rows[1]["requests"] == 0
+            assert rows[2]["errors"] == 1
+            payload = board.payload()
+            assert payload["count"] == 3
+            assert payload["aggregate"]["requests"] == 3
+            assert json.loads(json.dumps(payload)) == payload
+        finally:
+            board.close(unlink=True)
+
+    def test_second_mapping_sees_first_writer(self):
+        board = WorkerStatsBoard.create(2)
+        try:
+            board.record(1, hit=False, error=False)
+            reader = WorkerStatsBoard(board.path, 2)
+            assert reader.per_worker()[1]["requests"] == 1
+            reader.close()
+        finally:
+            board.close(unlink=True)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerStatsBoard.create(0)
+
+
+class TestMultiWorkerValidation:
+    def test_rejects_bad_arguments(self, store_path):
+        with pytest.raises(ValueError):
+            MultiWorkerServer(str(store_path), workers=0)
+        with pytest.raises(ValueError):
+            MultiWorkerServer(":memory:", workers=2)
+        with pytest.raises(ValueError):
+            MultiWorkerServer(str(store_path), workers=2, mode="fiber")
+
+    def test_address_requires_start(self, store_path):
+        server = MultiWorkerServer(str(store_path), workers=2, mode="thread")
+        with pytest.raises(RuntimeError):
+            server.address
+        server.close()
+
+
+class TestThreadFallback:
+    """The portable fallback must honor the same serving contracts."""
+
+    def test_byte_identical_to_single_worker(self, store_path):
+        with SnapshotStore(store_path) as reference_store:
+            with ClassificationServer(reference_store) as reference:
+                reference.start()
+                expected = {
+                    target: fetch(reference.address, target)
+                    for target in DETERMINISTIC_TARGETS
+                }
+                with MultiWorkerServer(str(store_path), workers=3, mode="thread") as fanout:
+                    fanout.start()
+                    assert fanout.mode == "thread"
+                    for target in DETERMINISTIC_TARGETS:
+                        # Uncached then cached: every worker, both paths,
+                        # must produce the single-worker bytes.
+                        for _ in range(6):
+                            assert fetch(fanout.address, target) == expected[target]
+
+    def test_stats_aggregate_counts_all_workers(self, store_path):
+        with MultiWorkerServer(str(store_path), workers=2, mode="thread") as fanout:
+            fanout.start()
+            for _ in range(8):
+                status, _ = fetch(fanout.address, "/healthz")
+                assert status == 200
+            status, body = fetch(fanout.address, "/v1/stats")
+            assert status == 200
+            workers = json.loads(body.decode())["workers"]
+            assert workers["count"] == 2
+            assert workers["aggregate"]["requests"] >= 8
+            assert fanout.stats()["aggregate"]["requests"] >= 9
+
+
+@requires_reuseport
+class TestProcessFanout:
+    """The production shape: N ``SO_REUSEPORT`` worker processes."""
+
+    def test_byte_identical_across_workers(self, store_path):
+        with SnapshotStore(store_path) as reference_store:
+            with ClassificationServer(reference_store) as reference:
+                reference.start()
+                expected = {
+                    target: fetch(reference.address, target)
+                    for target in DETERMINISTIC_TARGETS
+                }
+        with MultiWorkerServer(str(store_path), workers=2, mode="process") as fanout:
+            fanout.start()
+            assert fanout.mode == "process"
+            assert len(fanout.worker_pids()) == 2
+            for target in DETERMINISTIC_TARGETS:
+                # Enough fresh connections that, with overwhelming
+                # probability, both workers served both the uncached and
+                # the cached path.
+                responses = {fetch(fanout.address, target) for _ in range(8)}
+                assert responses == {expected[target]}
+
+    def test_stats_aggregates_across_processes(self, store_path):
+        with MultiWorkerServer(str(store_path), workers=2, mode="process") as fanout:
+            fanout.start()
+            issued = 10
+            for _ in range(issued):
+                status, _ = fetch(fanout.address, "/v1/snapshot/latest")
+                assert status == 200
+            status, body = fetch(fanout.address, "/v1/stats")
+            assert status == 200
+            payload = json.loads(body.decode())
+            workers = payload["workers"]
+            assert workers["count"] == 2
+            assert workers["aggregate"]["requests"] >= issued
+            assert len(workers["per_worker"]) == 2
+            # The supervisor reads the same board without HTTP.
+            assert fanout.stats()["aggregate"]["requests"] >= issued
+
+    def test_supervisor_respawns_killed_worker(self, store_path):
+        with MultiWorkerServer(
+            str(store_path), workers=2, mode="process", poll_interval=0.05
+        ) as fanout:
+            fanout.start()
+            before = set(fanout.worker_pids())
+            assert len(before) == 2
+            victim = sorted(before)[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if fanout.respawns >= 1 and len(fanout.worker_pids()) == 2:
+                    break
+                time.sleep(0.05)
+            assert fanout.respawns >= 1
+            after = set(fanout.worker_pids())
+            assert len(after) == 2
+            assert victim not in after
+            # The fleet keeps serving correct data after the respawn.
+            for _ in range(6):
+                status, body = fetch(fanout.address, "/v1/snapshot/latest")
+                assert status == 200
+                assert json.loads(body.decode())["ases"]
+
+    def test_port_stays_reserved_and_workers_share_it(self, store_path):
+        with MultiWorkerServer(str(store_path), workers=2, mode="process") as fanout:
+            fanout.start()
+            host, port = fanout.address
+            assert port > 0
+            # Every request hits the same advertised port.
+            for _ in range(4):
+                status, _ = fetch((host, port), "/healthz")
+                assert status == 200
+
+
+@requires_reuseport
+class TestSupervisorDeath:
+    def test_workers_die_with_killed_supervisor(self, store_path):
+        """SIGKILL on `repro serve --http-workers` must not orphan workers.
+
+        Daemon-process cleanup only runs on a normal supervisor exit; each
+        worker additionally watches its parent pid and shuts down when the
+        supervisor vanishes, so the port is always released.
+        """
+        import socket
+        import subprocess
+        import sys
+
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--store",
+                str(store_path),
+                "--port",
+                str(port),
+                "--http-workers",
+                "2",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=os.environ.copy(),
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                try:
+                    status, _ = fetch(("127.0.0.1", port), "/healthz")
+                    if status == 200:
+                        break
+                except OSError:
+                    time.sleep(0.2)
+            else:
+                pytest.fail("fan-out CLI never came up")
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=10)
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                try:
+                    fetch(("127.0.0.1", port), "/healthz")
+                except OSError:
+                    return  # every worker is gone; the port is released
+                time.sleep(0.2)
+            pytest.fail("workers kept serving after the supervisor was SIGKILLed")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+class TestCliServeParser:
+    def test_http_workers_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--store", "x.db"])
+        assert args.http_workers == 1
+        args = build_parser().parse_args(
+            ["serve", "--store", "x.db", "--http-workers", "4"]
+        )
+        assert args.http_workers == 4
