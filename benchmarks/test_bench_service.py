@@ -15,6 +15,12 @@ Measures what the consumer side of the system cares about:
   queries/sec while answering byte-identically — the floor only makes
   sense with >= 4 CPUs and working ``SO_REUSEPORT``, so elsewhere it is
   disabled by default (override via ``REPRO_BENCH_MIN_WORKER_SPEEDUP``,
+  0 disables);
+* the replica fan-out: a leader plus one synced read replica, each served
+  from its own worker process (simulating two hosts), must sustain at
+  least 1.5x the single-store queries/sec under the same total client
+  load, with leader/replica byte-identity pinned first — gated like the
+  worker fan-out (override via ``REPRO_BENCH_MIN_REPLICA_SPEEDUP``,
   0 disables).
 """
 
@@ -31,6 +37,7 @@ from repro.service import (
     ClassificationServer,
     ClassificationService,
     MultiWorkerServer,
+    ReplicaSyncer,
     ServiceClient,
     SnapshotStore,
     attach_store,
@@ -52,6 +59,18 @@ MIN_WORKER_SPEEDUP = float(
     os.environ.get(
         "REPRO_BENCH_MIN_WORKER_SPEEDUP",
         "2.0"
+        if (os.cpu_count() or 1) >= WORKER_FANOUT and reuseport_supported()
+        else "0",
+    )
+)
+
+#: Acceptance floor for 1 leader + 1 synced replica over the leader alone.
+#: Needs one process per simulated host plus the client processes, so the
+#: floor is only meaningful with spare cores and working ``SO_REUSEPORT``.
+MIN_REPLICA_SPEEDUP = float(
+    os.environ.get(
+        "REPRO_BENCH_MIN_REPLICA_SPEEDUP",
+        "1.5"
         if (os.cpu_count() or 1) >= WORKER_FANOUT and reuseport_supported()
         else "0",
     )
@@ -162,16 +181,19 @@ def _hammer(host, port, targets, count, results):
     results.put(elapsed)
 
 
-def _concurrent_qps(address, targets, clients, per_client):
-    """Queries/sec sustained by *clients* concurrent processes."""
-    host, port = address
+def _concurrent_qps_multi(addresses, targets, per_client):
+    """Queries/sec sustained by one client process per address in *addresses*.
+
+    Repeating an address adds a concurrent client on it, so this measures
+    both same-host concurrency and leader/replica pairs.
+    """
     ctx = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     )
     results = ctx.Queue()
     processes = [
         ctx.Process(target=_hammer, args=(host, port, targets, per_client, results))
-        for _ in range(clients)
+        for host, port in addresses
     ]
     started = time.perf_counter()
     for process in processes:
@@ -181,7 +203,12 @@ def _concurrent_qps(address, targets, clients, per_client):
     for process in processes:
         process.join(timeout=10)
     assert max(elapsed) <= wall
-    return clients * per_client / wall
+    return len(addresses) * per_client / wall
+
+
+def _concurrent_qps(address, targets, clients, per_client):
+    """Queries/sec sustained by *clients* concurrent processes on one address."""
+    return _concurrent_qps_multi([address] * clients, targets, per_client)
 
 
 def _fetch(address, target):
@@ -252,6 +279,66 @@ def test_bench_service_multi_worker_fanout(benchmark, warm_store, hot_ases):
             f"{WORKER_FANOUT}-worker fan-out is only {speedup:.2f}x one worker "
             f"({fanout_qps:,.0f} vs {single_qps:,.0f} queries/sec), below the "
             f"{MIN_WORKER_SPEEDUP:.1f}x floor (override via REPRO_BENCH_MIN_WORKER_SPEEDUP)"
+        )
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_replica_fanout(benchmark, warm_store, hot_ases, tmp_path):
+    """1 leader + 1 synced read replica vs the single store, two clients.
+
+    Each store is served by its own one-worker process fleet, simulating
+    two hosts; the replica is converged over the real replication path
+    first, and byte-identity on every deterministic endpoint is pinned
+    before any throughput is trusted.
+    """
+    store, engine = warm_store
+    targets = ["/v1/snapshot/latest", "/v1/diff"] + [f"/v1/as/{asn}" for asn in hot_ases]
+    fanout_mode = "process" if reuseport_supported() else "thread"
+    replica_path = tmp_path / "replica.db"
+
+    with MultiWorkerServer(store.path, workers=1, mode=fanout_mode) as leader:
+        leader.start()
+        with SnapshotStore(replica_path) as replica:
+            with ServiceClient(leader.url) as sync_client:
+                report = ReplicaSyncer(sync_client, replica).sync_once()
+            assert report.caught_up and report.applied == len(engine.snapshots)
+
+            single_times = []
+            for _ in range(3):
+                started = time.perf_counter()
+                _concurrent_qps_multi([leader.address] * 2, targets, QUERY_BATCH)
+                single_times.append(time.perf_counter() - started)
+            single_qps = 2 * QUERY_BATCH / min(single_times)
+
+            with MultiWorkerServer(
+                str(replica_path), workers=1, mode=fanout_mode
+            ) as follower:
+                follower.start()
+                # Byte-identity across hosts, cold and warm path both.
+                for target in targets:
+                    expected = _fetch(leader.address, target)
+                    for _ in range(2):
+                        assert _fetch(follower.address, target) == expected
+
+                def replica_round():
+                    return _concurrent_qps_multi(
+                        [leader.address, follower.address], targets, QUERY_BATCH
+                    )
+
+                benchmark.pedantic(replica_round, rounds=3, iterations=1)
+                pair_qps = 2 * QUERY_BATCH / benchmark.stats.stats.min
+
+    speedup = pair_qps / single_qps
+    benchmark.extra_info["mode"] = fanout_mode
+    benchmark.extra_info["single_store_qps"] = round(single_qps)
+    benchmark.extra_info["replica_pair_qps"] = round(pair_qps)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    if MIN_REPLICA_SPEEDUP:
+        assert speedup >= MIN_REPLICA_SPEEDUP, (
+            f"leader+replica pair is only {speedup:.2f}x the single store "
+            f"({pair_qps:,.0f} vs {single_qps:,.0f} queries/sec), below the "
+            f"{MIN_REPLICA_SPEEDUP:.1f}x floor (override via "
+            "REPRO_BENCH_MIN_REPLICA_SPEEDUP)"
         )
 
 

@@ -17,6 +17,7 @@ Usage::
     python -m repro stream updates.mrt --store results.db   # materialize snapshots
     python -m repro serve --store results.db --port 8080    # HTTP query API
     python -m repro serve --store results.db --http-workers 4   # SO_REUSEPORT fan-out
+    python -m repro replicate --from http://leader:8080 --store replica.db --serve
     python -m repro query http://localhost:8080 as 3356     # ask the running service
 """
 
@@ -279,6 +280,102 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replicate(args: argparse.Namespace) -> int:
+    """``replicate``: continuously sync a follower store from a leader's API."""
+    import signal
+    from contextlib import ExitStack
+
+    from repro.service import (
+        ClassificationServer,
+        MultiWorkerServer,
+        ReplicaSyncer,
+        ReplicationError,
+        ServiceClient,
+        ServiceError,
+    )
+    from repro.service.store import open_store
+
+    if args.http_workers < 1:
+        print(f"error: --http-workers must be >= 1, got {args.http_workers}", file=sys.stderr)
+        return 2
+    with ExitStack() as stack:
+        store = stack.enter_context(open_store(args.store, retention=args.retention))
+        client = stack.enter_context(ServiceClient(args.source))
+        syncer = ReplicaSyncer(client, store, page_size=args.page_size)
+
+        def report(sync) -> None:
+            print(
+                f"applied {sync.applied} snapshots ({sync.deduplicated} already held) "
+                f"from {args.source}; replica at generation "
+                f"{sync.applied_generation}/{sync.leader_generation}",
+                file=sys.stderr,
+            )
+
+        try:
+            report(syncer.sync_once())
+        except ReplicationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except (ServiceError, OSError) as error:
+            # The first sync must succeed: a replica that cannot reach its
+            # leader even once has nothing to serve and nothing to resume.
+            print(f"error: leader unreachable: {error}", file=sys.stderr)
+            return 1
+        if args.once:
+            return 0
+        if args.serve:
+            if args.http_workers > 1:
+                fanout = stack.enter_context(
+                    MultiWorkerServer(
+                        args.store,
+                        workers=args.http_workers,
+                        host=args.host,
+                        port=args.port,
+                        cache_size=args.cache_size,
+                    )
+                )
+                fanout.start()
+                url, workers = fanout.url, f"{fanout.workers} {fanout.mode} workers"
+            else:
+                # The single-worker server shares the syncer's store object:
+                # per-thread reader connections and the write lock make that
+                # safe, and readers never block the applying writer (WAL).
+                server = stack.enter_context(
+                    ClassificationServer(
+                        store, host=args.host, port=args.port, cache_size=args.cache_size
+                    )
+                )
+                server.start()
+                url, workers = server.url, "1 worker"
+            print(
+                f"serving replica {args.store} at {url} with {workers} "
+                "(Ctrl-C to stop)",
+                file=sys.stderr,
+            )
+
+        def _terminate(signum: int, frame: object) -> None:
+            # SIGTERM tears the replica down like Ctrl-C: the sync loop and
+            # any serving workers must exit together.
+            raise KeyboardInterrupt
+
+        previous = signal.signal(signal.SIGTERM, _terminate)
+        print(
+            f"replicating {args.source} -> {args.store} every "
+            f"{args.poll_interval:g}s (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            syncer.run(poll_interval=args.poll_interval, on_sync=report)
+        except ReplicationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """``query``: ask a running service and print the JSON response."""
     import json as _json
@@ -462,6 +559,64 @@ def build_parser() -> argparse.ArgumentParser:
         "(ongoing caps belong to the producer: stream --store-retention)",
     )
     serve.set_defaults(handler=cmd_serve)
+
+    replicate = subparsers.add_parser(
+        "replicate",
+        help="sync a follower store from a leader's HTTP API (optionally serving it)",
+    )
+    replicate.add_argument(
+        "--from",
+        dest="source",
+        required=True,
+        metavar="URL",
+        help="leader base URL, e.g. http://leader:8080",
+    )
+    replicate.add_argument(
+        "--store", required=True, help="follower snapshot store (created if missing)"
+    )
+    replicate.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between changelog polls once caught up (default: 1)",
+    )
+    replicate.add_argument(
+        "--page-size",
+        type=int,
+        default=64,
+        help="snapshots fetched per changelog page (default: 64)",
+    )
+    replicate.add_argument(
+        "--retention",
+        type=int,
+        default=None,
+        help="cap the replica to the newest N snapshots (default: keep all)",
+    )
+    # A one-shot sync exits before any server could be useful; make the
+    # contradiction an argparse error instead of silently ignoring --serve.
+    replicate_mode = replicate.add_mutually_exclusive_group()
+    replicate_mode.add_argument(
+        "--once",
+        action="store_true",
+        help="sync to the leader's current generation once, then exit",
+    )
+    replicate_mode.add_argument(
+        "--serve",
+        action="store_true",
+        help="also serve the replica over the JSON HTTP API while syncing",
+    )
+    replicate.add_argument("--host", default="127.0.0.1")
+    replicate.add_argument("--port", type=int, default=8080)
+    replicate.add_argument(
+        "--cache-size", type=int, default=512, help="encoded responses kept in the LRU cache"
+    )
+    replicate.add_argument(
+        "--http-workers",
+        type=int,
+        default=1,
+        help="with --serve: serving workers, as in 'repro serve --http-workers'",
+    )
+    replicate.set_defaults(handler=cmd_replicate)
 
     query = subparsers.add_parser("query", help="query a running results service")
     query.add_argument("url", help="service base URL, e.g. http://localhost:8080")

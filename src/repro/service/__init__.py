@@ -22,16 +22,34 @@ builds the *consumer* side:
 * :mod:`repro.service.workers` -- horizontal fan-out: N supervised
   ``SO_REUSEPORT`` worker processes (accept-loop threads where that is
   unavailable) serving one store on one port, respawned on crash, with
-  fleet-aggregated ``/v1/stats``.
+  fleet-aggregated ``/v1/stats``;
+* :mod:`repro.service.replication` -- cross-host fan-out: any served store
+  is a replication leader (``/v1/replication/changes`` changelog pages),
+  and a :class:`ReplicaSyncer` converges a follower store on it with
+  exactly-once resume, byte-identical served payloads, and explicit
+  errors when the leader's retention outran the follower.
 
 Entry points most callers want: ``repro serve --store db.sqlite``
-(``--http-workers N`` to fan out) and ``repro query http://host:port
-latest`` on the CLI, or :func:`attach_store` + :class:`ClassificationServer`
-/ :class:`MultiWorkerServer` in code.
+(``--http-workers N`` to fan out), ``repro replicate --from URL --store
+replica.db --serve`` (cross-host read replicas), and ``repro query
+http://host:port latest`` on the CLI, or :func:`attach_store` +
+:class:`ClassificationServer` / :class:`MultiWorkerServer` /
+:class:`ReplicaSyncer` in code.
 """
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.publish import SnapshotPublisher, attach_store, publish_result
+from repro.service.publish import (
+    SnapshotPublisher,
+    attach_store,
+    ensure_snapshot,
+    publish_result,
+)
+from repro.service.replication import (
+    ReplicaSyncer,
+    ReplicationError,
+    SyncReport,
+    snapshot_from_payload,
+)
 from repro.service.server import (
     ClassificationServer,
     ClassificationService,
@@ -59,6 +77,8 @@ __all__ = [
     "ClassificationService",
     "LRUCache",
     "MultiWorkerServer",
+    "ReplicaSyncer",
+    "ReplicationError",
     "ServiceClient",
     "ServiceError",
     "ServiceStats",
@@ -66,9 +86,12 @@ __all__ = [
     "SnapshotStore",
     "StoreError",
     "StoredSnapshot",
+    "SyncReport",
     "WorkerStatsBoard",
     "attach_store",
+    "ensure_snapshot",
     "publish_result",
     "reuseport_supported",
+    "snapshot_from_payload",
     "snapshot_payload",
 ]

@@ -126,3 +126,19 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         """``/v1/stats``."""
         return self.get("/v1/stats")
+
+    def replication_changes(
+        self, *, since: int, limit: Optional[int] = None
+    ) -> Dict[str, object]:
+        """``/v1/replication/changes`` -- one changelog page after *since*.
+
+        Returns the leader's page: ``changes`` (snapshot payloads in commit
+        order), ``generation`` (the leader's current generation), ``horizon``
+        (newest generation its retention pruned), and ``more`` (another page
+        is waiting).  :class:`~repro.service.replication.ReplicaSyncer`
+        drives this in a loop; it is exposed here for tooling and tests.
+        """
+        target = f"/v1/replication/changes?since={int(since)}"
+        if limit is not None:
+            target += f"&limit={int(limit)}"
+        return self.get(target)

@@ -23,7 +23,7 @@ the resume point are provably new and take the plain fast path.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.bgp.asn import ASN
 from repro.core.results import ClassificationResult
@@ -32,6 +32,33 @@ from repro.stream.engine import StreamEngine, WindowSnapshot
 
 #: Signature of an ``on_window`` engine callback.
 WindowCallback = Callable[[WindowSnapshot], None]
+
+
+def ensure_snapshot(
+    store: SnapshotStore,
+    snapshot: WindowSnapshot,
+    *,
+    kind: str = "window",
+    snapshot_id: Optional[int] = None,
+) -> Tuple[int, bool]:
+    """Idempotently land one snapshot; returns ``(snapshot_id, was_new)``.
+
+    The shared apply path of everything that may offer a window the store
+    already holds: resumed producers re-emitting windows published before a
+    crash, and replica syncers re-applying a page after a follower restart.
+    The window key ``(kind, window_start, window_end)`` decides identity;
+    *snapshot_id* (replication) additionally pins the row id so follower
+    ids mirror the leader's.  The pre-check keeps ``was_new`` honest for
+    progress reporting; the ``if_absent`` append closes the remaining race
+    atomically inside the store's write transaction.
+    """
+    existing = store.find_window(kind, snapshot.window_start, snapshot.window_end)
+    if existing is not None:
+        return existing.snapshot_id, False
+    applied = store.append_snapshot(
+        snapshot, kind=kind, if_absent=True, snapshot_id=snapshot_id
+    )
+    return applied, True
 
 
 class SnapshotPublisher:
@@ -73,18 +100,14 @@ class SnapshotPublisher:
             and snapshot.window_end <= self.resume_window_end
         )
         if dedupe:
-            existing = self.store.find_window(
-                self.kind, snapshot.window_start, snapshot.window_end
+            self.last_snapshot_id, was_new = ensure_snapshot(
+                self.store, snapshot, kind=self.kind
             )
-            if existing is not None:
-                # The window survived the crash: keep the store's copy.
-                self.last_snapshot_id = existing.snapshot_id
-                self.deduplicated += 1
-            else:
-                self.last_snapshot_id = self.store.append_snapshot(
-                    snapshot, kind=self.kind, if_absent=True
-                )
+            if was_new:
                 self.published += 1
+            else:
+                # The window survived the crash: keep the store's copy.
+                self.deduplicated += 1
         else:
             self.last_snapshot_id = self.store.append_snapshot(snapshot, kind=self.kind)
             self.published += 1

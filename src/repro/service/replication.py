@@ -1,0 +1,279 @@
+"""Generation-addressed changelog replication between snapshot stores.
+
+PR 4 scaled reads on *one* host: ``repro serve --http-workers N`` fans one
+store out across ``SO_REUSEPORT`` worker processes.  This module scales
+reads across *hosts*: any store served over the HTTP API is a **leader**
+whose commit history is a generation-addressed changelog
+(``/v1/replication/changes?since=G``), and a :class:`ReplicaSyncer` turns
+any other host's store into a **follower** that converges on it.
+
+The contract, piece by piece:
+
+* **generation addressing** -- every snapshot records the store generation
+  it committed at (:meth:`SnapshotStore.snapshots_since`), so "everything
+  after G" is a single indexed range read, paged to keep responses bounded;
+* **idempotent apply** -- each fetched snapshot lands through the same
+  :func:`~repro.service.publish.ensure_snapshot` path resumed producers
+  use: window identity is ``(kind, window_start, window_end)``, never a
+  host-local row id, so re-offering an applied window is a no-op;
+* **durable progress** -- the follower records the applied leader
+  generation in its ``meta`` table after every applied snapshot.  A killed
+  follower resumes from that mark and re-applies at most the page it died
+  in, which the idempotent append deduplicates: exactly-once, the same
+  guarantee ``stream --resume --store`` pins for producers;
+* **id mirroring** -- applied snapshots pin the leader's row ids, so
+  id-bearing payloads (``/v1/as/{asn}`` history entries, ``/v1/diff``) are
+  byte-identical between leader and follower;
+* **pruning detection** -- the leader reports the newest generation its
+  retention ever pruned (the *horizon*).  A follower that fell behind it
+  raises :class:`ReplicationError` instead of silently skipping windows;
+  a follower starting from an *empty* store treats the horizon as its seed
+  point (the pruned prefix is gone everywhere, so the retained set *is*
+  convergence).
+
+``repro replicate --from URL --store PATH [--serve]`` wraps this into a
+long-running follower process, optionally serving the replica through the
+existing single- or multi-worker HTTP stack for true cross-host read
+scaling.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union, cast
+
+from repro.bgp.asn import ASN
+from repro.core.counters import CounterStore
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.publish import ensure_snapshot
+from repro.service.store import SnapshotStore, StoreError
+from repro.stream.engine import WindowSnapshot
+
+#: Snapshots fetched per changelog page by default (mirrors the server's
+#: default page; the server caps explicit requests at its own maximum).
+DEFAULT_PAGE_SIZE = 64
+
+
+class ReplicationError(Exception):
+    """The follower can no longer converge by syncing.
+
+    Raised when the leader's retention pruned its changelog past this
+    follower's applied generation: the missing windows are gone for good,
+    and continuing would hide the gap.  Recover by re-seeding the follower
+    from an empty store (which adopts the leader's retained set) or by
+    raising the leader's retention.
+    """
+
+
+def snapshot_from_payload(
+    payload: Dict[str, Any], thresholds: Thresholds
+) -> WindowSnapshot:
+    """Rebuild a :class:`WindowSnapshot` from its canonical wire payload.
+
+    The inverse of :func:`~repro.service.store.snapshot_payload` for every
+    field the store persists.  Per-AS codes are *recomputed* from the
+    counters and thresholds -- exactly how :meth:`SnapshotStore.load_snapshot`
+    reconstructs local rows -- so a leader payload applied here round-trips
+    byte-identically back out of the follower's API.
+    """
+    observed: Set[ASN] = set()
+    state: Dict[ASN, Tuple[int, int, int, int]] = {}
+    for asn_text, info in cast(Dict[str, Dict[str, Any]], payload["ases"]).items():
+        asn = int(asn_text)
+        observed.add(asn)
+        counters = info["counters"]
+        values = (
+            int(counters["tagger"]),
+            int(counters["silent"]),
+            int(counters["forward"]),
+            int(counters["cleaner"]),
+        )
+        if any(values):
+            state[asn] = values
+    result = ClassificationResult(
+        store=CounterStore.from_state(state, thresholds),
+        observed_ases=observed,
+        algorithm=str(payload["algorithm"]),
+    )
+    changed: Dict[ASN, Tuple[str, str]] = {
+        int(asn_text): (str(codes[0]), str(codes[1]))
+        for asn_text, codes in cast(Dict[str, List[str]], payload["changed"]).items()
+    }
+    return WindowSnapshot(
+        window_start=int(payload["window_start"]),
+        window_end=int(payload["window_end"]),
+        skipped_windows=int(payload["skipped_windows"]),
+        events_total=int(payload["events_total"]),
+        unique_tuples=int(payload["unique_tuples"]),
+        result=result,
+        changed=changed,
+    )
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """What one :meth:`ReplicaSyncer.sync_once` pass accomplished."""
+
+    #: Snapshots newly applied to the replica store.
+    applied: int
+    #: Snapshots the store already held (a restarted follower's re-offers).
+    deduplicated: int
+    #: Changelog pages fetched.
+    pages: int
+    #: The leader generation the replica has applied through.
+    applied_generation: int
+    #: The leader's generation when the final page was served.
+    leader_generation: int
+
+    @property
+    def caught_up(self) -> bool:
+        """Whether the replica covered everything the leader reported."""
+        return self.applied_generation >= self.leader_generation
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (CLI progress lines, tests)."""
+        return {
+            "applied": self.applied,
+            "deduplicated": self.deduplicated,
+            "pages": self.pages,
+            "applied_generation": self.applied_generation,
+            "leader_generation": self.leader_generation,
+            "caught_up": self.caught_up,
+        }
+
+
+class ReplicaSyncer:
+    """Polls a leader's changelog and applies it to a follower store.
+
+    One syncer owns one ``(leader URL, follower store)`` pair.  It is the
+    only writer a replica store should have; readers (the serving stack)
+    share the store freely, in-process or from sibling worker processes.
+    """
+
+    def __init__(
+        self,
+        client: Union[str, ServiceClient],
+        store: SnapshotStore,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self.client = ServiceClient(client) if isinstance(client, str) else client
+        self.store = store
+        self.page_size = page_size
+        #: Lifetime counters across every sync pass.
+        self.applied_total = 0
+        self.deduplicated_total = 0
+        #: Message of the last transient leader failure seen by :meth:`run`.
+        self.last_error: Optional[str] = None
+
+    def _apply_entry(self, entry: Dict[str, Any]) -> bool:
+        """Apply one changelog entry; returns whether it was new."""
+        tagger, silent, forward, cleaner = cast(
+            List[float], entry["thresholds"]
+        )
+        snapshot = snapshot_from_payload(
+            cast(Dict[str, Any], entry["payload"]),
+            Thresholds(tagger=tagger, silent=silent, forward=forward, cleaner=cleaner),
+        )
+        try:
+            _, was_new = ensure_snapshot(
+                self.store,
+                snapshot,
+                kind=str(entry["kind"]),
+                snapshot_id=int(entry["snapshot_id"]),
+            )
+        except StoreError as error:
+            # Most commonly: the leader's snapshot id is taken by a different
+            # window because this store holds locally-produced snapshots.
+            # That is divergence, not a transient hiccup -- surface it as
+            # the non-retriable replication failure it is.
+            raise ReplicationError(
+                f"cannot apply leader snapshot {entry['snapshot_id']}"
+                f" (generation {entry['generation']}): {error}"
+            ) from error
+        # Progress is durable per entry: a follower killed here resumes at
+        # this generation and re-fetches at most the rest of the page,
+        # which the idempotent window key deduplicates (exactly-once).
+        self.store.set_applied_generation(int(entry["generation"]))
+        return was_new
+
+    def sync_once(self) -> SyncReport:
+        """Fetch and apply changelog pages until the leader reports no more.
+
+        Raises :class:`ReplicationError` when the leader's retention pruned
+        past this (non-empty) follower, and lets :class:`ServiceError` /
+        ``OSError`` propagate for transient HTTP and socket failures
+        (callers retry).
+        """
+        applied = deduplicated = pages = 0
+        leader_generation = self.store.applied_generation()
+        while True:
+            since = self.store.applied_generation()
+            page = self.client.replication_changes(since=since, limit=self.page_size)
+            pages += 1
+            leader_generation = int(cast(int, page["generation"]))
+            horizon = int(cast(int, page["horizon"]))
+            if since < horizon and len(self.store) > 0:
+                raise ReplicationError(
+                    f"leader pruned its changelog through generation {horizon} "
+                    f"but this replica only applied through {since}: the gap "
+                    "is unrecoverable from the changelog -- re-seed the "
+                    "replica from an empty store or raise the leader's "
+                    "retention"
+                )
+            entries = cast(List[Dict[str, Any]], page["changes"])
+            for entry in entries:
+                if self._apply_entry(entry):
+                    applied += 1
+                else:
+                    deduplicated += 1
+            if not bool(page["more"]):
+                if not entries:
+                    # Generations move without snapshots too (compaction);
+                    # an empty final page proves nothing retained is newer,
+                    # so fast-forward instead of polling that gap forever.
+                    self.store.set_applied_generation(leader_generation)
+                    break
+                if self.store.applied_generation() >= leader_generation:
+                    break
+        self.applied_total += applied
+        self.deduplicated_total += deduplicated
+        return SyncReport(
+            applied=applied,
+            deduplicated=deduplicated,
+            pages=pages,
+            applied_generation=self.store.applied_generation(),
+            leader_generation=leader_generation,
+        )
+
+    def run(
+        self,
+        *,
+        poll_interval: float = 1.0,
+        stop: Optional[threading.Event] = None,
+        on_sync: Optional[Callable[[SyncReport], None]] = None,
+    ) -> None:
+        """Sync continuously every *poll_interval* seconds until *stop* is set.
+
+        Transient leader failures (connection refused, proxy 5xx, a page
+        torn by concurrent pruning) are remembered in :attr:`last_error`
+        and retried on the next tick -- a follower keeps serving its last
+        converged state while its leader is down.  :class:`ReplicationError`
+        is not transient and propagates.
+        """
+        waiter = stop if stop is not None else threading.Event()
+        while not waiter.is_set():
+            try:
+                report = self.sync_once()
+            except (ServiceError, OSError) as error:
+                self.last_error = str(error)
+            else:
+                self.last_error = None
+                if on_sync is not None and (report.applied or report.deduplicated):
+                    on_sync(report)
+            waiter.wait(poll_interval)

@@ -9,6 +9,7 @@ Endpoints (all ``GET``, all responses ``application/json``):
 ``/v1/as/{asn}``               latest classification of one AS (+ ``?history=N``)
 ``/v1/diff``                   change set of the latest (or ``?window=``) snapshot
 ``/v1/stats``                  store statistics + server request / cache counters
+``/v1/replication/changes``    snapshots committed after ``?since=`` (replication)
 =============================  =====================================================
 
 The service keeps an LRU cache of encoded response bodies keyed on
@@ -28,7 +29,7 @@ import threading
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Protocol, Tuple, Type
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs
 
 from repro.service.store import SnapshotStore, StoreError, snapshot_payload
 
@@ -151,6 +152,13 @@ class ClassificationService:
     #: counters, liveness): caching them would serve stale operational data.
     VOLATILE_PATHS = frozenset({"/healthz", "/v1/stats"})
 
+    #: Endpoints kept out of the response cache.  Beyond the volatile ones,
+    #: replication changelog pages are excluded: each page is huge (up to
+    #: hundreds of full snapshot payloads), keyed by a ``since`` no follower
+    #: ever asks for twice (applied generations only move forward), so
+    #: caching them would evict the hot per-AS entries for one-shot bodies.
+    UNCACHED_PATHS = VOLATILE_PATHS | frozenset({"/v1/replication/changes"})
+
     # -- entry point --------------------------------------------------------------------
     def _record(self, *, hit: bool = False, error: bool = False) -> None:
         """Count one request locally and (if fleet-attached) in the sink."""
@@ -160,16 +168,27 @@ class ClassificationService:
 
     def handle(self, target: str) -> Tuple[int, bytes]:
         """Serve one request target; returns ``(status, encoded JSON body)``."""
-        split = urlsplit(target)
-        cacheable = split.path not in self.VOLATILE_PATHS
+        # HTTP request targets are origin-form: everything before `?` is
+        # the path (urlsplit would misread `//healthz` as a netloc).
+        raw_path, _, query_text = target.partition("?")
+        # Normalize the path exactly as routing sees it (empty segments
+        # dropped) and use the normalized form for BOTH the volatile check
+        # and the cache key.  Checking the raw path would let aliases like
+        # `/healthz/` or `//healthz` slip past VOLATILE_PATHS into the
+        # cache and serve stale liveness / fleet counters forever; keying
+        # the cache on the raw target would also store one entry per alias
+        # of the same resource.
+        path = "/" + "/".join(part for part in raw_path.split("/") if part)
+        cacheable = path not in self.UNCACHED_PATHS
         if cacheable:
-            cache_key = (self.store.generation(), target)
+            normalized = path + ("?" + query_text if query_text else "")
+            cache_key = (self.store.generation(), normalized)
             cached = self.cache.get(cache_key)
             if cached is not None:
                 self._record(hit=True)
                 return 200, cached
         try:
-            payload = self._route(split.path, parse_qs(split.query))
+            payload = self._route(path, parse_qs(query_text))
         except ApiError as error:
             self._record(error=True)
             return error.status, _encode({"error": error.message, "status": error.status})
@@ -182,7 +201,15 @@ class ClassificationService:
             self._record(error=True)
             return 500, _encode({"error": f"store failure: {error}", "status": 500})
         body = _encode(payload)
-        if cacheable:
+        # Re-read the generation before publishing the body to the cache: a
+        # commit that landed after the key was computed means the payload
+        # may reflect the *newer* state, and caching it under the older
+        # generation would serve divergent bytes until the next write.  A
+        # replica applying windows mid-read makes this window wide, not
+        # theoretical.  (Commits after this check are harmless: the body
+        # was built before them, so it is consistent with the keyed
+        # generation.)
+        if cacheable and self.store.generation() == cache_key[0]:
             self.cache.put(cache_key, body)
         self._record()
         return 200, body
@@ -203,6 +230,8 @@ class ClassificationService:
                 return self._diff(query)
             if parts[1] == "stats" and len(parts) == 2:
                 return self._stats()
+            if parts[1] == "replication" and parts[2:] == ["changes"]:
+                return self._replication_changes(query)
         raise ApiError(404, f"unknown endpoint {path!r}")
 
     # -- endpoints ----------------------------------------------------------------------
@@ -271,6 +300,64 @@ class ClassificationService:
                 str(asn): [old, new]
                 for asn, (old, new) in sorted(self.store.changes(snapshot_id).items())
             },
+        }
+
+    #: Default / maximum page size of ``/v1/replication/changes`` (full
+    #: snapshot payloads are heavy; pages keep one response bounded).
+    REPLICATION_PAGE = 64
+    REPLICATION_PAGE_MAX = 256
+
+    def _replication_changes(self, query: Dict[str, List[str]]) -> Dict[str, object]:
+        """The changelog page a follower polls: snapshots after ``since``.
+
+        Deterministic given the store state, but deliberately *not* cached
+        (see :data:`UNCACHED_PATHS`): pages are large and each ``since`` is
+        requested at most once per follower.  The current generation is
+        read *before* the page so a concurrent commit can only make the
+        reported generation conservative (the follower polls again), never
+        claim coverage of snapshots the page omitted; the horizon is read
+        *after*, so a concurrent prune surfaces as a raised horizon rather
+        than a silent gap.
+        """
+        since = 0
+        if "since" in query:
+            since = _int_operand(query["since"][-1], "since")
+            if since < 0:
+                raise ApiError(400, f"since must be >= 0, got {since}")
+        limit = self.REPLICATION_PAGE
+        if "limit" in query:
+            limit = _int_operand(query["limit"][-1], "limit")
+            if limit < 1:
+                raise ApiError(400, f"limit must be >= 1, got {limit}")
+            limit = min(limit, self.REPLICATION_PAGE_MAX)
+        generation = self.store.generation()
+        metas = self.store.snapshots_since(since, limit=limit + 1)
+        more = len(metas) > limit
+        changes: List[Dict[str, object]] = []
+        for meta in metas[:limit]:
+            thresholds = meta.thresholds
+            changes.append(
+                {
+                    "generation": meta.generation,
+                    "snapshot_id": meta.snapshot_id,
+                    "kind": meta.kind,
+                    "thresholds": [
+                        thresholds.tagger,
+                        thresholds.silent,
+                        thresholds.forward,
+                        thresholds.cleaner,
+                    ],
+                    "payload": snapshot_payload(
+                        self.store.load_snapshot(meta.snapshot_id)
+                    ),
+                }
+            )
+        return {
+            "since": since,
+            "generation": generation,
+            "horizon": self.store.pruned_through(),
+            "changes": changes,
+            "more": more,
         }
 
     def _stats(self) -> Dict[str, object]:

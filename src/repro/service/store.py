@@ -15,7 +15,16 @@ concurrent readers can share one producer:
 * **indexed per-AS history** -- ``(asn, snapshot)`` indexed records answer
   "how was AS X classified over time" without scanning snapshots;
 * **generation counter** -- every committed write bumps a monotonically
-  increasing generation, which the HTTP server uses to key its read cache.
+  increasing generation, which the HTTP server uses to key its read cache;
+* **generation-addressed changelog** -- every snapshot records the
+  generation it committed at, so :meth:`snapshots_since` can page through
+  "everything committed after generation G" in commit order.  This is the
+  replication feed (:mod:`repro.service.replication`): a follower remembers
+  the last leader generation it applied (:meth:`set_applied_generation`,
+  durably in the ``meta`` table) and the leader remembers the newest
+  generation its retention ever pruned (:meth:`pruned_through`), so a
+  lagging follower that retention overtook is detected instead of silently
+  skipping windows.
 
 Reads and writes may come from different threads: each thread gets its own
 SQLite connection (WAL readers do not block the writer), and writes are
@@ -39,8 +48,10 @@ from repro.core.results import ClassificationResult
 from repro.core.thresholds import Thresholds
 from repro.stream.engine import WindowSnapshot
 
-#: Version of the on-disk schema this module reads and writes.
-SCHEMA_VERSION = 1
+#: Version of the on-disk schema this module reads and writes.  Version 2
+#: added the per-snapshot commit ``generation`` column (replication feed);
+#: version-1 files are migrated in place on open.
+SCHEMA_VERSION = 2
 
 #: Snapshot kinds accepted by the store.
 SNAPSHOT_KINDS = ("window", "batch")
@@ -63,6 +74,10 @@ class StoredSnapshot:
     unique_tuples: int
     algorithm: str
     thresholds: Thresholds
+    #: Store generation this snapshot committed at.  Local to the writing
+    #: store: a replica applying this snapshot gets its *own* generation, and
+    #: tracks the leader's separately (see ``applied_generation``).
+    generation: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly metadata view."""
@@ -149,42 +164,50 @@ def snapshot_payload(snapshot: WindowSnapshot) -> Dict[str, object]:
     }
 
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS meta (
-    key   TEXT PRIMARY KEY,
-    value TEXT NOT NULL
-);
-CREATE TABLE IF NOT EXISTS snapshots (
-    id              INTEGER PRIMARY KEY AUTOINCREMENT,
-    kind            TEXT NOT NULL,
-    window_start    INTEGER NOT NULL,
-    window_end      INTEGER NOT NULL,
-    skipped_windows INTEGER NOT NULL,
-    events_total    INTEGER NOT NULL,
-    unique_tuples   INTEGER NOT NULL,
-    algorithm       TEXT NOT NULL,
-    thresholds      TEXT NOT NULL
-);
-CREATE INDEX IF NOT EXISTS idx_snapshots_window_end ON snapshots (window_end);
-CREATE TABLE IF NOT EXISTS as_records (
-    snapshot_id INTEGER NOT NULL,
-    asn         INTEGER NOT NULL,
-    code        TEXT NOT NULL,
-    tagger      INTEGER NOT NULL,
-    silent      INTEGER NOT NULL,
-    forward     INTEGER NOT NULL,
-    cleaner     INTEGER NOT NULL,
-    PRIMARY KEY (snapshot_id, asn)
-) WITHOUT ROWID;
-CREATE INDEX IF NOT EXISTS idx_as_records_asn ON as_records (asn, snapshot_id);
-CREATE TABLE IF NOT EXISTS changes (
-    snapshot_id INTEGER NOT NULL,
-    asn         INTEGER NOT NULL,
-    old_code    TEXT NOT NULL,
-    new_code    TEXT NOT NULL,
-    PRIMARY KEY (snapshot_id, asn)
-) WITHOUT ROWID;
-"""
+# Individual statements (not one script) so initialisation can run them
+# inside a single BEGIN IMMEDIATE transaction: executescript() would commit
+# the transaction first, and concurrent multi-process opens (every fan-out
+# worker opens the store) must serialise the version check + migration.
+_SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS snapshots (
+        id              INTEGER PRIMARY KEY AUTOINCREMENT,
+        kind            TEXT NOT NULL,
+        window_start    INTEGER NOT NULL,
+        window_end      INTEGER NOT NULL,
+        skipped_windows INTEGER NOT NULL,
+        events_total    INTEGER NOT NULL,
+        unique_tuples   INTEGER NOT NULL,
+        algorithm       TEXT NOT NULL,
+        thresholds      TEXT NOT NULL,
+        generation      INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_snapshots_window_end ON snapshots (window_end)",
+    "CREATE INDEX IF NOT EXISTS idx_snapshots_generation ON snapshots (generation)",
+    """
+    CREATE TABLE IF NOT EXISTS as_records (
+        snapshot_id INTEGER NOT NULL,
+        asn         INTEGER NOT NULL,
+        code        TEXT NOT NULL,
+        tagger      INTEGER NOT NULL,
+        silent      INTEGER NOT NULL,
+        forward     INTEGER NOT NULL,
+        cleaner     INTEGER NOT NULL,
+        PRIMARY KEY (snapshot_id, asn)
+    ) WITHOUT ROWID
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_as_records_asn ON as_records (asn, snapshot_id)",
+    """
+    CREATE TABLE IF NOT EXISTS changes (
+        snapshot_id INTEGER NOT NULL,
+        asn         INTEGER NOT NULL,
+        old_code    TEXT NOT NULL,
+        new_code    TEXT NOT NULL,
+        PRIMARY KEY (snapshot_id, asn)
+    ) WITHOUT ROWID
+    """,
+)
 
 
 class SnapshotStore:
@@ -203,6 +226,10 @@ class SnapshotStore:
         self._write_lock = threading.Lock()
         self._local = threading.local()
         self._closed = False
+        # Every connection ever opened, so close() can release them all --
+        # thread-local handles of retired reader threads included.
+        self._connections: List[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
         # In-memory databases are per-connection; share one connection (and
         # serialise reads through the write lock) so tests can use ":memory:".
         self._shared: Optional[sqlite3.Connection] = None
@@ -215,6 +242,8 @@ class SnapshotStore:
         connection = sqlite3.connect(self.path, check_same_thread=False)
         connection.execute("PRAGMA journal_mode=WAL")
         connection.execute("PRAGMA synchronous=NORMAL")
+        with self._connections_lock:
+            self._connections.append(connection)
         return connection
 
     def _conn(self) -> sqlite3.Connection:
@@ -232,10 +261,29 @@ class SnapshotStore:
         with self._write_lock:
             connection = self._conn()
             with connection:
-                connection.executescript(_SCHEMA)
+                # One BEGIN IMMEDIATE transaction around the whole check /
+                # migrate / create sequence: concurrent opens from sibling
+                # processes (a fan-out worker fleet, a serving replica's
+                # syncer) must not both read version 1 and both run the
+                # migration's ALTER TABLE, nor both insert the meta rows of
+                # a fresh file.
+                connection.execute("BEGIN IMMEDIATE")
+                connection.execute(
+                    "CREATE TABLE IF NOT EXISTS meta"
+                    " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+                )
                 row = connection.execute(
                     "SELECT value FROM meta WHERE key = 'schema_version'"
                 ).fetchone()
+                if row is not None and int(row[0]) == 1:
+                    self._migrate_v1(connection)
+                elif row is not None and int(row[0]) != SCHEMA_VERSION:
+                    raise StoreError(
+                        f"store {self.path!r} has schema version {row[0]}, "
+                        f"this build reads version {SCHEMA_VERSION}"
+                    )
+                for statement in _SCHEMA_STATEMENTS:
+                    connection.execute(statement)
                 if row is None:
                     connection.execute(
                         "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
@@ -244,23 +292,60 @@ class SnapshotStore:
                     connection.execute(
                         "INSERT INTO meta (key, value) VALUES ('generation', '0')"
                     )
-                elif int(row[0]) != SCHEMA_VERSION:
-                    raise StoreError(
-                        f"store {self.path!r} has schema version {row[0]}, "
-                        f"this build reads version {SCHEMA_VERSION}"
-                    )
+                connection.execute(
+                    "INSERT OR IGNORE INTO meta (key, value)"
+                    " VALUES ('pruned_through', '0')"
+                )
+
+    @staticmethod
+    def _migrate_v1(connection: sqlite3.Connection) -> None:
+        """In-place migration of a version-1 file to the version-2 schema.
+
+        Version 1 had no per-snapshot commit generation.  Retained snapshots
+        are backfilled with synthetic generations that keep commit order and
+        end at the store's current generation counter, so appends after the
+        migration continue the same monotonic sequence.  What (if anything)
+        retention pruned before the migration is unknowable, so
+        ``pruned_through`` starts at 0 -- harmless, because no follower can
+        predate its leader's migration.
+        """
+        connection.execute(
+            "ALTER TABLE snapshots ADD COLUMN generation INTEGER NOT NULL DEFAULT 0"
+        )
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'generation'"
+        ).fetchone()
+        current = int(row[0]) if row is not None else 0
+        rows = connection.execute("SELECT id FROM snapshots ORDER BY id").fetchall()
+        for rank, (snapshot_id,) in enumerate(rows, start=1):
+            connection.execute(
+                "UPDATE snapshots SET generation = ? WHERE id = ?",
+                (current - len(rows) + rank, snapshot_id),
+            )
+        connection.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION),),
+        )
 
     def close(self) -> None:
-        """Close every connection this store opened in this thread."""
+        """Close every connection this store ever opened, on any thread.
+
+        Thread-local reader connections are tracked at :meth:`_connect`
+        time, so the handles of retired reader threads are released too --
+        a long-lived process that recycles request threads must not leak
+        one WAL file handle per dead thread.  Safe because every connection
+        is opened with ``check_same_thread=False``.
+        """
         self._closed = True
-        if self._shared is not None:
-            self._shared.close()
-            self._shared = None
-            return
-        connection = getattr(self._local, "connection", None)
-        if connection is not None:
-            connection.close()
-            self._local.connection = None
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            try:
+                connection.close()
+            except sqlite3.ProgrammingError:  # pragma: no cover - already closed
+                pass
+        self._shared = None
+        self._local.connection = None
 
     def __enter__(self) -> "SnapshotStore":
         return self
@@ -270,14 +355,21 @@ class SnapshotStore:
 
     # -- writes -------------------------------------------------------------------------
     def append_snapshot(
-        self, snapshot: WindowSnapshot, *, kind: str = "window", if_absent: bool = False
+        self,
+        snapshot: WindowSnapshot,
+        *,
+        kind: str = "window",
+        if_absent: bool = False,
+        snapshot_id: Optional[int] = None,
     ) -> int:
         """Durably persist one snapshot; returns its snapshot id.
 
         The snapshot metadata, every observed AS's classification record,
         and the per-window change set commit in a single transaction, and
         the store generation is bumped with them: readers either see the
-        whole snapshot at a newer generation or none of it.
+        whole snapshot at a newer generation or none of it.  The committed
+        generation is recorded on the snapshot row, which is what makes the
+        store a generation-addressed changelog (:meth:`snapshots_since`).
 
         With ``if_absent=True`` the append is idempotent per
         ``(kind, window_start, window_end)``: if the store already holds a
@@ -287,6 +379,14 @@ class SnapshotStore:
         checkpoint restore lands on the copy the store already has.  The
         existence check runs inside the write transaction, so concurrent
         publishers on the same store cannot both insert.
+
+        *snapshot_id* pins the row id instead of letting SQLite assign one.
+        Replication uses this to carry the leader's ids onto followers, so
+        id-bearing payloads (``/v1/as``, ``/v1/diff``) are byte-identical
+        across hosts.  Window identity across hosts stays id-independent --
+        dedup keys on ``(kind, window_start, window_end)`` -- and a pinned
+        id that is already taken by a *different* window raises
+        :class:`StoreError` (the replica diverged from its leader).
         """
         if kind not in SNAPSHOT_KINDS:
             raise ValueError(f"unknown snapshot kind {kind!r}")
@@ -308,14 +408,14 @@ class SnapshotStore:
         with self._write_lock:
             connection = self._conn()
             with connection:
+                # sqlite3's legacy isolation starts the transaction at the
+                # first DML, so the SELECTs below would otherwise run in
+                # autocommit and two *processes* could both miss an existing
+                # row or read the same generation.  BEGIN IMMEDIATE takes
+                # the write lock up front, making check + insert one atomic
+                # unit (the surrounding `with connection` still commits it).
+                connection.execute("BEGIN IMMEDIATE")
                 if if_absent:
-                    # sqlite3's legacy isolation starts the transaction at
-                    # the first DML, so a bare SELECT here would run in
-                    # autocommit and two *processes* could both miss the
-                    # existing row.  BEGIN IMMEDIATE takes the write lock
-                    # up front, making check + insert one atomic unit (the
-                    # surrounding `with connection` still commits it).
-                    connection.execute("BEGIN IMMEDIATE")
                     existing = connection.execute(
                         "SELECT id FROM snapshots WHERE kind = ? AND window_start = ?"
                         " AND window_end = ? ORDER BY id DESC LIMIT 1",
@@ -323,11 +423,35 @@ class SnapshotStore:
                     ).fetchone()
                     if existing is not None:
                         return int(existing[0])
+                if snapshot_id is not None:
+                    taken = connection.execute(
+                        "SELECT kind, window_start, window_end FROM snapshots"
+                        " WHERE id = ?",
+                        (snapshot_id,),
+                    ).fetchone()
+                    if taken is not None:
+                        if tuple(taken) == (
+                            kind,
+                            snapshot.window_start,
+                            snapshot.window_end,
+                        ):
+                            return snapshot_id
+                        raise StoreError(
+                            f"snapshot id {snapshot_id} already holds window"
+                            f" {tuple(taken)!r}, not"
+                            f" {(kind, snapshot.window_start, snapshot.window_end)!r}"
+                            " -- replica diverged from its leader"
+                        )
+                row = connection.execute(
+                    "SELECT value FROM meta WHERE key = 'generation'"
+                ).fetchone()
+                generation = (int(row[0]) if row is not None else 0) + 1
                 cursor = connection.execute(
-                    "INSERT INTO snapshots (kind, window_start, window_end,"
+                    "INSERT INTO snapshots (id, kind, window_start, window_end,"
                     " skipped_windows, events_total, unique_tuples, algorithm,"
-                    " thresholds) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    " thresholds, generation) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     (
+                        snapshot_id,
                         kind,
                         snapshot.window_start,
                         snapshot.window_end,
@@ -343,6 +467,7 @@ class SnapshotStore:
                                 thresholds.cleaner,
                             ]
                         ),
+                        generation,
                     ),
                 )
                 snapshot_id = int(cursor.lastrowid or 0)
@@ -362,22 +487,34 @@ class SnapshotStore:
                 if self.retention is not None:
                     self._apply_retention(connection)
                 connection.execute(
-                    "UPDATE meta SET value = CAST(value AS INTEGER) + 1"
-                    " WHERE key = 'generation'"
+                    "UPDATE meta SET value = ? WHERE key = 'generation'",
+                    (str(generation),),
                 )
         return snapshot_id
 
     def _apply_retention(self, connection: sqlite3.Connection) -> int:
-        """Drop the oldest snapshots beyond the retention cap (returns count)."""
+        """Drop the oldest snapshots beyond the retention cap (returns count).
+
+        The newest pruned commit generation is remembered in the meta table
+        (``pruned_through``): it is the replication horizon below which a
+        follower can no longer catch up from this store's changelog.
+        """
         assert self.retention is not None
         stale = connection.execute(
-            "SELECT id FROM snapshots ORDER BY id DESC LIMIT -1 OFFSET ?",
+            "SELECT id, generation FROM snapshots ORDER BY id DESC LIMIT -1 OFFSET ?",
             (self.retention,),
         ).fetchall()
-        for (snapshot_id,) in stale:
+        for snapshot_id, _ in stale:
             connection.execute("DELETE FROM as_records WHERE snapshot_id = ?", (snapshot_id,))
             connection.execute("DELETE FROM changes WHERE snapshot_id = ?", (snapshot_id,))
             connection.execute("DELETE FROM snapshots WHERE id = ?", (snapshot_id,))
+        if stale:
+            horizon = max(int(generation) for _, generation in stale)
+            connection.execute(
+                "UPDATE meta SET value = CAST(MAX(CAST(value AS INTEGER), ?) AS TEXT)"
+                " WHERE key = 'pruned_through'",
+                (horizon,),
+            )
         return len(stale)
 
     def compact(self) -> int:
@@ -410,12 +547,54 @@ class SnapshotStore:
         ).fetchone()
         return int(row[0]) if row is not None else 0
 
+    def pruned_through(self) -> int:
+        """Newest commit generation retention ever pruned (0: nothing yet).
+
+        The replication horizon: a follower whose applied generation is
+        below this may have missed pruned snapshots for good, and must
+        surface that as a sync error instead of skipping them silently.
+        """
+        row = self._conn().execute(
+            "SELECT value FROM meta WHERE key = 'pruned_through'"
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def applied_generation(self) -> int:
+        """The leader generation this replica store has applied through.
+
+        0 on a store that never replicated.  Durable in the ``meta`` table,
+        so a killed follower resumes from where it left off -- the same
+        exactly-once contract resumed producers get, since re-applied
+        snapshots land on the idempotent window key anyway.
+        """
+        row = self._conn().execute(
+            "SELECT value FROM meta WHERE key = 'applied_generation'"
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def set_applied_generation(self, generation: int) -> None:
+        """Durably record the applied leader generation (monotonic: only
+        moves forward).  A meta-only write: the store's own generation does
+        not bump, so follower read caches stay valid across bookkeeping."""
+        if generation < 0:
+            raise ValueError(f"generation must be >= 0, got {generation}")
+        with self._write_lock:
+            connection = self._conn()
+            with connection:
+                connection.execute(
+                    "INSERT INTO meta (key, value) VALUES ('applied_generation', ?)"
+                    " ON CONFLICT(key) DO UPDATE SET value = CAST(MAX("
+                    "CAST(value AS INTEGER), CAST(excluded.value AS INTEGER)"
+                    ") AS TEXT)",
+                    (str(generation),),
+                )
+
     def __len__(self) -> int:
         row = self._conn().execute("SELECT COUNT(*) FROM snapshots").fetchone()
         return int(row[0])
 
     def _snapshot_from_row(
-        self, row: Tuple[int, str, int, int, int, int, int, str, str]
+        self, row: Tuple[int, str, int, int, int, int, int, str, str, int]
     ) -> StoredSnapshot:
         tagger, silent, forward, cleaner = json.loads(row[8])
         return StoredSnapshot(
@@ -430,11 +609,12 @@ class SnapshotStore:
             thresholds=Thresholds(
                 tagger=tagger, silent=silent, forward=forward, cleaner=cleaner
             ),
+            generation=int(row[9]),
         )
 
     _SNAPSHOT_COLUMNS = (
         "id, kind, window_start, window_end, skipped_windows,"
-        " events_total, unique_tuples, algorithm, thresholds"
+        " events_total, unique_tuples, algorithm, thresholds, generation"
     )
 
     def latest(self) -> Optional[StoredSnapshot]:
@@ -495,6 +675,33 @@ class SnapshotStore:
         rows = self._conn().execute(
             f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots ORDER BY id"
         ).fetchall()
+        return [self._snapshot_from_row(row) for row in rows]
+
+    def snapshots_since(
+        self, generation: int, *, limit: Optional[int] = None
+    ) -> List[StoredSnapshot]:
+        """Retained snapshots committed after *generation*, commit order.
+
+        The replication feed: a follower that applied through generation G
+        asks for everything after G.  Served by the generation index, so the
+        cost is proportional to the page, not the store.  Retention prunes
+        oldest-first and commit generations grow with ids, so every retained
+        snapshot's generation is above :meth:`pruned_through` -- a page from
+        ``generation >= pruned_through`` is gap-free.
+        """
+        if generation < 0:
+            raise ValueError(f"generation must be >= 0, got {generation}")
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        query = (
+            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots"
+            " WHERE generation > ? ORDER BY generation, id"
+        )
+        parameters: Tuple[int, ...] = (generation,)
+        if limit is not None:
+            query += " LIMIT ?"
+            parameters = (generation, limit)
+        rows = self._conn().execute(query, parameters).fetchall()
         return [self._snapshot_from_row(row) for row in rows]
 
     # -- full snapshot reads ------------------------------------------------------------
@@ -626,10 +833,14 @@ class SnapshotStore:
         )
         size_bytes = 0
         if self.path != ":memory:":
-            try:
-                size_bytes = os.stat(self.path).st_size
-            except OSError:
-                size_bytes = 0
+            # Under WAL the main file alone can understate on-disk size by
+            # the whole uncheckpointed log; retention and replication-lag
+            # operations read this number, so count the sidecars too.
+            for path in (self.path, self.path + "-wal", self.path + "-shm"):
+                try:
+                    size_bytes += os.stat(path).st_size
+                except OSError:
+                    pass
         return {
             "path": self.path,
             "schema_version": SCHEMA_VERSION,
@@ -639,6 +850,8 @@ class SnapshotStore:
             "distinct_ases": distinct,
             "retention": self.retention,
             "size_bytes": size_bytes,
+            "pruned_through": self.pruned_through(),
+            "applied_generation": self.applied_generation(),
         }
 
 

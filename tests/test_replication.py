@@ -1,0 +1,569 @@
+"""Tests for cross-host store replication (repro.service.replication).
+
+Covers the leader's changelog endpoint (paging, generation addressing, the
+pruning horizon), the follower syncer (convergence to byte-identical served
+payloads, exactly-once resume after a mid-sync kill, explicit errors when
+leader retention outruns a lagging follower, bootstrap of an empty follower
+from an already-pruned leader), the schema v1 -> v2 migration the
+generation column required, and the ``repro replicate`` CLI wiring.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections import Counter
+
+import pytest
+
+from repro.service import (
+    ClassificationServer,
+    ReplicaSyncer,
+    ReplicationError,
+    ServiceClient,
+    ServiceError,
+    SnapshotStore,
+    StoreError,
+    attach_store,
+    snapshot_from_payload,
+    snapshot_payload,
+)
+from repro.stream import MemorySource, StreamConfig, StreamEngine, WindowSpec
+from tests.test_stream import observation
+
+
+def feed(count, *, start=0, step=25):
+    """A deterministic little update feed closing several 100s windows."""
+    return [
+        observation([10, 20], ["10:1"], timestamp=start + index * step)
+        for index in range(count)
+    ]
+
+
+@pytest.fixture()
+def leader(tmp_path):
+    """A drained leader store with several window snapshots."""
+    with SnapshotStore(tmp_path / "leader.db") as store:
+        engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+        attach_store(engine, store)
+        engine.run(MemorySource(feed(32)))
+        yield engine, store
+
+
+@pytest.fixture()
+def leader_served(leader):
+    """The leader behind a live HTTP server + a connected client."""
+    engine, store = leader
+    with ClassificationServer(store) as server:
+        server.start()
+        with ServiceClient(server.url) as client:
+            yield engine, store, server, client
+
+
+#: The deterministic endpoints replication must serve byte-identically.
+def identity_targets(engine):
+    targets = ["/v1/snapshot/latest", "/v1/diff"]
+    final = engine.snapshots[-1]
+    targets.append(f"/v1/snapshot/{final.window_end}")
+    targets.append(f"/v1/diff?window={engine.snapshots[0].window_end}")
+    for asn in sorted(final.result.observed_ases):
+        targets.append(f"/v1/as/{asn}")
+        targets.append(f"/v1/as/{asn}?history=3")
+    return targets
+
+
+# ---------------------------------------------------------------------------------------
+# Store-level: generation addressing
+# ---------------------------------------------------------------------------------------
+class TestGenerationAddressing:
+    def test_snapshots_record_commit_generations(self, leader):
+        engine, store = leader
+        metas = store.snapshots()
+        assert [meta.generation for meta in metas] == list(range(1, len(metas) + 1))
+        assert store.generation() == metas[-1].generation
+
+    def test_snapshots_since_pages_in_commit_order(self, leader):
+        _, store = leader
+        everything = store.snapshots_since(0)
+        assert everything == store.snapshots()
+        page = store.snapshots_since(0, limit=3)
+        assert page == everything[:3]
+        rest = store.snapshots_since(page[-1].generation)
+        assert page + rest == everything
+        assert store.snapshots_since(store.generation()) == []
+
+    def test_snapshots_since_rejects_bad_arguments(self, leader):
+        _, store = leader
+        with pytest.raises(ValueError):
+            store.snapshots_since(-1)
+        with pytest.raises(ValueError):
+            store.snapshots_since(0, limit=0)
+
+    def test_retention_moves_pruned_through(self, tmp_path):
+        with SnapshotStore(tmp_path / "pruned.db", retention=3) as store:
+            engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+            attach_store(engine, store)
+            engine.run(MemorySource(feed(32)))
+            assert len(store) == 3
+            retained = store.snapshots()
+            # Everything retained is above the horizon: a follower at or
+            # past the horizon reads a gap-free changelog.
+            assert store.pruned_through() > 0
+            assert all(meta.generation > store.pruned_through() for meta in retained)
+
+    def test_applied_generation_is_durable_and_monotonic(self, tmp_path):
+        path = tmp_path / "replica.db"
+        with SnapshotStore(path) as store:
+            assert store.applied_generation() == 0
+            store.set_applied_generation(7)
+            store.set_applied_generation(3)  # never moves backwards
+            assert store.applied_generation() == 7
+            with pytest.raises(ValueError):
+                store.set_applied_generation(-1)
+            generation = store.generation()
+        with SnapshotStore(path) as reopened:
+            assert reopened.applied_generation() == 7
+            # Bookkeeping is not a data write: caches keyed on the store
+            # generation stay valid.
+            assert reopened.generation() == generation
+
+    def test_append_with_pinned_id(self, tmp_path, leader):
+        engine, _ = leader
+        with SnapshotStore(tmp_path / "pinned.db") as store:
+            first = store.append_snapshot(engine.snapshots[0], snapshot_id=41)
+            assert first == 41
+            # Re-offering the same window at the same id is idempotent.
+            assert store.append_snapshot(engine.snapshots[0], snapshot_id=41) == 41
+            assert len(store) == 1
+            # A different window claiming a taken id is divergence.
+            with pytest.raises(StoreError, match="diverged"):
+                store.append_snapshot(engine.snapshots[1], snapshot_id=41)
+            # Auto-assigned ids continue past the pinned one.
+            assert store.append_snapshot(engine.snapshots[1]) == 42
+
+
+# ---------------------------------------------------------------------------------------
+# Leader endpoint
+# ---------------------------------------------------------------------------------------
+class TestReplicationEndpoint:
+    def test_full_changelog_from_zero(self, leader_served):
+        engine, store, _, client = leader_served
+        page = client.replication_changes(since=0, limit=256)
+        assert page["since"] == 0
+        assert page["generation"] == store.generation()
+        assert page["horizon"] == 0
+        assert page["more"] is False
+        assert len(page["changes"]) == len(engine.snapshots)
+        generations = [entry["generation"] for entry in page["changes"]]
+        assert generations == sorted(generations)
+        for entry, snapshot in zip(page["changes"], engine.snapshots):
+            assert entry["kind"] == "window"
+            assert entry["payload"] == snapshot_payload(snapshot)
+
+    def test_paging_and_since(self, leader_served):
+        engine, _, _, client = leader_served
+        page = client.replication_changes(since=0, limit=3)
+        assert page["more"] is True
+        assert len(page["changes"]) == 3
+        tail = client.replication_changes(since=page["changes"][-1]["generation"], limit=256)
+        assert tail["more"] is False
+        assert len(page["changes"]) + len(tail["changes"]) == len(engine.snapshots)
+
+    def test_caught_up_page_is_empty(self, leader_served):
+        _, store, _, client = leader_served
+        page = client.replication_changes(since=store.generation())
+        assert page["changes"] == []
+        assert page["more"] is False
+
+    def test_bad_arguments_are_400(self, leader_served):
+        _, _, _, client = leader_served
+        for target in (
+            "/v1/replication/changes?since=-1",
+            "/v1/replication/changes?since=abc",
+            "/v1/replication/changes?since=0&limit=0",
+            "/v1/replication/changes?limit=x",
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                client.get(target)
+            assert excinfo.value.status == 400
+
+    def test_changelog_pages_stay_out_of_the_cache(self, leader):
+        """Pages are huge one-shot bodies keyed by ever-advancing `since`
+        values: caching them would evict the hot per-AS entries."""
+        from repro.service import ClassificationService
+
+        _, store = leader
+        service = ClassificationService(store)
+        status, first = service.handle("/v1/replication/changes?since=0&limit=2")
+        assert status == 200
+        status, second = service.handle("/v1/replication/changes?since=0&limit=2")
+        assert (status, second) == (200, first)  # still deterministic
+        assert service.stats.cache_hits == 0
+        assert len(service.cache) == 0
+
+
+# ---------------------------------------------------------------------------------------
+# Payload round trip
+# ---------------------------------------------------------------------------------------
+class TestPayloadRoundTrip:
+    def test_snapshot_from_payload_inverts_snapshot_payload(self, leader):
+        import json
+
+        engine, _ = leader
+        for snapshot in engine.snapshots:
+            # Through a JSON round trip, like the wire does it.
+            wire = json.loads(json.dumps(snapshot_payload(snapshot)))
+            rebuilt = snapshot_from_payload(wire, snapshot.result.thresholds)
+            assert snapshot_payload(rebuilt) == snapshot_payload(snapshot)
+            assert rebuilt.changed == snapshot.changed
+            assert rebuilt.result.thresholds == snapshot.result.thresholds
+
+
+# ---------------------------------------------------------------------------------------
+# Follower syncer
+# ---------------------------------------------------------------------------------------
+class TestReplicaSyncer:
+    def test_follower_converges_byte_identically(self, tmp_path, leader_served):
+        engine, store, server, client = leader_served
+        with SnapshotStore(tmp_path / "follower.db") as follower:
+            report = ReplicaSyncer(client, follower, page_size=5).sync_once()
+            assert report.caught_up
+            assert report.applied == len(engine.snapshots)
+            assert report.pages >= 2  # page_size 5 over 8 windows: really paged
+            assert follower.applied_generation() == store.generation()
+            # Same ids, same windows, same payloads -- and the served bytes
+            # are identical on every deterministic endpoint.
+            assert [m.snapshot_id for m in follower.snapshots()] == [
+                m.snapshot_id for m in store.snapshots()
+            ]
+            with ClassificationServer(follower) as fserver:
+                fserver.start()
+                with ServiceClient(fserver.url) as fclient:
+                    for target in identity_targets(engine):
+                        assert fclient.get(target) == client.get(target), target
+
+    def test_second_sync_is_a_noop(self, tmp_path, leader_served):
+        _, _, _, client = leader_served
+        with SnapshotStore(tmp_path / "follower.db") as follower:
+            syncer = ReplicaSyncer(client, follower)
+            syncer.sync_once()
+            again = syncer.sync_once()
+            assert again.applied == 0 and again.deduplicated == 0
+            assert again.caught_up
+
+    def test_follower_tracks_ongoing_leader_writes(self, tmp_path, leader_served):
+        engine, store, _, client = leader_served
+        with SnapshotStore(tmp_path / "follower.db") as follower:
+            syncer = ReplicaSyncer(client, follower)
+            syncer.sync_once()
+            drained = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+            attach_store(drained, store)
+            drained.run(MemorySource(feed(8, start=3200)))
+            report = syncer.sync_once()
+            assert report.applied == len(drained.snapshots)
+            assert follower.applied_generation() == store.generation()
+            assert len(follower) == len(store)
+
+    def test_killed_follower_resumes_exactly_once(self, tmp_path, leader_served):
+        """The acceptance invariant: a kill mid-sync appends no duplicates."""
+        engine, store, server, _ = leader_served
+
+        class DyingClient(ServiceClient):
+            """Dies (like a SIGKILL would) after serving two pages."""
+
+            pages = 0
+
+            def replication_changes(self, **kwargs):
+                if DyingClient.pages >= 2:
+                    raise ServiceError(503, "follower process killed")
+                DyingClient.pages += 1
+                return super().replication_changes(**kwargs)
+
+        path = tmp_path / "follower.db"
+        with SnapshotStore(path) as follower:
+            with DyingClient(server.url) as dying:
+                with pytest.raises(ServiceError):
+                    ReplicaSyncer(dying, follower, page_size=3).sync_once()
+            applied_before_kill = follower.applied_generation()
+            assert 0 < len(follower) < len(store)
+            assert applied_before_kill == follower.snapshots()[-1].generation
+
+        # "Restart": a fresh process opens the same store and resumes from
+        # the durably recorded generation.
+        with SnapshotStore(path) as restarted:
+            assert restarted.applied_generation() == applied_before_kill
+            with ServiceClient(server.url) as client:
+                report = ReplicaSyncer(client, restarted, page_size=3).sync_once()
+            assert report.caught_up
+            keys = Counter(
+                (meta.kind, meta.window_start, meta.window_end)
+                for meta in restarted.snapshots()
+            )
+            assert all(count == 1 for count in keys.values()), keys
+            assert [
+                (meta.snapshot_id, meta.kind, meta.window_start, meta.window_end)
+                for meta in restarted.snapshots()
+            ] == [
+                (meta.snapshot_id, meta.kind, meta.window_start, meta.window_end)
+                for meta in store.snapshots()
+            ]
+
+    def test_empty_follower_bootstraps_from_pruned_leader(self, tmp_path):
+        with SnapshotStore(tmp_path / "leader.db", retention=3) as leader_store:
+            engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+            attach_store(engine, leader_store)
+            engine.run(MemorySource(feed(32)))
+            assert leader_store.pruned_through() > 0
+            with ClassificationServer(leader_store) as server:
+                server.start()
+                with SnapshotStore(tmp_path / "follower.db") as follower:
+                    with ServiceClient(server.url) as client:
+                        report = ReplicaSyncer(client, follower).sync_once()
+                    # The pruned prefix is gone everywhere; adopting the
+                    # retained set as the seed *is* convergence.
+                    assert report.caught_up
+                    assert [m.snapshot_id for m in follower.snapshots()] == [
+                        m.snapshot_id for m in leader_store.snapshots()
+                    ]
+
+    def test_retention_overtaking_a_lagging_follower_is_an_error(self, tmp_path):
+        with SnapshotStore(tmp_path / "leader.db", retention=3) as leader_store:
+            engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+            attach_store(engine, leader_store)
+            engine.run(MemorySource(feed(8)))
+            with ClassificationServer(leader_store) as server:
+                server.start()
+                with SnapshotStore(tmp_path / "follower.db") as follower:
+                    with ServiceClient(server.url) as client:
+                        syncer = ReplicaSyncer(client, follower)
+                        syncer.sync_once()
+                        # The leader races far ahead; retention prunes
+                        # windows the follower never fetched.
+                        more = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+                        attach_store(more, leader_store)
+                        more.run(MemorySource(feed(32, start=800)))
+                        assert leader_store.pruned_through() > follower.applied_generation()
+                        with pytest.raises(ReplicationError, match="re-seed"):
+                            syncer.sync_once()
+
+    def test_compaction_generation_bump_fast_forwards(self, tmp_path, leader_served):
+        _, store, _, client = leader_served
+        with SnapshotStore(tmp_path / "follower.db") as follower:
+            syncer = ReplicaSyncer(client, follower)
+            syncer.sync_once()
+            # A generation bump without new snapshots (compaction) must not
+            # strand the follower behind forever, nor be a false gap.
+            store.retention = len(store) - 2
+            assert store.compact() == 2
+            report = syncer.sync_once()
+            assert report.caught_up
+            assert follower.applied_generation() == store.generation()
+
+    def test_run_survives_transient_leader_failures(self, tmp_path, leader):
+        import threading
+
+        engine, store = leader
+        with SnapshotStore(tmp_path / "follower.db") as follower:
+            syncer = ReplicaSyncer("http://127.0.0.1:9", follower)
+            stop = threading.Event()
+            reports = []
+
+            def stop_after_first(report):
+                reports.append(report)
+                stop.set()
+
+            # Leader down: run records the failure and keeps going...
+            worker = threading.Thread(
+                target=syncer.run,
+                kwargs={"poll_interval": 0.05, "stop": stop, "on_sync": stop_after_first},
+                daemon=True,
+            )
+            worker.start()
+            deadline = threading.Event()
+            for _ in range(100):
+                if syncer.last_error is not None:
+                    break
+                deadline.wait(0.05)
+            assert syncer.last_error is not None
+            # ...and converges once a leader appears on a reachable URL.
+            with ClassificationServer(store) as server:
+                server.start()
+                syncer.client = ServiceClient(server.url)
+                worker.join(timeout=30)
+                assert not worker.is_alive()
+            assert reports and reports[0].applied == len(engine.snapshots)
+            assert syncer.last_error is None
+
+    def test_rejects_bad_page_size(self, tmp_path):
+        with SnapshotStore(tmp_path / "follower.db") as follower:
+            with pytest.raises(ValueError):
+                ReplicaSyncer("http://127.0.0.1:9", follower, page_size=0)
+
+    def test_diverged_local_store_is_a_replication_error(self, tmp_path, leader_served):
+        """A follower store holding locally-produced snapshots whose ids
+        collide with the leader's surfaces as ReplicationError, not a raw
+        StoreError traceback out of the sync loop."""
+        engine, _, _, client = leader_served
+        with SnapshotStore(tmp_path / "diverged.db") as diverged:
+            local = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+            local.run(MemorySource(feed(4, start=100_000)))
+            for snapshot in local.snapshots:  # ids 1..N, different windows
+                diverged.append_snapshot(snapshot)
+            with pytest.raises(ReplicationError, match="diverged"):
+                ReplicaSyncer(client, diverged).sync_once()
+
+
+# ---------------------------------------------------------------------------------------
+# Schema migration (v1 -> v2)
+# ---------------------------------------------------------------------------------------
+def _open_store_process(path, results):
+    """Child-process entry: open (and possibly migrate) one store path.
+
+    Module-level so the spawn start method can import it.
+    """
+    try:
+        with SnapshotStore(path) as store:
+            results.put(("ok", len(store)))
+    except Exception as error:  # noqa: BLE001 - reported to the parent
+        results.put(("error", repr(error)))
+
+#: The version-1 DDL, verbatim, to fabricate a pre-generation store file.
+_V1_SCHEMA = """
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE snapshots (
+    id              INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind            TEXT NOT NULL,
+    window_start    INTEGER NOT NULL,
+    window_end      INTEGER NOT NULL,
+    skipped_windows INTEGER NOT NULL,
+    events_total    INTEGER NOT NULL,
+    unique_tuples   INTEGER NOT NULL,
+    algorithm       TEXT NOT NULL,
+    thresholds      TEXT NOT NULL
+);
+CREATE INDEX idx_snapshots_window_end ON snapshots (window_end);
+CREATE TABLE as_records (
+    snapshot_id INTEGER NOT NULL, asn INTEGER NOT NULL, code TEXT NOT NULL,
+    tagger INTEGER NOT NULL, silent INTEGER NOT NULL,
+    forward INTEGER NOT NULL, cleaner INTEGER NOT NULL,
+    PRIMARY KEY (snapshot_id, asn)
+) WITHOUT ROWID;
+CREATE TABLE changes (
+    snapshot_id INTEGER NOT NULL, asn INTEGER NOT NULL,
+    old_code TEXT NOT NULL, new_code TEXT NOT NULL,
+    PRIMARY KEY (snapshot_id, asn)
+) WITHOUT ROWID;
+INSERT INTO meta (key, value) VALUES ('schema_version', '1');
+INSERT INTO meta (key, value) VALUES ('generation', '5');
+"""
+
+
+class TestSchemaMigration:
+    def _fabricate_v1(self, path):
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.executescript(_V1_SCHEMA)
+            for index in range(3):
+                connection.execute(
+                    "INSERT INTO snapshots (kind, window_start, window_end,"
+                    " skipped_windows, events_total, unique_tuples, algorithm,"
+                    " thresholds) VALUES ('window', ?, ?, 0, 4, 2, 'column',"
+                    " '[0.99, 0.99, 0.99, 0.99]')",
+                    (index * 100, (index + 1) * 100),
+                )
+                connection.execute(
+                    "INSERT INTO as_records VALUES (?, 10, 'ty', 4, 0, 0, 0)",
+                    (index + 1,),
+                )
+        connection.close()
+
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        path = tmp_path / "legacy.db"
+        self._fabricate_v1(path)
+        with SnapshotStore(path) as migrated:
+            assert len(migrated) == 3
+            # Backfilled generations keep commit order and end at the
+            # stored counter, so new appends continue the sequence.
+            assert [m.generation for m in migrated.snapshots()] == [3, 4, 5]
+            assert migrated.generation() == 5
+            assert migrated.pruned_through() == 0
+            assert migrated.snapshots_since(4)[0].snapshot_id == 3
+            loaded = migrated.load_snapshot(1)
+            assert loaded.result.counters_of(10).tagger == 4
+        # The migration is durable: a reopen does not re-run it.
+        with SnapshotStore(path) as reopened:
+            engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
+            engine.run(MemorySource(feed(2)))
+            reopened.append_snapshot(engine.snapshots[-1])
+            assert reopened.snapshots()[-1].generation == 6
+
+    def test_concurrent_opens_race_the_migration_safely(self, tmp_path):
+        """Several processes opening a v1 store at once (a fan-out worker
+        fleet) must serialise the migration, not all run the ALTER."""
+        import multiprocessing
+
+        path = tmp_path / "contended.db"
+        self._fabricate_v1(path)
+        ctx = multiprocessing.get_context("spawn")
+        results = ctx.Queue()
+        processes = [
+            ctx.Process(target=_open_store_process, args=(str(path), results))
+            for _ in range(4)
+        ]
+        for process in processes:
+            process.start()
+        outcomes = [results.get(timeout=60) for _ in processes]
+        for process in processes:
+            process.join(timeout=10)
+        assert outcomes == [("ok", 3)] * 4, outcomes
+
+
+# ---------------------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------------------
+class TestCliReplicate:
+    def test_replicate_once(self, tmp_path, leader_served, capsys):
+        from repro.cli import main
+
+        engine, store, server, _ = leader_served
+        replica_path = tmp_path / "replica.db"
+        assert (
+            main(["replicate", "--from", server.url, "--store", str(replica_path), "--once"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert f"applied {len(engine.snapshots)} snapshots" in err
+        with SnapshotStore(replica_path) as replica:
+            assert len(replica) == len(store)
+            assert replica.applied_generation() == store.generation()
+
+    def test_replicate_unreachable_leader_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "replicate",
+                "--from",
+                "http://127.0.0.1:9",
+                "--store",
+                str(tmp_path / "replica.db"),
+                "--once",
+            ]
+        )
+        assert rc == 1
+        assert "leader unreachable" in capsys.readouterr().err
+
+    def test_replicate_rejects_bad_workers(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "replicate",
+                "--from",
+                "http://127.0.0.1:9",
+                "--store",
+                str(tmp_path / "replica.db"),
+                "--http-workers",
+                "0",
+            ]
+        )
+        assert rc == 2

@@ -203,6 +203,46 @@ class TestSnapshotStore:
         with pytest.raises(StoreError):
             snapshot_store.latest()
 
+    def test_stats_size_includes_wal_sidecars(self, tmp_path):
+        """Under WAL the uncheckpointed log is real disk the stats must count."""
+        import os
+
+        path = tmp_path / "sized.db"
+        with SnapshotStore(path) as sized:
+            engine = StreamEngine(StreamConfig(window=WindowSpec(size=50)))
+            attach_store(engine, sized)
+            engine.run(
+                MemorySource(
+                    [observation([10, 20], ["10:1"], timestamp=stamp) for stamp in range(0, 500, 25)]
+                )
+            )
+            wal = os.stat(str(path) + "-wal").st_size
+            assert wal > 0  # the appends really live in the log right now
+            assert sized.stats()["size_bytes"] >= os.stat(path).st_size + wal
+
+    def test_close_closes_every_threads_connection(self, tmp_path):
+        """Retired reader threads must not leak WAL file handles."""
+        snapshot_store = SnapshotStore(tmp_path / "threads.db")
+        connections = []
+        lock = threading.Lock()
+
+        def reader():
+            snapshot_store.latest()  # forces this thread's connection open
+            with lock:
+                connections.append(snapshot_store._conn())
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        snapshot_store.latest()  # the calling thread's connection too
+        assert len(connections) == 4
+        snapshot_store.close()
+        for connection in connections:
+            with pytest.raises(sqlite3.ProgrammingError):
+                connection.execute("SELECT 1")
+
     def test_memory_store_works(self):
         with SnapshotStore(":memory:") as memory_store:
             engine = StreamEngine(StreamConfig(window=WindowSpec(size=100)))
@@ -600,6 +640,65 @@ class TestHttpApi:
         assert status == 200
         assert service.stats.cache_misses == 2
         assert json.loads(third.decode()) != json.loads(first.decode()) or True
+
+    def test_volatile_path_aliases_are_never_cached(self, drained):
+        """`/healthz/`, `//healthz`, `/v1/stats/` route to volatile endpoints
+        and must not be cached: a cached liveness or fleet-stats body would
+        be served stale until the next store write."""
+        _, store = drained
+        service = ClassificationService(store)
+        for alias in ("/healthz/", "//healthz", "/healthz//", "/v1/stats/", "//v1//stats"):
+            status, _ = service.handle(alias)
+            assert status == 200
+            status, _ = service.handle(alias)
+            assert status == 200
+        assert service.stats.cache_hits == 0
+        assert len(service.cache) == 0
+        # The payload really is live: request counters keep moving across
+        # two trailing-slash stats calls at the same store generation.
+        first = json.loads(service.handle("/v1/stats/")[1].decode())
+        second = json.loads(service.handle("/v1/stats/")[1].decode())
+        assert second["server"]["requests"] > first["server"]["requests"]
+
+    def test_path_aliases_share_one_cache_entry(self, drained):
+        """`/v1//as/10`-style aliases collapse onto the canonical entry."""
+        _, store = drained
+        service = ClassificationService(store)
+        status, body = service.handle("/v1/as/10")
+        assert status == 200
+        for alias in ("/v1//as/10", "//v1/as/10", "/v1/as/10/"):
+            status, aliased = service.handle(alias)
+            assert (status, aliased) == (200, body)
+        assert service.stats.cache_hits == 3
+        assert len(service.cache) == 1
+
+    def test_generation_race_skips_the_cache_put(self, drained):
+        """A payload built after a concurrent commit must not be cached
+        under the older generation key (the replica-apply race)."""
+        engine, store = drained
+        service = ClassificationService(store)
+        stale_generation = store.generation()
+        original_route = service._route
+
+        def racing_route(path, query):
+            # A commit lands between the cache-key read and the payload
+            # build: the body below reflects the *new* store state.
+            publish_result(store, engine.result())
+            return original_route(path, query)
+
+        service._route = racing_route
+        status, racy_body = service.handle("/v1/snapshot/latest")
+        assert status == 200
+        # The put was skipped: nothing is cached under the stale key.
+        assert len(service.cache) == 0
+        assert service.cache.get((stale_generation, "/v1/snapshot/latest")) is None
+        # The next read (no race) caches and serves the same fresh bytes.
+        service._route = original_route
+        status, fresh_body = service.handle("/v1/snapshot/latest")
+        assert (status, fresh_body) == (200, racy_body)
+        status, cached_body = service.handle("/v1/snapshot/latest")
+        assert (status, cached_body) == (200, fresh_body)
+        assert service.stats.cache_hits == 1
 
     def test_store_failures_become_json_errors(self, drained, monkeypatch):
         """Store-level failures surface as JSON 404/500, never as a dropped socket."""
