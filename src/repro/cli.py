@@ -17,8 +17,15 @@ Usage::
     python -m repro stream updates.mrt --store results.db   # materialize snapshots
     python -m repro serve --store results.db --port 8080    # HTTP query API
     python -m repro serve --store results.db --http-workers 4   # SO_REUSEPORT fan-out
+    python -m repro serve --store results.db --retention 32 --archive-dir cold/
+    python -m repro archive cold/ list                      # inspect archive segments
     python -m repro replicate --from http://leader:8080 --store replica.db --serve
     python -m repro query http://localhost:8080 as 3356     # ask the running service
+
+Store URLs: ``--store`` accepts a plain path (SQLite, the default), an
+explicit ``sqlite:path``, or ``memory:`` (in-process, tests/demos).  With
+``--archive-dir`` retention *archives* pruned snapshots into checksummed
+segment files instead of deleting them, and reads fall through to them.
 """
 
 from __future__ import annotations
@@ -112,10 +119,14 @@ def cmd_stream(args: argparse.Namespace) -> int:
     with ExitStack() as stack:
         store = None
         if args.store:
-            from repro.service.store import open_store
+            from repro.service.backends import open_store
 
             store = stack.enter_context(
-                open_store(args.store, retention=args.store_retention)
+                open_store(
+                    args.store,
+                    retention=args.store_retention,
+                    archive_dir=args.archive_dir,
+                )
             )
         engine_cls = StreamEngine
         if workers > 1:
@@ -217,10 +228,13 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: expose a snapshot store over the JSON HTTP API."""
-    from repro.service import ClassificationServer, MultiWorkerServer
-    from repro.service.store import SnapshotStore
+    from contextlib import ExitStack
 
-    if not Path(args.store).exists():
+    from repro.service import ClassificationServer, MultiWorkerServer
+    from repro.service.backends import open_store, parse_store_url
+
+    scheme, target = parse_store_url(args.store)
+    if scheme == "sqlite" and target != ":memory:" and not Path(target).exists():
         print(f"error: store {args.store!r} does not exist", file=sys.stderr)
         return 1
     if args.http_workers < 1:
@@ -228,11 +242,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.retention is not None:
         # The serving processes never append, so retention only takes effect
-        # through an explicit prune here at startup.
-        with SnapshotStore(args.store, retention=args.retention) as pruning:
+        # through an explicit prune here at startup.  With --archive-dir the
+        # prune demotes into the archive instead of deleting.
+        with open_store(
+            args.store, retention=args.retention, archive_dir=args.archive_dir
+        ) as pruning:
             dropped = pruning.compact()
         if dropped:
-            print(f"pruned {dropped} snapshots beyond --retention", file=sys.stderr)
+            verb = "archived" if args.archive_dir else "pruned"
+            print(f"{verb} {dropped} snapshots beyond --retention", file=sys.stderr)
     if args.http_workers > 1:
         import signal
 
@@ -243,6 +261,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             cache_size=args.cache_size,
             retention=args.retention,
+            archive_dir=args.archive_dir,
         ) as fanout:
             fanout.start()
             print(
@@ -265,18 +284,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             finally:
                 signal.signal(signal.SIGTERM, previous)
         return 0
-    store = SnapshotStore(args.store, retention=args.retention)
-    server = ClassificationServer(
-        store, host=args.host, port=args.port, cache_size=args.cache_size
-    )
-    print(f"serving {args.store} at {server.url} (Ctrl-C to stop)", file=sys.stderr)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
-    finally:
-        server.close()
-        store.close()
+    # Store and server both live on the stack: a failed bind (port already
+    # in use) must unwind the store's handles instead of leaking them, and
+    # ClassificationServer.close() is safe before serve_forever ran.
+    with ExitStack() as stack:
+        store = stack.enter_context(
+            open_store(args.store, retention=args.retention, archive_dir=args.archive_dir)
+        )
+        server = stack.enter_context(
+            ClassificationServer(
+                store, host=args.host, port=args.port, cache_size=args.cache_size
+            )
+        )
+        print(f"serving {args.store} at {server.url} (Ctrl-C to stop)", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -293,13 +317,15 @@ def cmd_replicate(args: argparse.Namespace) -> int:
         ServiceClient,
         ServiceError,
     )
-    from repro.service.store import open_store
+    from repro.service.backends import open_store
 
     if args.http_workers < 1:
         print(f"error: --http-workers must be >= 1, got {args.http_workers}", file=sys.stderr)
         return 2
     with ExitStack() as stack:
-        store = stack.enter_context(open_store(args.store, retention=args.retention))
+        store = stack.enter_context(
+            open_store(args.store, retention=args.retention, archive_dir=args.archive_dir)
+        )
         client = stack.enter_context(ServiceClient(args.source))
         syncer = ReplicaSyncer(client, store, page_size=args.page_size)
 
@@ -332,6 +358,7 @@ def cmd_replicate(args: argparse.Namespace) -> int:
                         host=args.host,
                         port=args.port,
                         cache_size=args.cache_size,
+                        archive_dir=args.archive_dir,
                     )
                 )
                 fanout.start()
@@ -373,6 +400,56 @@ def cmd_replicate(args: argparse.Namespace) -> int:
             print("shutting down", file=sys.stderr)
         finally:
             signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def cmd_archive(args: argparse.Namespace) -> int:
+    """``archive``: inspect and maintain a cold-tier snapshot archive."""
+    from repro.service.backends import SnapshotArchive, StoreError
+
+    root = Path(args.archive_dir)
+    if not root.is_dir():
+        print(f"error: archive directory {args.archive_dir!r} does not exist", file=sys.stderr)
+        return 1
+    try:
+        archive = SnapshotArchive(root)
+    except StoreError as error:
+        # Unreadable segments must not hide behind a stack trace: point at
+        # the broken line and exit like any other CLI failure.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.action == "list":
+        segments = archive.segments()
+        for segment in segments:
+            id_range = (
+                f"ids {segment['min_snapshot_id']}..{segment['max_snapshot_id']}"
+                if segment["records"]
+                else "empty"
+            )
+            torn = "  [torn tail]" if segment["torn_tail"] else ""
+            print(
+                f"{segment['segment']}: {segment['records']} records, "
+                f"{segment['bytes']} bytes, {id_range}{torn}"
+            )
+        print(f"{len(archive)} archived snapshots in {len(segments)} segments")
+        return 0
+    if args.action == "verify":
+        problems = archive.verify()
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if problems:
+            print(f"{len(problems)} problems in {args.archive_dir}", file=sys.stderr)
+            return 1
+        print(
+            f"verified {len(archive)} records in {len(archive.segments())} segments: OK"
+        )
+        return 0
+    # compact
+    before = len(archive.segments())
+    removed = archive.compact()
+    print(
+        f"compacted {len(archive)} records: {before} -> {before - removed} segments"
+    )
     return 0
 
 
@@ -458,7 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for sanitation and counting (default: 1, serial)",
     )
     classify.add_argument(
-        "--store", help="also materialize the result into this snapshot store (SQLite)"
+        "--store",
+        help="also materialize the result into this snapshot store "
+        "(path, sqlite:path, or memory:)",
     )
     classify.set_defaults(handler=cmd_classify)
 
@@ -506,14 +585,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--store",
-        help="persist every window snapshot into this snapshot store (SQLite); "
-        "serve it afterwards with 'repro serve --store'",
+        help="persist every window snapshot into this snapshot store "
+        "(path, sqlite:path, or memory:); serve it afterwards with 'repro serve --store'",
     )
     stream.add_argument(
         "--store-retention",
         type=int,
         default=None,
         help="keep only the newest N snapshots in --store (default: keep all)",
+    )
+    stream.add_argument(
+        "--archive-dir",
+        default=None,
+        help="with --store-retention: archive pruned snapshots into segment "
+        "files under this directory instead of deleting them",
     )
     stream.set_defaults(handler=cmd_stream)
 
@@ -524,7 +609,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--format", choices=("text", "json"), default="text")
     demo.add_argument("--threshold", type=float, default=0.99)
     demo.add_argument(
-        "--store", help="also materialize the result into this snapshot store (SQLite)"
+        "--store",
+        help="also materialize the result into this snapshot store "
+        "(path, sqlite:path, or memory:)",
     )
     demo.set_defaults(handler=cmd_demo)
 
@@ -536,7 +623,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="serve a snapshot store over the JSON HTTP API"
     )
-    serve.add_argument("--store", required=True, help="snapshot store to serve")
+    serve.add_argument(
+        "--store",
+        required=True,
+        help="snapshot store to serve (path, sqlite:path, or memory:)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
@@ -557,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="prune the store to the newest N snapshots at startup "
         "(ongoing caps belong to the producer: stream --store-retention)",
+    )
+    serve.add_argument(
+        "--archive-dir",
+        default=None,
+        help="serve the cold tier too: --retention demotes into this archive "
+        "instead of deleting, and reads fall through to archived windows",
     )
     serve.set_defaults(handler=cmd_serve)
 
@@ -592,6 +689,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap the replica to the newest N snapshots (default: keep all)",
     )
+    replicate.add_argument(
+        "--archive-dir",
+        default=None,
+        help="with --retention: archive snapshots the cap demotes instead of "
+        "deleting them (the replica grows its own cold tier)",
+    )
     # A one-shot sync exits before any server could be useful; make the
     # contradiction an argparse error instead of silently ignoring --serve.
     replicate_mode = replicate.add_mutually_exclusive_group()
@@ -617,6 +720,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --serve: serving workers, as in 'repro serve --http-workers'",
     )
     replicate.set_defaults(handler=cmd_replicate)
+
+    archive = subparsers.add_parser(
+        "archive", help="inspect and maintain a cold-tier snapshot archive"
+    )
+    archive.add_argument("archive_dir", help="archive directory (--archive-dir of a store)")
+    archive.add_argument(
+        "action",
+        choices=("list", "verify", "compact"),
+        help="list segments, verify every record checksum, or rewrite into "
+        "densely packed segments (offline only)",
+    )
+    archive.set_defaults(handler=cmd_archive)
 
     query = subparsers.add_parser("query", help="query a running results service")
     query.add_argument("url", help="service base URL, e.g. http://localhost:8080")

@@ -6,10 +6,15 @@ as in-memory :class:`~repro.stream.engine.WindowSnapshot` objects capped at
 ``StreamConfig.max_snapshots``, or as one-shot batch exports.  This package
 builds the *consumer* side:
 
-* :mod:`repro.service.store` -- a SQLite-WAL-backed :class:`SnapshotStore`
-  that durably persists every window snapshot and batch result with schema
-  versioning, atomic writes, retention / compaction, and indexed per-AS
-  history queries;
+* :mod:`repro.service.backends` -- pluggable storage behind one
+  :class:`SnapshotBackend` contract: the SQLite-WAL :class:`SnapshotStore`
+  (schema versioning, atomic writes, retention / compaction, indexed
+  per-AS history), the in-process :class:`MemoryBackend` (tests/demos and
+  the conformance-suite reference), and the :class:`TieredBackend` whose
+  retention *archives* pruned snapshots into checksummed segment files
+  (:class:`SnapshotArchive`) instead of deleting them, with reads falling
+  through hot to cold; :func:`open_store` dispatches ``sqlite:`` /
+  ``memory:`` store URLs (plain paths stay SQLite);
 * :mod:`repro.service.server` -- a stdlib-only JSON HTTP API over a store
   (``/v1/as/{asn}``, ``/v1/snapshot/latest``, ``/v1/snapshot/{window}``,
   ``/v1/diff``, ``/v1/stats``, ``/healthz``) with an LRU read cache keyed
@@ -37,6 +42,14 @@ http://host:port latest`` on the CLI, or :func:`attach_store` +
 :class:`ReplicaSyncer` in code.
 """
 
+from repro.service.backends import (
+    MemoryBackend,
+    SnapshotArchive,
+    SnapshotBackend,
+    TieredBackend,
+    open_store,
+    parse_store_url,
+)
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.publish import (
     SnapshotPublisher,
@@ -76,20 +89,26 @@ __all__ = [
     "ClassificationServer",
     "ClassificationService",
     "LRUCache",
+    "MemoryBackend",
     "MultiWorkerServer",
     "ReplicaSyncer",
     "ReplicationError",
     "ServiceClient",
     "ServiceError",
     "ServiceStats",
+    "SnapshotArchive",
+    "SnapshotBackend",
     "SnapshotPublisher",
     "SnapshotStore",
     "StoreError",
     "StoredSnapshot",
     "SyncReport",
+    "TieredBackend",
     "WorkerStatsBoard",
     "attach_store",
     "ensure_snapshot",
+    "open_store",
+    "parse_store_url",
     "publish_result",
     "reuseport_supported",
     "snapshot_from_payload",

@@ -1,0 +1,95 @@
+"""Pluggable snapshot storage backends.
+
+The serving stack -- HTTP server, worker fan-out, publishers, replication,
+CLI -- is written against the :class:`SnapshotBackend` contract
+(:mod:`repro.service.backends.base`); this package holds the contract and
+its implementations, and :func:`open_store` dispatches a store URL to the
+right one:
+
+==================  ==============================================================
+``path/to/db``      SQLite (the default; any plain path, plus ``:memory:``)
+``sqlite:path``     SQLite, explicitly
+``memory:``         in-process :class:`MemoryBackend` (tests, demos)
+==================  ==============================================================
+
+Passing ``archive_dir=`` wraps the hot backend in a
+:class:`~repro.service.backends.archive.TieredBackend`: the retention cap
+moves onto the wrapper and pruned snapshots are *archived* into checksummed
+segment files under that directory instead of deleted, so reads fall
+through hot to cold beyond the cap (see :mod:`repro.service.backends.archive`).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.service.backends.archive import (
+    SEGMENT_RECORDS,
+    SnapshotArchive,
+    TieredBackend,
+)
+from repro.service.backends.base import (
+    SNAPSHOT_KINDS,
+    STORE_SCHEMES,
+    ASHistoryEntry,
+    SnapshotBackend,
+    StoredSnapshot,
+    StoreError,
+    parse_store_url,
+    snapshot_from_payload,
+    snapshot_payload,
+)
+from repro.service.backends.memory import MemoryBackend
+from repro.service.backends.sqlite import SCHEMA_VERSION, SnapshotStore, SQLiteBackend
+
+
+def open_store(
+    url: Union[str, os.PathLike],
+    *,
+    retention: Optional[int] = None,
+    archive_dir: Optional[Union[str, os.PathLike]] = None,
+) -> SnapshotBackend:
+    """Open (creating if needed) the backend a store URL names.
+
+    Plain paths stay SQLite-backed with their parent directory ensured, so
+    every pre-URL call site keeps working unchanged.  With *archive_dir*
+    the hot backend is built uncapped and wrapped in a
+    :class:`TieredBackend` carrying *retention*: the cap then demotes
+    snapshots into the archive instead of deleting them.
+    """
+    scheme, target = parse_store_url(url)
+    hot_retention = None if archive_dir is not None else retention
+    backend: SnapshotBackend
+    if scheme == "memory":
+        backend = MemoryBackend(retention=hot_retention)
+    else:
+        path = Path(target)
+        if str(path) != ":memory:" and str(path.parent) not in ("", "."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        backend = SnapshotStore(path, retention=hot_retention)
+    if archive_dir is not None:
+        return TieredBackend(backend, archive_dir, retention=retention)
+    return backend
+
+
+__all__ = [
+    "ASHistoryEntry",
+    "MemoryBackend",
+    "SCHEMA_VERSION",
+    "SEGMENT_RECORDS",
+    "SNAPSHOT_KINDS",
+    "SQLiteBackend",
+    "STORE_SCHEMES",
+    "SnapshotArchive",
+    "SnapshotBackend",
+    "SnapshotStore",
+    "StoreError",
+    "StoredSnapshot",
+    "TieredBackend",
+    "open_store",
+    "parse_store_url",
+    "snapshot_from_payload",
+    "snapshot_payload",
+]

@@ -1,0 +1,463 @@
+"""The storage contract every snapshot backend implements.
+
+:class:`SnapshotBackend` is the abstract surface the whole serving stack is
+written against: the HTTP server (:mod:`repro.service.server`), the worker
+fan-out (:mod:`repro.service.workers`), the publisher hooks
+(:mod:`repro.service.publish`), and cross-host replication
+(:mod:`repro.service.replication`) all accept *any* backend.  The contract
+captures everything the original SQLite store exposed:
+
+* **appends** -- atomic per-snapshot writes, idempotent ``if_absent``
+  appends keyed on ``(kind, window_start, window_end)``, and
+  ``snapshot_id`` pinning so replication can mirror a leader's row ids;
+* **generation bookkeeping** -- a monotonic commit counter (the read-cache
+  key), the ``pruned_through`` replication horizon, and the follower's
+  durable ``applied_generation`` mark;
+* **reads** -- window/metadata lookups, full snapshot reconstruction,
+  per-AS history, and per-window change sets;
+* **retention** -- an optional cap applied at append time, the
+  :meth:`~SnapshotBackend.drop_snapshot` primitive retention is built on
+  (which the tiered backend intercepts to archive instead of delete), and
+  an explicit :meth:`~SnapshotBackend.compact`.
+
+Concrete implementations: :class:`~repro.service.backends.sqlite.SnapshotStore`
+(SQLite WAL, the production default), :class:`~repro.service.backends.memory.MemoryBackend`
+(the pure-Python reference the conformance suite is written against), and
+:class:`~repro.service.backends.archive.TieredBackend` (hot backend + cold
+append-only archive segments).
+
+This module also owns the canonical wire codec -- :func:`snapshot_payload`
+and its inverse :func:`snapshot_from_payload` -- because byte-identical
+payloads across backends (and across replicated hosts) are part of the
+contract, not a property of any one implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.bgp.asn import ASN
+from repro.core.counters import ASCounters, CounterStore
+from repro.core.results import ClassificationResult
+from repro.core.thresholds import Thresholds
+from repro.stream.engine import WindowSnapshot
+
+#: Snapshot kinds accepted by every backend.
+SNAPSHOT_KINDS = ("window", "batch")
+
+
+class StoreError(Exception):
+    """Raised for unusable stores and invalid store operations."""
+
+
+@dataclass(frozen=True)
+class StoredSnapshot:
+    """Metadata row of one persisted snapshot (records fetched separately)."""
+
+    snapshot_id: int
+    kind: str
+    window_start: int
+    window_end: int
+    skipped_windows: int
+    events_total: int
+    unique_tuples: int
+    algorithm: str
+    thresholds: Thresholds
+    #: Store generation this snapshot committed at.  Local to the writing
+    #: store: a replica applying this snapshot gets its *own* generation, and
+    #: tracks the leader's separately (see ``applied_generation``).
+    generation: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly metadata view."""
+        return {
+            "snapshot_id": self.snapshot_id,
+            "kind": self.kind,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "skipped_windows": self.skipped_windows,
+            "events_total": self.events_total,
+            "unique_tuples": self.unique_tuples,
+            "algorithm": self.algorithm,
+        }
+
+
+@dataclass(frozen=True)
+class ASHistoryEntry:
+    """One AS's classification in one persisted snapshot."""
+
+    snapshot_id: int
+    window_start: int
+    window_end: int
+    code: str
+    counters: ASCounters
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view used by the HTTP API."""
+        return {
+            "snapshot_id": self.snapshot_id,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "code": self.code,
+            "counters": _counters_dict(self.counters),
+        }
+
+
+def _counters_dict(counters: ASCounters) -> Dict[str, int]:
+    return {
+        "tagger": counters.tagger,
+        "silent": counters.silent,
+        "forward": counters.forward,
+        "cleaner": counters.cleaner,
+    }
+
+
+def _shares_dict(counters: ASCounters) -> Dict[str, float]:
+    return {
+        "tagger": counters.tagger_share(),
+        "silent": counters.silent_share(),
+        "forward": counters.forward_share(),
+        "cleaner": counters.cleaner_share(),
+    }
+
+
+def snapshot_payload(snapshot: WindowSnapshot) -> Dict[str, object]:
+    """Canonical JSON-friendly encoding of one window snapshot.
+
+    This is *the* wire format of the serving layer: the HTTP server emits it
+    for snapshots loaded from any backend, the archive tier persists it in
+    its segment files, and tests compare it against the payload of the
+    engine's in-memory snapshot to pin down store round-trip fidelity field
+    by field.
+    """
+    result = snapshot.result
+    ases: Dict[str, object] = {}
+    for asn in sorted(result.observed_ases):
+        counters = result.counters_of(asn)
+        ases[str(asn)] = {
+            "code": result.classification_of(asn).code,
+            "counters": _counters_dict(counters),
+            "shares": _shares_dict(counters),
+        }
+    return {
+        "window_start": snapshot.window_start,
+        "window_end": snapshot.window_end,
+        "skipped_windows": snapshot.skipped_windows,
+        "events_total": snapshot.events_total,
+        "unique_tuples": snapshot.unique_tuples,
+        "algorithm": result.algorithm,
+        "summary": snapshot.summary(),
+        "ases": ases,
+        "changed": {
+            str(asn): [old, new] for asn, (old, new) in sorted(snapshot.changed.items())
+        },
+    }
+
+
+def snapshot_from_payload(
+    payload: Dict[str, Any], thresholds: Thresholds
+) -> WindowSnapshot:
+    """Rebuild a :class:`WindowSnapshot` from its canonical wire payload.
+
+    The inverse of :func:`snapshot_payload` for every field the backends
+    persist.  Per-AS codes are *recomputed* from the counters and thresholds
+    -- exactly how the SQLite backend reconstructs local rows -- so a
+    payload applied through this function (a replicated leader snapshot, an
+    archived cold-tier record) round-trips byte-identically back out of the
+    serving API.
+    """
+    observed: Set[ASN] = set()
+    state: Dict[ASN, Tuple[int, int, int, int]] = {}
+    for asn_text, info in payload["ases"].items():
+        asn = int(asn_text)
+        observed.add(asn)
+        counters = info["counters"]
+        values = (
+            int(counters["tagger"]),
+            int(counters["silent"]),
+            int(counters["forward"]),
+            int(counters["cleaner"]),
+        )
+        if any(values):
+            state[asn] = values
+    result = ClassificationResult(
+        store=CounterStore.from_state(state, thresholds),
+        observed_ases=observed,
+        algorithm=str(payload["algorithm"]),
+    )
+    changed: Dict[ASN, Tuple[str, str]] = {
+        int(asn_text): (str(codes[0]), str(codes[1]))
+        for asn_text, codes in payload["changed"].items()
+    }
+    return WindowSnapshot(
+        window_start=int(payload["window_start"]),
+        window_end=int(payload["window_end"]),
+        skipped_windows=int(payload["skipped_windows"]),
+        events_total=int(payload["events_total"]),
+        unique_tuples=int(payload["unique_tuples"]),
+        result=result,
+        changed=changed,
+    )
+
+
+def require_valid_kind(kind: str) -> None:
+    """Shared append-path validation of the snapshot kind."""
+    if kind not in SNAPSHOT_KINDS:
+        raise ValueError(f"unknown snapshot kind {kind!r}")
+
+
+def require_valid_retention(retention: Optional[int]) -> None:
+    """Shared constructor validation of a retention cap."""
+    if retention is not None and retention < 1:
+        raise ValueError(f"retention must be >= 1, got {retention}")
+
+
+class SnapshotBackend(ABC):
+    """Abstract durable store of classification snapshots.
+
+    Implementations must preserve the semantics the conformance suite
+    (``tests/test_backends.py``) pins down:
+
+    * one append is atomic -- readers see the whole snapshot at a newer
+      generation or none of it, never a torn half;
+    * ``if_absent`` appends are idempotent per
+      ``(kind, window_start, window_end)`` and do not move the generation
+      when they deduplicate;
+    * pinned snapshot ids are honoured, and a pinned id already taken by a
+      *different* window raises :class:`StoreError` (replica divergence);
+    * snapshot ids are never reused, even after retention dropped a row;
+    * the generation counter is strictly monotonic across committed writes,
+      ``pruned_through`` only rises, and ``set_applied_generation`` only
+      moves forward;
+    * reads may come from many threads concurrently with the single writer.
+    """
+
+    #: Optional cap on retained snapshots, applied at append time.
+    retention: Optional[int] = None
+
+    # -- identity -----------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def url(self) -> str:
+        """The ``scheme:target`` URL this backend was opened from."""
+
+    # -- lifecycle ----------------------------------------------------------------------
+    @abstractmethod
+    def close(self) -> None:
+        """Release every resource; further operations raise :class:`StoreError`."""
+
+    def __enter__(self) -> "SnapshotBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writes -------------------------------------------------------------------------
+    @abstractmethod
+    def append_snapshot(
+        self,
+        snapshot: WindowSnapshot,
+        *,
+        kind: str = "window",
+        if_absent: bool = False,
+        snapshot_id: Optional[int] = None,
+    ) -> int:
+        """Durably persist one snapshot; returns its snapshot id."""
+
+    @abstractmethod
+    def drop_snapshot(self, snapshot_id: int) -> bool:
+        """Remove one snapshot, advancing the ``pruned_through`` horizon.
+
+        The retention primitive: backends apply their own cap through it,
+        and the tiered backend calls it on its hot store *after* archiving
+        the snapshot, which is what turns retention into archival.  Returns
+        whether the id existed.  A successful drop is a committed write and
+        bumps the generation.
+        """
+
+    @abstractmethod
+    def compact(self) -> int:
+        """Apply retention and reclaim space; returns snapshots dropped."""
+
+    # -- generation bookkeeping ---------------------------------------------------------
+    @abstractmethod
+    def generation(self) -> int:
+        """Monotonic write counter (the read-cache key of the server)."""
+
+    @abstractmethod
+    def pruned_through(self) -> int:
+        """Newest commit generation retention ever pruned (0: nothing yet)."""
+
+    @abstractmethod
+    def applied_generation(self) -> int:
+        """The leader generation this replica has applied through (0: never)."""
+
+    @abstractmethod
+    def set_applied_generation(self, generation: int) -> None:
+        """Record the applied leader generation (monotonic: only forward)."""
+
+    # -- metadata reads -----------------------------------------------------------------
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of queryable snapshots."""
+
+    @abstractmethod
+    def latest(self) -> Optional[StoredSnapshot]:
+        """Metadata of the newest snapshot, or ``None`` on an empty store."""
+
+    @abstractmethod
+    def get(self, snapshot_id: int) -> Optional[StoredSnapshot]:
+        """Metadata of one snapshot by id."""
+
+    @abstractmethod
+    def by_window_end(self, window_end: int) -> Optional[StoredSnapshot]:
+        """Metadata of the newest snapshot whose window ends at *window_end*."""
+
+    @abstractmethod
+    def find_window(
+        self, kind: str, window_start: int, window_end: int
+    ) -> Optional[StoredSnapshot]:
+        """Metadata of the newest snapshot matching the exact window key."""
+
+    @abstractmethod
+    def latest_window_end(self, kind: str = "window") -> Optional[int]:
+        """The largest persisted ``window_end`` of *kind* (``None`` when empty)."""
+
+    @abstractmethod
+    def snapshots(self) -> List[StoredSnapshot]:
+        """Metadata of every queryable snapshot, oldest first."""
+
+    @abstractmethod
+    def snapshots_since(
+        self, generation: int, *, limit: Optional[int] = None
+    ) -> List[StoredSnapshot]:
+        """Retained snapshots committed after *generation*, commit order."""
+
+    # -- full snapshot reads ------------------------------------------------------------
+    @abstractmethod
+    def load_snapshot(self, snapshot_id: int) -> WindowSnapshot:
+        """Reconstruct the full snapshot, or raise :class:`StoreError`."""
+
+    @abstractmethod
+    def changes(self, snapshot_id: int) -> Dict[ASN, Tuple[str, str]]:
+        """The ``{asn: (old_code, new_code)}`` change set of one snapshot."""
+
+    # -- per-AS queries -----------------------------------------------------------------
+    @abstractmethod
+    def as_history(
+        self, asn: ASN, *, limit: Optional[int] = None
+    ) -> List[ASHistoryEntry]:
+        """Classification history of one AS, newest snapshot first."""
+
+    def as_latest(self, asn: ASN) -> Optional[ASHistoryEntry]:
+        """The newest persisted classification of one AS (``None`` if unseen)."""
+        history = self.as_history(asn, limit=1)
+        return history[0] if history else None
+
+    # -- statistics ---------------------------------------------------------------------
+    @abstractmethod
+    def stats(self) -> Dict[str, object]:
+        """Store-level statistics for ``/v1/stats`` and operations."""
+
+
+def records_of(snapshot: WindowSnapshot) -> List[Tuple[int, str, int, int, int, int]]:
+    """Flatten a snapshot into the per-AS record rows every backend persists."""
+    result = snapshot.result
+    records = []
+    for asn in result.observed_ases:
+        counters = result.counters_of(asn)
+        records.append(
+            (
+                int(asn),
+                result.classification_of(asn).code,
+                counters.tagger,
+                counters.silent,
+                counters.forward,
+                counters.cleaner,
+            )
+        )
+    return records
+
+
+def snapshot_from_records(
+    meta: StoredSnapshot,
+    records: List[Tuple[int, str, int, int, int, int]],
+    changed: Dict[ASN, Tuple[str, str]],
+) -> WindowSnapshot:
+    """Rebuild a :class:`WindowSnapshot` from persisted record rows.
+
+    The reconstruction is field-faithful and shared by the SQLite and
+    memory backends: per-AS codes recompute from the raw counters and the
+    persisted thresholds, the observed-AS set includes all-zero rows, and
+    the change map round-trips as stored.
+    """
+    counter_state: Dict[ASN, Tuple[int, int, int, int]] = {}
+    observed: Set[ASN] = set()
+    for asn, _code, tagger, silent, forward, cleaner in records:
+        observed.add(asn)
+        if tagger or silent or forward or cleaner:
+            counter_state[asn] = (tagger, silent, forward, cleaner)
+    result = ClassificationResult(
+        store=CounterStore.from_state(counter_state, meta.thresholds),
+        observed_ases=observed,
+        algorithm=meta.algorithm,
+    )
+    return WindowSnapshot(
+        window_start=meta.window_start,
+        window_end=meta.window_end,
+        skipped_windows=meta.skipped_windows,
+        events_total=meta.events_total,
+        unique_tuples=meta.unique_tuples,
+        result=result,
+        changed=dict(changed),
+    )
+
+
+#: URL schemes :func:`repro.service.backends.open_store` dispatches on.
+STORE_SCHEMES = ("sqlite", "memory")
+
+
+def parse_store_url(url: Union[str, os.PathLike]) -> Tuple[str, str]:
+    """Split a store URL into ``(scheme, target)``.
+
+    ``sqlite:path`` and ``memory:`` are explicit; anything else (including
+    the SQLite-native ``:memory:`` spelling) is a plain filesystem path and
+    defaults to the SQLite backend, so every pre-URL call site keeps
+    working unchanged.
+    """
+    text = str(url)
+    if text == ":memory:":
+        return "sqlite", ":memory:"
+    if text.startswith("memory:"):
+        rest = text[len("memory:"):]
+        if rest:
+            raise ValueError(
+                f"memory: stores are anonymous and per-process, got {text!r}"
+            )
+        return "memory", ""
+    if text.startswith("sqlite:"):
+        target = text[len("sqlite:"):]
+        if not target:
+            raise ValueError(f"sqlite: store URL needs a path, got {text!r}")
+        return "sqlite", target
+    return "sqlite", text
+
+
+__all__ = [
+    "ASHistoryEntry",
+    "SNAPSHOT_KINDS",
+    "STORE_SCHEMES",
+    "SnapshotBackend",
+    "StoreError",
+    "StoredSnapshot",
+    "parse_store_url",
+    "records_of",
+    "require_valid_kind",
+    "require_valid_retention",
+    "snapshot_from_payload",
+    "snapshot_from_records",
+    "snapshot_payload",
+]

@@ -1,4 +1,4 @@
-"""Publisher hooks: wire running producers into a :class:`SnapshotStore`.
+"""Publisher hooks: wire running producers into any :class:`SnapshotBackend`.
 
 The streaming engine already exposes an ``on_window`` callback; a
 :class:`SnapshotPublisher` is such a callback that durably appends every
@@ -27,7 +27,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.bgp.asn import ASN
 from repro.core.results import ClassificationResult
-from repro.service.store import SnapshotStore
+from repro.service.backends.base import SnapshotBackend
 from repro.stream.engine import StreamEngine, WindowSnapshot
 
 #: Signature of an ``on_window`` engine callback.
@@ -35,7 +35,7 @@ WindowCallback = Callable[[WindowSnapshot], None]
 
 
 def ensure_snapshot(
-    store: SnapshotStore,
+    store: SnapshotBackend,
     snapshot: WindowSnapshot,
     *,
     kind: str = "window",
@@ -66,7 +66,7 @@ class SnapshotPublisher:
 
     def __init__(
         self,
-        store: SnapshotStore,
+        store: SnapshotBackend,
         *,
         kind: str = "window",
         forward: Optional[WindowCallback] = None,
@@ -118,7 +118,7 @@ class SnapshotPublisher:
 
 
 def attach_store(
-    engine: StreamEngine, store: SnapshotStore, *, resume: bool = False
+    engine: StreamEngine, store: SnapshotBackend, *, resume: bool = False
 ) -> SnapshotPublisher:
     """Make *engine* persist every window snapshot into *store*.
 
@@ -148,7 +148,7 @@ def attach_store(
 
 
 def publish_result(
-    store: SnapshotStore,
+    store: SnapshotBackend,
     result: ClassificationResult,
     *,
     events_total: int = 0,

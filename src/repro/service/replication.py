@@ -10,7 +10,7 @@ any other host's store into a **follower** that converges on it.
 The contract, piece by piece:
 
 * **generation addressing** -- every snapshot records the store generation
-  it committed at (:meth:`SnapshotStore.snapshots_since`), so "everything
+  it committed at (:meth:`SnapshotBackend.snapshots_since`), so "everything
   after G" is a single indexed range read, paged to keep responses bounded;
 * **idempotent apply** -- each fetched snapshot lands through the same
   :func:`~repro.service.publish.ensure_snapshot` path resumed producers
@@ -41,16 +41,24 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union, cast
+from typing import Any, Callable, Dict, List, Optional, Union, cast
 
-from repro.bgp.asn import ASN
-from repro.core.counters import CounterStore
-from repro.core.results import ClassificationResult
 from repro.core.thresholds import Thresholds
+from repro.service.backends.base import (
+    SnapshotBackend,
+    StoreError,
+    snapshot_from_payload,
+)
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.publish import ensure_snapshot
-from repro.service.store import SnapshotStore, StoreError
-from repro.stream.engine import WindowSnapshot
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "ReplicaSyncer",
+    "ReplicationError",
+    "SyncReport",
+    "snapshot_from_payload",  # canonical codec, re-exported for back-compat
+]
 
 #: Snapshots fetched per changelog page by default (mirrors the server's
 #: default page; the server caps explicit requests at its own maximum).
@@ -66,51 +74,6 @@ class ReplicationError(Exception):
     from an empty store (which adopts the leader's retained set) or by
     raising the leader's retention.
     """
-
-
-def snapshot_from_payload(
-    payload: Dict[str, Any], thresholds: Thresholds
-) -> WindowSnapshot:
-    """Rebuild a :class:`WindowSnapshot` from its canonical wire payload.
-
-    The inverse of :func:`~repro.service.store.snapshot_payload` for every
-    field the store persists.  Per-AS codes are *recomputed* from the
-    counters and thresholds -- exactly how :meth:`SnapshotStore.load_snapshot`
-    reconstructs local rows -- so a leader payload applied here round-trips
-    byte-identically back out of the follower's API.
-    """
-    observed: Set[ASN] = set()
-    state: Dict[ASN, Tuple[int, int, int, int]] = {}
-    for asn_text, info in cast(Dict[str, Dict[str, Any]], payload["ases"]).items():
-        asn = int(asn_text)
-        observed.add(asn)
-        counters = info["counters"]
-        values = (
-            int(counters["tagger"]),
-            int(counters["silent"]),
-            int(counters["forward"]),
-            int(counters["cleaner"]),
-        )
-        if any(values):
-            state[asn] = values
-    result = ClassificationResult(
-        store=CounterStore.from_state(state, thresholds),
-        observed_ases=observed,
-        algorithm=str(payload["algorithm"]),
-    )
-    changed: Dict[ASN, Tuple[str, str]] = {
-        int(asn_text): (str(codes[0]), str(codes[1]))
-        for asn_text, codes in cast(Dict[str, List[str]], payload["changed"]).items()
-    }
-    return WindowSnapshot(
-        window_start=int(payload["window_start"]),
-        window_end=int(payload["window_end"]),
-        skipped_windows=int(payload["skipped_windows"]),
-        events_total=int(payload["events_total"]),
-        unique_tuples=int(payload["unique_tuples"]),
-        result=result,
-        changed=changed,
-    )
 
 
 @dataclass(frozen=True)
@@ -156,7 +119,7 @@ class ReplicaSyncer:
     def __init__(
         self,
         client: Union[str, ServiceClient],
-        store: SnapshotStore,
+        store: SnapshotBackend,
         *,
         page_size: int = DEFAULT_PAGE_SIZE,
     ) -> None:

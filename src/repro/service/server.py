@@ -1,4 +1,4 @@
-"""Stdlib-only JSON HTTP API over a :class:`SnapshotStore`.
+"""Stdlib-only JSON HTTP API over any :class:`SnapshotBackend`.
 
 Endpoints (all ``GET``, all responses ``application/json``):
 
@@ -16,9 +16,9 @@ The service keeps an LRU cache of encoded response bodies keyed on
 ``(store generation, request path)``.  The generation bumps on every store
 commit, so a cache hit is always consistent with the durable state, and hot
 entries (the latest snapshot, popular ASes) are served from memory without
-rebuilding multi-thousand-row payloads from SQLite.  Requests are handled on
-a :class:`ThreadingHTTPServer`; SQLite reads use per-thread connections
-against the WAL, so readers never block the producer.
+rebuilding multi-thousand-row payloads from the backend.  Requests are
+handled on a :class:`ThreadingHTTPServer`; the SQLite backend uses
+per-thread connections against the WAL, so readers never block the producer.
 """
 
 from __future__ import annotations
@@ -31,7 +31,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Protocol, Tuple, Type
 from urllib.parse import parse_qs
 
-from repro.service.store import SnapshotStore, StoreError, snapshot_payload
+from repro.service.backends.base import SnapshotBackend, StoreError, snapshot_payload
 
 
 class StatsSink(Protocol):
@@ -136,7 +136,7 @@ class ClassificationService:
 
     def __init__(
         self,
-        store: SnapshotStore,
+        store: SnapshotBackend,
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         worker_id: int = 0,
@@ -432,7 +432,7 @@ class ClassificationServer:
 
     def __init__(
         self,
-        store: SnapshotStore,
+        store: SnapshotBackend,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -442,6 +442,7 @@ class ClassificationServer:
         self.httpd = ThreadingHTTPServer((host, port), build_handler(self.service))
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._served = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -458,6 +459,7 @@ class ClassificationServer:
         """Serve requests from a background daemon thread."""
         if self._thread is not None:
             raise RuntimeError("server already started")
+        self._served = True
         self._thread = threading.Thread(
             target=self.httpd.serve_forever, name="repro-serve", daemon=True
         )
@@ -466,11 +468,21 @@ class ClassificationServer:
 
     def serve_forever(self) -> None:
         """Serve requests on the calling thread until interrupted."""
+        self._served = True
         self.httpd.serve_forever()
 
     def close(self) -> None:
-        """Stop serving and release the socket."""
-        self.httpd.shutdown()
+        """Stop serving and release the socket.
+
+        Safe on a server that never served: ``BaseServer.shutdown()`` blocks
+        forever unless ``serve_forever`` ran (it waits on an event only the
+        serve loop sets), so it is only called after a serve actually
+        started.  This is what lets ``repro serve`` stack the server in an
+        ``ExitStack`` *before* blocking on it -- a failure between construction
+        and serving still unwinds cleanly.
+        """
+        if self._served:
+            self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)

@@ -1,865 +1,44 @@
-"""Durable snapshot store for classification results.
+"""Back-compat facade over :mod:`repro.service.backends`.
 
-The :class:`SnapshotStore` persists every
-:class:`~repro.stream.engine.WindowSnapshot` (and batch
-:class:`~repro.core.results.ClassificationResult`) into a single SQLite
-database in WAL mode, so results outlive the producing process and many
-concurrent readers can share one producer:
+The storage layer moved into a pluggable-backend package:
 
-* **atomic writes** -- one snapshot is one transaction; readers never see a
-  half-written snapshot;
-* **schema versioning** -- the database carries its schema version and the
-  store refuses to open an incompatible file instead of corrupting it;
-* **retention / compaction** -- an optional cap on retained window
-  snapshots, applied at append time, plus an explicit :meth:`compact`;
-* **indexed per-AS history** -- ``(asn, snapshot)`` indexed records answer
-  "how was AS X classified over time" without scanning snapshots;
-* **generation counter** -- every committed write bumps a monotonically
-  increasing generation, which the HTTP server uses to key its read cache;
-* **generation-addressed changelog** -- every snapshot records the
-  generation it committed at, so :meth:`snapshots_since` can page through
-  "everything committed after generation G" in commit order.  This is the
-  replication feed (:mod:`repro.service.replication`): a follower remembers
-  the last leader generation it applied (:meth:`set_applied_generation`,
-  durably in the ``meta`` table) and the leader remembers the newest
-  generation its retention ever pruned (:meth:`pruned_through`), so a
-  lagging follower that retention overtook is detected instead of silently
-  skipping windows.
+* the contract (:class:`SnapshotBackend`, :class:`StoredSnapshot`,
+  :class:`ASHistoryEntry`, :class:`StoreError`, the canonical wire codec
+  :func:`snapshot_payload` / ``snapshot_from_payload``) lives in
+  :mod:`repro.service.backends.base`;
+* the SQLite implementation (still named :class:`SnapshotStore`) lives in
+  :mod:`repro.service.backends.sqlite`;
+* :func:`open_store` in :mod:`repro.service.backends` dispatches store
+  URLs (``sqlite:path``, ``memory:``, plain paths) and can wrap the hot
+  backend in a tiered archive (``archive_dir=``).
 
-Reads and writes may come from different threads: each thread gets its own
-SQLite connection (WAL readers do not block the writer), and writes are
-serialised through a lock.
+This module keeps every historical import path working --
+``from repro.service.store import SnapshotStore, open_store`` predates the
+package split and is used throughout tests, benchmarks, and downstream
+code.  New code should import from :mod:`repro.service.backends`.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import sqlite3
-import threading
-from contextlib import contextmanager
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
-
-from repro.bgp.asn import ASN
-from repro.core.counters import ASCounters, CounterStore
-from repro.core.results import ClassificationResult
-from repro.core.thresholds import Thresholds
-from repro.stream.engine import WindowSnapshot
-
-#: Version of the on-disk schema this module reads and writes.  Version 2
-#: added the per-snapshot commit ``generation`` column (replication feed);
-#: version-1 files are migrated in place on open.
-SCHEMA_VERSION = 2
-
-#: Snapshot kinds accepted by the store.
-SNAPSHOT_KINDS = ("window", "batch")
-
-
-class StoreError(Exception):
-    """Raised for unusable databases and invalid store operations."""
-
-
-@dataclass(frozen=True)
-class StoredSnapshot:
-    """Metadata row of one persisted snapshot (records fetched separately)."""
-
-    snapshot_id: int
-    kind: str
-    window_start: int
-    window_end: int
-    skipped_windows: int
-    events_total: int
-    unique_tuples: int
-    algorithm: str
-    thresholds: Thresholds
-    #: Store generation this snapshot committed at.  Local to the writing
-    #: store: a replica applying this snapshot gets its *own* generation, and
-    #: tracks the leader's separately (see ``applied_generation``).
-    generation: int = 0
-
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-friendly metadata view."""
-        return {
-            "snapshot_id": self.snapshot_id,
-            "kind": self.kind,
-            "window_start": self.window_start,
-            "window_end": self.window_end,
-            "skipped_windows": self.skipped_windows,
-            "events_total": self.events_total,
-            "unique_tuples": self.unique_tuples,
-            "algorithm": self.algorithm,
-        }
-
-
-@dataclass(frozen=True)
-class ASHistoryEntry:
-    """One AS's classification in one persisted snapshot."""
-
-    snapshot_id: int
-    window_start: int
-    window_end: int
-    code: str
-    counters: ASCounters
-
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-friendly view used by the HTTP API."""
-        return {
-            "snapshot_id": self.snapshot_id,
-            "window_start": self.window_start,
-            "window_end": self.window_end,
-            "code": self.code,
-            "counters": _counters_dict(self.counters),
-        }
-
-
-def _counters_dict(counters: ASCounters) -> Dict[str, int]:
-    return {
-        "tagger": counters.tagger,
-        "silent": counters.silent,
-        "forward": counters.forward,
-        "cleaner": counters.cleaner,
-    }
-
-
-def _shares_dict(counters: ASCounters) -> Dict[str, float]:
-    return {
-        "tagger": counters.tagger_share(),
-        "silent": counters.silent_share(),
-        "forward": counters.forward_share(),
-        "cleaner": counters.cleaner_share(),
-    }
-
-
-def snapshot_payload(snapshot: WindowSnapshot) -> Dict[str, object]:
-    """Canonical JSON-friendly encoding of one window snapshot.
-
-    This is *the* wire format of the serving layer: the HTTP server emits it
-    for snapshots loaded from the store, and tests compare it against the
-    payload of the engine's in-memory snapshot to pin down store round-trip
-    fidelity field by field.
-    """
-    result = snapshot.result
-    ases: Dict[str, object] = {}
-    for asn in sorted(result.observed_ases):
-        counters = result.counters_of(asn)
-        ases[str(asn)] = {
-            "code": result.classification_of(asn).code,
-            "counters": _counters_dict(counters),
-            "shares": _shares_dict(counters),
-        }
-    return {
-        "window_start": snapshot.window_start,
-        "window_end": snapshot.window_end,
-        "skipped_windows": snapshot.skipped_windows,
-        "events_total": snapshot.events_total,
-        "unique_tuples": snapshot.unique_tuples,
-        "algorithm": result.algorithm,
-        "summary": snapshot.summary(),
-        "ases": ases,
-        "changed": {
-            str(asn): [old, new] for asn, (old, new) in sorted(snapshot.changed.items())
-        },
-    }
-
-
-# Individual statements (not one script) so initialisation can run them
-# inside a single BEGIN IMMEDIATE transaction: executescript() would commit
-# the transaction first, and concurrent multi-process opens (every fan-out
-# worker opens the store) must serialise the version check + migration.
-_SCHEMA_STATEMENTS = (
-    """
-    CREATE TABLE IF NOT EXISTS snapshots (
-        id              INTEGER PRIMARY KEY AUTOINCREMENT,
-        kind            TEXT NOT NULL,
-        window_start    INTEGER NOT NULL,
-        window_end      INTEGER NOT NULL,
-        skipped_windows INTEGER NOT NULL,
-        events_total    INTEGER NOT NULL,
-        unique_tuples   INTEGER NOT NULL,
-        algorithm       TEXT NOT NULL,
-        thresholds      TEXT NOT NULL,
-        generation      INTEGER NOT NULL DEFAULT 0
-    )
-    """,
-    "CREATE INDEX IF NOT EXISTS idx_snapshots_window_end ON snapshots (window_end)",
-    "CREATE INDEX IF NOT EXISTS idx_snapshots_generation ON snapshots (generation)",
-    """
-    CREATE TABLE IF NOT EXISTS as_records (
-        snapshot_id INTEGER NOT NULL,
-        asn         INTEGER NOT NULL,
-        code        TEXT NOT NULL,
-        tagger      INTEGER NOT NULL,
-        silent      INTEGER NOT NULL,
-        forward     INTEGER NOT NULL,
-        cleaner     INTEGER NOT NULL,
-        PRIMARY KEY (snapshot_id, asn)
-    ) WITHOUT ROWID
-    """,
-    "CREATE INDEX IF NOT EXISTS idx_as_records_asn ON as_records (asn, snapshot_id)",
-    """
-    CREATE TABLE IF NOT EXISTS changes (
-        snapshot_id INTEGER NOT NULL,
-        asn         INTEGER NOT NULL,
-        old_code    TEXT NOT NULL,
-        new_code    TEXT NOT NULL,
-        PRIMARY KEY (snapshot_id, asn)
-    ) WITHOUT ROWID
-    """,
+from repro.service.backends import open_store
+from repro.service.backends.base import (
+    SNAPSHOT_KINDS,
+    ASHistoryEntry,
+    SnapshotBackend,
+    StoredSnapshot,
+    StoreError,
+    snapshot_payload,
 )
+from repro.service.backends.sqlite import SCHEMA_VERSION, SnapshotStore
 
-
-class SnapshotStore:
-    """SQLite-WAL-backed persistence for classification snapshots."""
-
-    def __init__(
-        self,
-        path: Union[str, os.PathLike],
-        *,
-        retention: Optional[int] = None,
-    ) -> None:
-        if retention is not None and retention < 1:
-            raise ValueError(f"retention must be >= 1, got {retention}")
-        self.path = str(path)
-        self.retention = retention
-        self._write_lock = threading.Lock()
-        self._local = threading.local()
-        self._closed = False
-        # Every connection ever opened, so close() can release them all --
-        # thread-local handles of retired reader threads included.
-        self._connections: List[sqlite3.Connection] = []
-        self._connections_lock = threading.Lock()
-        # In-memory databases are per-connection; share one connection (and
-        # serialise reads through the write lock) so tests can use ":memory:".
-        self._shared: Optional[sqlite3.Connection] = None
-        if self.path == ":memory:":
-            self._shared = self._connect()
-        self._initialise()
-
-    # -- connection management ----------------------------------------------------------
-    def _connect(self) -> sqlite3.Connection:
-        connection = sqlite3.connect(self.path, check_same_thread=False)
-        connection.execute("PRAGMA journal_mode=WAL")
-        connection.execute("PRAGMA synchronous=NORMAL")
-        with self._connections_lock:
-            self._connections.append(connection)
-        return connection
-
-    def _conn(self) -> sqlite3.Connection:
-        if self._closed:
-            raise StoreError("store is closed")
-        if self._shared is not None:
-            return self._shared
-        connection: Optional[sqlite3.Connection] = getattr(self._local, "connection", None)
-        if connection is None:
-            connection = self._connect()
-            self._local.connection = connection
-        return connection
-
-    def _initialise(self) -> None:
-        with self._write_lock:
-            connection = self._conn()
-            with connection:
-                # One BEGIN IMMEDIATE transaction around the whole check /
-                # migrate / create sequence: concurrent opens from sibling
-                # processes (a fan-out worker fleet, a serving replica's
-                # syncer) must not both read version 1 and both run the
-                # migration's ALTER TABLE, nor both insert the meta rows of
-                # a fresh file.
-                connection.execute("BEGIN IMMEDIATE")
-                connection.execute(
-                    "CREATE TABLE IF NOT EXISTS meta"
-                    " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
-                )
-                row = connection.execute(
-                    "SELECT value FROM meta WHERE key = 'schema_version'"
-                ).fetchone()
-                if row is not None and int(row[0]) == 1:
-                    self._migrate_v1(connection)
-                elif row is not None and int(row[0]) != SCHEMA_VERSION:
-                    raise StoreError(
-                        f"store {self.path!r} has schema version {row[0]}, "
-                        f"this build reads version {SCHEMA_VERSION}"
-                    )
-                for statement in _SCHEMA_STATEMENTS:
-                    connection.execute(statement)
-                if row is None:
-                    connection.execute(
-                        "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
-                        (str(SCHEMA_VERSION),),
-                    )
-                    connection.execute(
-                        "INSERT INTO meta (key, value) VALUES ('generation', '0')"
-                    )
-                connection.execute(
-                    "INSERT OR IGNORE INTO meta (key, value)"
-                    " VALUES ('pruned_through', '0')"
-                )
-
-    @staticmethod
-    def _migrate_v1(connection: sqlite3.Connection) -> None:
-        """In-place migration of a version-1 file to the version-2 schema.
-
-        Version 1 had no per-snapshot commit generation.  Retained snapshots
-        are backfilled with synthetic generations that keep commit order and
-        end at the store's current generation counter, so appends after the
-        migration continue the same monotonic sequence.  What (if anything)
-        retention pruned before the migration is unknowable, so
-        ``pruned_through`` starts at 0 -- harmless, because no follower can
-        predate its leader's migration.
-        """
-        connection.execute(
-            "ALTER TABLE snapshots ADD COLUMN generation INTEGER NOT NULL DEFAULT 0"
-        )
-        row = connection.execute(
-            "SELECT value FROM meta WHERE key = 'generation'"
-        ).fetchone()
-        current = int(row[0]) if row is not None else 0
-        rows = connection.execute("SELECT id FROM snapshots ORDER BY id").fetchall()
-        for rank, (snapshot_id,) in enumerate(rows, start=1):
-            connection.execute(
-                "UPDATE snapshots SET generation = ? WHERE id = ?",
-                (current - len(rows) + rank, snapshot_id),
-            )
-        connection.execute(
-            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
-            (str(SCHEMA_VERSION),),
-        )
-
-    def close(self) -> None:
-        """Close every connection this store ever opened, on any thread.
-
-        Thread-local reader connections are tracked at :meth:`_connect`
-        time, so the handles of retired reader threads are released too --
-        a long-lived process that recycles request threads must not leak
-        one WAL file handle per dead thread.  Safe because every connection
-        is opened with ``check_same_thread=False``.
-        """
-        self._closed = True
-        with self._connections_lock:
-            connections, self._connections = self._connections, []
-        for connection in connections:
-            try:
-                connection.close()
-            except sqlite3.ProgrammingError:  # pragma: no cover - already closed
-                pass
-        self._shared = None
-        self._local.connection = None
-
-    def __enter__(self) -> "SnapshotStore":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    # -- writes -------------------------------------------------------------------------
-    def append_snapshot(
-        self,
-        snapshot: WindowSnapshot,
-        *,
-        kind: str = "window",
-        if_absent: bool = False,
-        snapshot_id: Optional[int] = None,
-    ) -> int:
-        """Durably persist one snapshot; returns its snapshot id.
-
-        The snapshot metadata, every observed AS's classification record,
-        and the per-window change set commit in a single transaction, and
-        the store generation is bumped with them: readers either see the
-        whole snapshot at a newer generation or none of it.  The committed
-        generation is recorded on the snapshot row, which is what makes the
-        store a generation-addressed changelog (:meth:`snapshots_since`).
-
-        With ``if_absent=True`` the append is idempotent per
-        ``(kind, window_start, window_end)``: if the store already holds a
-        snapshot for that window the existing id is returned, nothing is
-        written, and the generation does not move.  This is what makes
-        resumed producers exactly-once -- a window re-emitted after a
-        checkpoint restore lands on the copy the store already has.  The
-        existence check runs inside the write transaction, so concurrent
-        publishers on the same store cannot both insert.
-
-        *snapshot_id* pins the row id instead of letting SQLite assign one.
-        Replication uses this to carry the leader's ids onto followers, so
-        id-bearing payloads (``/v1/as``, ``/v1/diff``) are byte-identical
-        across hosts.  Window identity across hosts stays id-independent --
-        dedup keys on ``(kind, window_start, window_end)`` -- and a pinned
-        id that is already taken by a *different* window raises
-        :class:`StoreError` (the replica diverged from its leader).
-        """
-        if kind not in SNAPSHOT_KINDS:
-            raise ValueError(f"unknown snapshot kind {kind!r}")
-        result = snapshot.result
-        thresholds = result.thresholds
-        records = []
-        for asn in result.observed_ases:
-            counters = result.counters_of(asn)
-            records.append(
-                (
-                    int(asn),
-                    result.classification_of(asn).code,
-                    counters.tagger,
-                    counters.silent,
-                    counters.forward,
-                    counters.cleaner,
-                )
-            )
-        with self._write_lock:
-            connection = self._conn()
-            with connection:
-                # sqlite3's legacy isolation starts the transaction at the
-                # first DML, so the SELECTs below would otherwise run in
-                # autocommit and two *processes* could both miss an existing
-                # row or read the same generation.  BEGIN IMMEDIATE takes
-                # the write lock up front, making check + insert one atomic
-                # unit (the surrounding `with connection` still commits it).
-                connection.execute("BEGIN IMMEDIATE")
-                if if_absent:
-                    existing = connection.execute(
-                        "SELECT id FROM snapshots WHERE kind = ? AND window_start = ?"
-                        " AND window_end = ? ORDER BY id DESC LIMIT 1",
-                        (kind, snapshot.window_start, snapshot.window_end),
-                    ).fetchone()
-                    if existing is not None:
-                        return int(existing[0])
-                if snapshot_id is not None:
-                    taken = connection.execute(
-                        "SELECT kind, window_start, window_end FROM snapshots"
-                        " WHERE id = ?",
-                        (snapshot_id,),
-                    ).fetchone()
-                    if taken is not None:
-                        if tuple(taken) == (
-                            kind,
-                            snapshot.window_start,
-                            snapshot.window_end,
-                        ):
-                            return snapshot_id
-                        raise StoreError(
-                            f"snapshot id {snapshot_id} already holds window"
-                            f" {tuple(taken)!r}, not"
-                            f" {(kind, snapshot.window_start, snapshot.window_end)!r}"
-                            " -- replica diverged from its leader"
-                        )
-                row = connection.execute(
-                    "SELECT value FROM meta WHERE key = 'generation'"
-                ).fetchone()
-                generation = (int(row[0]) if row is not None else 0) + 1
-                cursor = connection.execute(
-                    "INSERT INTO snapshots (id, kind, window_start, window_end,"
-                    " skipped_windows, events_total, unique_tuples, algorithm,"
-                    " thresholds, generation) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        snapshot_id,
-                        kind,
-                        snapshot.window_start,
-                        snapshot.window_end,
-                        snapshot.skipped_windows,
-                        snapshot.events_total,
-                        snapshot.unique_tuples,
-                        result.algorithm,
-                        json.dumps(
-                            [
-                                thresholds.tagger,
-                                thresholds.silent,
-                                thresholds.forward,
-                                thresholds.cleaner,
-                            ]
-                        ),
-                        generation,
-                    ),
-                )
-                snapshot_id = int(cursor.lastrowid or 0)
-                connection.executemany(
-                    "INSERT INTO as_records (snapshot_id, asn, code, tagger,"
-                    " silent, forward, cleaner) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    [(snapshot_id, *record) for record in records],
-                )
-                connection.executemany(
-                    "INSERT INTO changes (snapshot_id, asn, old_code, new_code)"
-                    " VALUES (?, ?, ?, ?)",
-                    [
-                        (snapshot_id, int(asn), old, new)
-                        for asn, (old, new) in snapshot.changed.items()
-                    ],
-                )
-                if self.retention is not None:
-                    self._apply_retention(connection)
-                connection.execute(
-                    "UPDATE meta SET value = ? WHERE key = 'generation'",
-                    (str(generation),),
-                )
-        return snapshot_id
-
-    def _apply_retention(self, connection: sqlite3.Connection) -> int:
-        """Drop the oldest snapshots beyond the retention cap (returns count).
-
-        The newest pruned commit generation is remembered in the meta table
-        (``pruned_through``): it is the replication horizon below which a
-        follower can no longer catch up from this store's changelog.
-        """
-        assert self.retention is not None
-        stale = connection.execute(
-            "SELECT id, generation FROM snapshots ORDER BY id DESC LIMIT -1 OFFSET ?",
-            (self.retention,),
-        ).fetchall()
-        for snapshot_id, _ in stale:
-            connection.execute("DELETE FROM as_records WHERE snapshot_id = ?", (snapshot_id,))
-            connection.execute("DELETE FROM changes WHERE snapshot_id = ?", (snapshot_id,))
-            connection.execute("DELETE FROM snapshots WHERE id = ?", (snapshot_id,))
-        if stale:
-            horizon = max(int(generation) for _, generation in stale)
-            connection.execute(
-                "UPDATE meta SET value = CAST(MAX(CAST(value AS INTEGER), ?) AS TEXT)"
-                " WHERE key = 'pruned_through'",
-                (horizon,),
-            )
-        return len(stale)
-
-    def compact(self) -> int:
-        """Apply retention, reclaim free pages, and truncate the WAL.
-
-        Returns the number of snapshots dropped.  Safe to call while readers
-        are active (VACUUM briefly takes the database over, so compaction is
-        an explicit maintenance call rather than part of the append path).
-        """
-        with self._write_lock:
-            connection = self._conn()
-            with connection:
-                dropped = 0
-                if self.retention is not None:
-                    dropped = self._apply_retention(connection)
-                if dropped:
-                    connection.execute(
-                        "UPDATE meta SET value = CAST(value AS INTEGER) + 1"
-                        " WHERE key = 'generation'"
-                    )
-            connection.execute("VACUUM")
-            connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
-        return dropped
-
-    # -- metadata reads -----------------------------------------------------------------
-    def generation(self) -> int:
-        """Monotonic write counter (the read-cache key of the server)."""
-        row = self._conn().execute(
-            "SELECT value FROM meta WHERE key = 'generation'"
-        ).fetchone()
-        return int(row[0]) if row is not None else 0
-
-    def pruned_through(self) -> int:
-        """Newest commit generation retention ever pruned (0: nothing yet).
-
-        The replication horizon: a follower whose applied generation is
-        below this may have missed pruned snapshots for good, and must
-        surface that as a sync error instead of skipping them silently.
-        """
-        row = self._conn().execute(
-            "SELECT value FROM meta WHERE key = 'pruned_through'"
-        ).fetchone()
-        return int(row[0]) if row is not None else 0
-
-    def applied_generation(self) -> int:
-        """The leader generation this replica store has applied through.
-
-        0 on a store that never replicated.  Durable in the ``meta`` table,
-        so a killed follower resumes from where it left off -- the same
-        exactly-once contract resumed producers get, since re-applied
-        snapshots land on the idempotent window key anyway.
-        """
-        row = self._conn().execute(
-            "SELECT value FROM meta WHERE key = 'applied_generation'"
-        ).fetchone()
-        return int(row[0]) if row is not None else 0
-
-    def set_applied_generation(self, generation: int) -> None:
-        """Durably record the applied leader generation (monotonic: only
-        moves forward).  A meta-only write: the store's own generation does
-        not bump, so follower read caches stay valid across bookkeeping."""
-        if generation < 0:
-            raise ValueError(f"generation must be >= 0, got {generation}")
-        with self._write_lock:
-            connection = self._conn()
-            with connection:
-                connection.execute(
-                    "INSERT INTO meta (key, value) VALUES ('applied_generation', ?)"
-                    " ON CONFLICT(key) DO UPDATE SET value = CAST(MAX("
-                    "CAST(value AS INTEGER), CAST(excluded.value AS INTEGER)"
-                    ") AS TEXT)",
-                    (str(generation),),
-                )
-
-    def __len__(self) -> int:
-        row = self._conn().execute("SELECT COUNT(*) FROM snapshots").fetchone()
-        return int(row[0])
-
-    def _snapshot_from_row(
-        self, row: Tuple[int, str, int, int, int, int, int, str, str, int]
-    ) -> StoredSnapshot:
-        tagger, silent, forward, cleaner = json.loads(row[8])
-        return StoredSnapshot(
-            snapshot_id=int(row[0]),
-            kind=row[1],
-            window_start=int(row[2]),
-            window_end=int(row[3]),
-            skipped_windows=int(row[4]),
-            events_total=int(row[5]),
-            unique_tuples=int(row[6]),
-            algorithm=row[7],
-            thresholds=Thresholds(
-                tagger=tagger, silent=silent, forward=forward, cleaner=cleaner
-            ),
-            generation=int(row[9]),
-        )
-
-    _SNAPSHOT_COLUMNS = (
-        "id, kind, window_start, window_end, skipped_windows,"
-        " events_total, unique_tuples, algorithm, thresholds, generation"
-    )
-
-    def latest(self) -> Optional[StoredSnapshot]:
-        """Metadata of the newest snapshot, or ``None`` on an empty store."""
-        row = self._conn().execute(
-            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots ORDER BY id DESC LIMIT 1"
-        ).fetchone()
-        return self._snapshot_from_row(row) if row is not None else None
-
-    def get(self, snapshot_id: int) -> Optional[StoredSnapshot]:
-        """Metadata of one snapshot by id."""
-        row = self._conn().execute(
-            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots WHERE id = ?",
-            (snapshot_id,),
-        ).fetchone()
-        return self._snapshot_from_row(row) if row is not None else None
-
-    def by_window_end(self, window_end: int) -> Optional[StoredSnapshot]:
-        """Metadata of the newest snapshot whose window ends at *window_end*."""
-        row = self._conn().execute(
-            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots"
-            " WHERE window_end = ? ORDER BY id DESC LIMIT 1",
-            (window_end,),
-        ).fetchone()
-        return self._snapshot_from_row(row) if row is not None else None
-
-    def find_window(
-        self, kind: str, window_start: int, window_end: int
-    ) -> Optional[StoredSnapshot]:
-        """Metadata of the newest snapshot matching the exact window key.
-
-        This is the idempotency key of :meth:`append_snapshot`: one
-        ``(kind, window_start, window_end)`` triple identifies one published
-        window of one producer run (or its exact re-emission after resume).
-        """
-        row = self._conn().execute(
-            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots"
-            " WHERE kind = ? AND window_start = ? AND window_end = ?"
-            " ORDER BY id DESC LIMIT 1",
-            (kind, window_start, window_end),
-        ).fetchone()
-        return self._snapshot_from_row(row) if row is not None else None
-
-    def latest_window_end(self, kind: str = "window") -> Optional[int]:
-        """The largest persisted ``window_end`` of *kind* (``None`` when empty).
-
-        A resume-aware publisher reads this once at attach time: windows at
-        or before it may already be in the store and need the idempotency
-        check; windows past it are certainly new.
-        """
-        row = self._conn().execute(
-            "SELECT MAX(window_end) FROM snapshots WHERE kind = ?", (kind,)
-        ).fetchone()
-        return int(row[0]) if row is not None and row[0] is not None else None
-
-    def snapshots(self) -> List[StoredSnapshot]:
-        """Metadata of every retained snapshot, oldest first."""
-        rows = self._conn().execute(
-            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots ORDER BY id"
-        ).fetchall()
-        return [self._snapshot_from_row(row) for row in rows]
-
-    def snapshots_since(
-        self, generation: int, *, limit: Optional[int] = None
-    ) -> List[StoredSnapshot]:
-        """Retained snapshots committed after *generation*, commit order.
-
-        The replication feed: a follower that applied through generation G
-        asks for everything after G.  Served by the generation index, so the
-        cost is proportional to the page, not the store.  Retention prunes
-        oldest-first and commit generations grow with ids, so every retained
-        snapshot's generation is above :meth:`pruned_through` -- a page from
-        ``generation >= pruned_through`` is gap-free.
-        """
-        if generation < 0:
-            raise ValueError(f"generation must be >= 0, got {generation}")
-        if limit is not None and limit < 1:
-            raise ValueError(f"limit must be >= 1, got {limit}")
-        query = (
-            f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots"
-            " WHERE generation > ? ORDER BY generation, id"
-        )
-        parameters: Tuple[int, ...] = (generation,)
-        if limit is not None:
-            query += " LIMIT ?"
-            parameters = (generation, limit)
-        rows = self._conn().execute(query, parameters).fetchall()
-        return [self._snapshot_from_row(row) for row in rows]
-
-    # -- full snapshot reads ------------------------------------------------------------
-    @contextmanager
-    def _read_txn(self) -> Iterator[sqlite3.Connection]:
-        """A consistent multi-statement read view.
-
-        WAL gives snapshot isolation per transaction, not per statement; a
-        concurrent retention prune between two autocommit SELECTs would
-        otherwise tear a multi-query read (metadata found, records already
-        deleted).  On the shared in-memory connection the write lock stands
-        in for the transaction.
-        """
-        connection = self._conn()
-        if self._shared is not None:
-            with self._write_lock:
-                yield connection
-            return
-        connection.execute("BEGIN")
-        try:
-            yield connection
-        finally:
-            connection.execute("COMMIT")
-
-    def load_snapshot(self, snapshot_id: int) -> WindowSnapshot:
-        """Reconstruct the full :class:`WindowSnapshot` persisted under *snapshot_id*.
-
-        The reconstruction is field-faithful: per-AS codes, raw counters
-        (hence shares), the observed-AS set, the algorithm, the thresholds,
-        and the per-window change map all round-trip.  All reads happen in
-        one transaction, so a snapshot pruned concurrently either loads
-        whole or raises :class:`StoreError` -- never a torn half.
-        """
-        with self._read_txn() as connection:
-            row = connection.execute(
-                f"SELECT {self._SNAPSHOT_COLUMNS} FROM snapshots WHERE id = ?",
-                (snapshot_id,),
-            ).fetchone()
-            if row is None:
-                raise StoreError(f"no snapshot {snapshot_id} in {self.path!r}")
-            meta = self._snapshot_from_row(row)
-            counter_state: Dict[ASN, Tuple[int, int, int, int]] = {}
-            observed: Set[ASN] = set()
-            for asn, tagger, silent, forward, cleaner in connection.execute(
-                "SELECT asn, tagger, silent, forward, cleaner FROM as_records"
-                " WHERE snapshot_id = ?",
-                (snapshot_id,),
-            ):
-                observed.add(asn)
-                if tagger or silent or forward or cleaner:
-                    counter_state[asn] = (tagger, silent, forward, cleaner)
-            changed = {
-                asn: (old, new)
-                for asn, old, new in connection.execute(
-                    "SELECT asn, old_code, new_code FROM changes WHERE snapshot_id = ?",
-                    (snapshot_id,),
-                )
-            }
-        result = ClassificationResult(
-            store=CounterStore.from_state(counter_state, meta.thresholds),
-            observed_ases=observed,
-            algorithm=meta.algorithm,
-        )
-        return WindowSnapshot(
-            window_start=meta.window_start,
-            window_end=meta.window_end,
-            skipped_windows=meta.skipped_windows,
-            events_total=meta.events_total,
-            unique_tuples=meta.unique_tuples,
-            result=result,
-            changed=changed,
-        )
-
-    def changes(self, snapshot_id: int) -> Dict[ASN, Tuple[str, str]]:
-        """The ``{asn: (old_code, new_code)}`` change set of one snapshot."""
-        return {
-            asn: (old, new)
-            for asn, old, new in self._conn().execute(
-                "SELECT asn, old_code, new_code FROM changes WHERE snapshot_id = ?",
-                (snapshot_id,),
-            )
-        }
-
-    # -- per-AS queries -----------------------------------------------------------------
-    def as_history(self, asn: ASN, *, limit: Optional[int] = None) -> List[ASHistoryEntry]:
-        """Classification history of one AS, newest snapshot first.
-
-        Served by the ``(asn, snapshot_id)`` index: cost is proportional to
-        the history length of this AS, not to the store size.
-        """
-        if limit is not None and limit < 1:
-            raise ValueError(f"limit must be >= 1, got {limit}")
-        query = (
-            "SELECT r.snapshot_id, s.window_start, s.window_end, r.code,"
-            " r.tagger, r.silent, r.forward, r.cleaner"
-            " FROM as_records r JOIN snapshots s ON s.id = r.snapshot_id"
-            " WHERE r.asn = ? ORDER BY r.snapshot_id DESC"
-        )
-        parameters: Tuple[int, ...] = (int(asn),)
-        if limit is not None:
-            query += " LIMIT ?"
-            parameters = (int(asn), limit)
-        return [
-            ASHistoryEntry(
-                snapshot_id=row[0],
-                window_start=row[1],
-                window_end=row[2],
-                code=row[3],
-                counters=ASCounters(
-                    tagger=row[4], silent=row[5], forward=row[6], cleaner=row[7]
-                ),
-            )
-            for row in self._conn().execute(query, parameters)
-        ]
-
-    def as_latest(self, asn: ASN) -> Optional[ASHistoryEntry]:
-        """The newest persisted classification of one AS (``None`` if unseen)."""
-        history = self.as_history(asn, limit=1)
-        return history[0] if history else None
-
-    # -- statistics ---------------------------------------------------------------------
-    def stats(self) -> Dict[str, object]:
-        """Store-level statistics for ``/v1/stats`` and operations."""
-        connection = self._conn()
-        snapshots = int(connection.execute("SELECT COUNT(*) FROM snapshots").fetchone()[0])
-        records = int(connection.execute("SELECT COUNT(*) FROM as_records").fetchone()[0])
-        distinct = int(
-            connection.execute("SELECT COUNT(DISTINCT asn) FROM as_records").fetchone()[0]
-        )
-        size_bytes = 0
-        if self.path != ":memory:":
-            # Under WAL the main file alone can understate on-disk size by
-            # the whole uncheckpointed log; retention and replication-lag
-            # operations read this number, so count the sidecars too.
-            for path in (self.path, self.path + "-wal", self.path + "-shm"):
-                try:
-                    size_bytes += os.stat(path).st_size
-                except OSError:
-                    pass
-        return {
-            "path": self.path,
-            "schema_version": SCHEMA_VERSION,
-            "generation": self.generation(),
-            "snapshots": snapshots,
-            "as_records": records,
-            "distinct_ases": distinct,
-            "retention": self.retention,
-            "size_bytes": size_bytes,
-            "pruned_through": self.pruned_through(),
-            "applied_generation": self.applied_generation(),
-        }
-
-
-def open_store(
-    path: Union[str, os.PathLike], *, retention: Optional[int] = None
-) -> SnapshotStore:
-    """Open (creating if needed) a snapshot store, ensuring the parent exists."""
-    target = Path(path)
-    if str(target) != ":memory:" and str(target.parent) not in ("", "."):
-        target.parent.mkdir(parents=True, exist_ok=True)
-    return SnapshotStore(target, retention=retention)
+__all__ = [
+    "ASHistoryEntry",
+    "SCHEMA_VERSION",
+    "SNAPSHOT_KINDS",
+    "SnapshotBackend",
+    "SnapshotStore",
+    "StoreError",
+    "StoredSnapshot",
+    "open_store",
+    "snapshot_payload",
+]

@@ -50,12 +50,12 @@ from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
 from typing import Dict, List, Optional, Tuple, Type
 
+from repro.service.backends import SnapshotBackend, open_store, parse_store_url
 from repro.service.server import (
     DEFAULT_CACHE_SIZE,
     ClassificationService,
     build_handler,
 )
-from repro.service.store import SnapshotStore
 
 #: Counter fields each worker owns on the shared board, in slot order.
 STAT_FIELDS = ("requests", "cache_hits", "cache_misses", "errors")
@@ -221,6 +221,7 @@ def _serve_worker(
     port: int,
     cache_size: int,
     retention: Optional[int],
+    archive_dir: Optional[str],
     board_path: str,
     supervisor_pid: int,
     ready: Optional[Connection],
@@ -230,10 +231,12 @@ def _serve_worker(
     Module-level (not a closure) so the ``spawn`` start method can import
     it; everything it needs arrives as plain picklable values.  *retention*
     is carried for ``/v1/stats`` visibility only -- serving never appends,
-    so it never prunes here.
+    so it never prunes here.  *archive_dir* makes every worker open the
+    same tiered view, so cold (beyond-retention) reads answer on any
+    worker the kernel picks.
     """
     board = WorkerStatsBoard(board_path, workers)
-    store = SnapshotStore(store_path, retention=retention)
+    store = open_store(store_path, retention=retention, archive_dir=archive_dir)
     service = ClassificationService(
         store, cache_size=cache_size, worker_id=worker_id, stats_sink=board
     )
@@ -280,13 +283,15 @@ class MultiWorkerServer:
         port: int = 0,
         cache_size: int = DEFAULT_CACHE_SIZE,
         retention: Optional[int] = None,
+        archive_dir: Optional[str] = None,
         mode: str = "auto",
         poll_interval: float = 0.2,
         start_method: str = "spawn",
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
-        if str(store_path) == ":memory:":
+        scheme, target = parse_store_url(str(store_path))
+        if scheme == "memory" or target == ":memory:":
             raise ValueError("multi-worker serving needs a file-backed store")
         if mode not in ("auto", "process", "thread"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -300,6 +305,7 @@ class MultiWorkerServer:
         self.requested_port = port
         self.cache_size = cache_size
         self.retention = retention
+        self.archive_dir = str(archive_dir) if archive_dir is not None else None
         self.mode = mode
         self.poll_interval = poll_interval
         self.respawns = 0
@@ -318,7 +324,7 @@ class MultiWorkerServer:
         # Thread mode state.
         self._listener: Optional[socket.socket] = None
         self._thread_servers: List[_SharedListenerHTTPServer] = []
-        self._thread_stores: List[SnapshotStore] = []
+        self._thread_stores: List[SnapshotBackend] = []
         self._accept_threads: List[threading.Thread] = []
 
     # -- addressing ---------------------------------------------------------------------
@@ -396,6 +402,7 @@ class MultiWorkerServer:
                 self._port,
                 self.cache_size,
                 self.retention,
+                self.archive_dir,
                 self._board.path,
                 os.getpid(),
                 child_end,
@@ -439,7 +446,11 @@ class MultiWorkerServer:
         listener.setblocking(False)
         self._listener = listener
         for worker_id in range(self.workers):
-            store = SnapshotStore(self.store_path, retention=self.retention)
+            store = open_store(
+                self.store_path,
+                retention=self.retention,
+                archive_dir=self.archive_dir,
+            )
             service = ClassificationService(
                 store, cache_size=self.cache_size, worker_id=worker_id, stats_sink=self._board
             )

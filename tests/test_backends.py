@@ -1,0 +1,437 @@
+"""Backend-conformance suite for the pluggable storage layer.
+
+Every :class:`~repro.service.backends.base.SnapshotBackend` implementation
+must honour the same contract -- the serving, publishing, and replication
+stacks are written against it, not against SQLite.  The suite runs each
+contract assertion against every backend (SQLite, memory, and both tiered
+combinations), then pins the cross-backend guarantees the tiers and the
+replication layer add on top:
+
+* a ``memory:`` follower converges byte-identically on a SQLite leader;
+* a tiered store serves windows beyond the retention cap byte-identically
+  to what the hot store served before archival demoted them;
+* archive segments are checksummed, verifiable, and compactable, and a
+  second process's archive view picks up fresh demotions via refresh.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    ClassificationServer,
+    ClassificationService,
+    MemoryBackend,
+    ReplicaSyncer,
+    SnapshotArchive,
+    SnapshotStore,
+    StoreError,
+    TieredBackend,
+    open_store,
+    parse_store_url,
+    snapshot_payload,
+)
+from repro.stream import MemorySource, StreamConfig, StreamEngine, WindowSpec
+from tests.test_stream import observation
+
+
+def build_snapshots(count=5, *, size=100):
+    """Drain a small stream run and return its *count* window snapshots."""
+    events = []
+    for index in range(count):
+        base = index * size + 5
+        events.append(observation([10 + index, 20], [f"{10 + index}:1"], timestamp=base))
+        events.append(observation([20], [], timestamp=base + 10))
+    captured = []
+    engine = StreamEngine(
+        StreamConfig(window=WindowSpec(size=size)), on_window=captured.append
+    )
+    engine.run(MemorySource(events))
+    assert len(captured) == count
+    return captured
+
+
+@pytest.fixture(params=["sqlite", "memory", "tiered-sqlite", "tiered-memory"])
+def make_backend(request, tmp_path):
+    """A factory of fresh backends of one flavour (closed by the caller).
+
+    ``make.archives`` tells retention-sensitive assertions whether pruned
+    snapshots stay queryable (tiered flavours) or are gone (plain ones).
+    """
+    counter = itertools.count()
+    opened = []
+
+    def make(retention=None):
+        serial = next(counter)
+        if request.param == "sqlite":
+            backend = open_store(tmp_path / f"store{serial}.db", retention=retention)
+        elif request.param == "memory":
+            backend = MemoryBackend(retention=retention)
+        else:
+            if request.param == "tiered-memory":
+                hot = MemoryBackend()
+            else:
+                hot = open_store(tmp_path / f"store{serial}.db")
+            backend = TieredBackend(
+                hot, tmp_path / f"archive{serial}", retention=retention
+            )
+        opened.append(backend)
+        return backend
+
+    make.archives = request.param.startswith("tiered")
+    yield make
+    for backend in opened:
+        try:
+            backend.close()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------------------
+# The contract, backend by backend
+# ---------------------------------------------------------------------------------------
+class TestConformance:
+    def test_empty_backend(self, make_backend):
+        store = make_backend()
+        assert len(store) == 0
+        assert store.latest() is None
+        assert store.generation() == 0
+        assert store.pruned_through() == 0
+        assert store.applied_generation() == 0
+        assert store.latest_window_end() is None
+        assert store.snapshots() == []
+        assert store.as_latest(10) is None
+
+    def test_url_scheme_parses(self, make_backend):
+        store = make_backend()
+        scheme, _ = parse_store_url(store.url.split("+", 1)[0])
+        assert scheme in ("sqlite", "memory")
+
+    def test_round_trip_fidelity(self, make_backend):
+        store = make_backend()
+        snapshots = build_snapshots(3)
+        ids = [store.append_snapshot(snapshot) for snapshot in snapshots]
+        for snapshot, snapshot_id in zip(snapshots, ids):
+            loaded = store.load_snapshot(snapshot_id)
+            assert snapshot_payload(loaded) == snapshot_payload(snapshot)
+            assert store.changes(snapshot_id) == snapshot.changed
+
+    def test_generation_monotonic_across_writes(self, make_backend):
+        store = make_backend()
+        seen = [store.generation()]
+        for snapshot in build_snapshots(4):
+            store.append_snapshot(snapshot)
+            seen.append(store.generation())
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+    def test_append_if_absent_is_idempotent(self, make_backend):
+        store = make_backend()
+        first, second = build_snapshots(2)
+        original = store.append_snapshot(first)
+        generation = store.generation()
+        assert store.append_snapshot(first, if_absent=True) == original
+        assert store.generation() == generation  # dedup moves nothing
+        assert len(store) == 1
+        assert store.append_snapshot(second, if_absent=True) != original
+        assert store.generation() > generation
+
+    def test_pinned_snapshot_ids(self, make_backend):
+        store = make_backend()
+        first, second = build_snapshots(2)
+        assert store.append_snapshot(first, snapshot_id=7) == 7
+        # Re-pinning the same window on the same id is a no-op.
+        assert store.append_snapshot(first, snapshot_id=7) == 7
+        assert len(store) == 1
+        # A different window on a taken id is replica divergence.
+        with pytest.raises(StoreError):
+            store.append_snapshot(second, snapshot_id=7)
+        # Auto-assigned ids continue past the pin (never reused).
+        assert store.append_snapshot(second) == 8
+
+    def test_ids_never_reused_after_drop(self, make_backend):
+        store = make_backend()
+        first, second = build_snapshots(2)
+        dropped_id = store.append_snapshot(first)
+        generation = store.generation()
+        assert store.drop_snapshot(dropped_id) is True
+        assert store.generation() > generation  # a drop is a committed write
+        assert store.drop_snapshot(dropped_id) is False
+        assert store.append_snapshot(second) > dropped_id
+
+    def test_retention_caps_and_raises_horizon(self, make_backend):
+        store = make_backend(retention=2)
+        snapshots = build_snapshots(5)
+        ids = [store.append_snapshot(snapshot) for snapshot in snapshots]
+        # The replication feed (and the hot tier) hold at most the cap.
+        assert len(store.snapshots_since(0)) == 2
+        assert store.pruned_through() > 0
+        assert store.latest().snapshot_id == ids[-1]
+        if make_backend.archives:
+            # Tiered: nothing is lost; old windows fall through to cold.
+            assert len(store) == 5
+            for snapshot, snapshot_id in zip(snapshots, ids):
+                assert snapshot_payload(store.load_snapshot(snapshot_id)) == (
+                    snapshot_payload(snapshot)
+                )
+        else:
+            assert len(store) == 2
+            with pytest.raises(StoreError):
+                store.load_snapshot(ids[0])
+
+    def test_window_lookups(self, make_backend):
+        store = make_backend()
+        snapshots = build_snapshots(3)
+        ids = [store.append_snapshot(snapshot) for snapshot in snapshots]
+        target = snapshots[1]
+        assert store.by_window_end(target.window_end).snapshot_id == ids[1]
+        assert store.by_window_end(999_999) is None
+        found = store.find_window("window", target.window_start, target.window_end)
+        assert found.snapshot_id == ids[1]
+        assert store.find_window("batch", target.window_start, target.window_end) is None
+        assert store.latest_window_end() == snapshots[-1].window_end
+        assert store.latest_window_end("batch") is None
+
+    def test_as_history_newest_first(self, make_backend):
+        store = make_backend()
+        for snapshot in build_snapshots(4):
+            store.append_snapshot(snapshot)
+        history = store.as_history(20)
+        assert len(history) == 4
+        assert [entry.snapshot_id for entry in history] == sorted(
+            (entry.snapshot_id for entry in history), reverse=True
+        )
+        assert store.as_history(20, limit=2) == history[:2]
+        assert store.as_latest(20) == history[0]
+        assert store.as_history(9999) == []
+
+    def test_applied_generation_is_monotonic(self, make_backend):
+        store = make_backend()
+        store.set_applied_generation(5)
+        store.set_applied_generation(3)  # never moves backwards
+        assert store.applied_generation() == 5
+        with pytest.raises(ValueError):
+            store.set_applied_generation(-1)
+
+    def test_stats_common_keys(self, make_backend):
+        store = make_backend(retention=3)
+        for snapshot in build_snapshots(2):
+            store.append_snapshot(snapshot)
+        stats = store.stats()
+        for key in ("backend", "generation", "snapshots", "retention", "pruned_through"):
+            assert key in stats
+        assert stats["snapshots"] == 2
+        assert stats["retention"] == 3
+
+    def test_concurrent_reader_during_writer(self, make_backend):
+        store = make_backend(retention=4)
+        snapshots = build_snapshots(12)
+        errors = []
+        done = threading.Event()
+
+        def read_loop():
+            while not done.is_set():
+                try:
+                    latest = store.latest()
+                    if latest is not None:
+                        store.load_snapshot(latest.snapshot_id)
+                        store.as_history(20, limit=3)
+                except StoreError:
+                    pass  # pruned mid-read: allowed, never a torn snapshot
+                except Exception as error:  # noqa: BLE001 - the assertion
+                    errors.append(error)
+                    return
+
+        readers = [threading.Thread(target=read_loop) for _ in range(3)]
+        for reader in readers:
+            reader.start()
+        try:
+            for snapshot in snapshots:
+                store.append_snapshot(snapshot)
+        finally:
+            done.set()
+            for reader in readers:
+                reader.join(timeout=10)
+        assert errors == []
+        assert store.latest().window_end == snapshots[-1].window_end
+
+
+# ---------------------------------------------------------------------------------------
+# open_store URL dispatch
+# ---------------------------------------------------------------------------------------
+class TestOpenStore:
+    def test_plain_path_is_sqlite(self, tmp_path):
+        with open_store(tmp_path / "plain.db") as store:
+            assert isinstance(store, SnapshotStore)
+            assert store.url == f"sqlite:{tmp_path / 'plain.db'}"
+
+    def test_sqlite_scheme(self, tmp_path):
+        with open_store(f"sqlite:{tmp_path / 'explicit.db'}") as store:
+            assert isinstance(store, SnapshotStore)
+
+    def test_memory_scheme(self):
+        with open_store("memory:", retention=3) as store:
+            assert isinstance(store, MemoryBackend)
+            assert store.retention == 3
+
+    def test_legacy_memory_spelling_is_sqlite(self):
+        with open_store(":memory:") as store:
+            assert isinstance(store, SnapshotStore)
+
+    def test_archive_dir_builds_tiered(self, tmp_path):
+        with open_store(
+            tmp_path / "hot.db", retention=2, archive_dir=tmp_path / "cold"
+        ) as store:
+            assert isinstance(store, TieredBackend)
+            assert store.retention == 2
+            assert store.hot.retention is None  # cap lives on the wrapper
+
+    def test_bad_urls(self):
+        with pytest.raises(ValueError):
+            parse_store_url("sqlite:")
+        with pytest.raises(ValueError):
+            parse_store_url("memory:named")
+
+    def test_tiered_rejects_capped_hot(self, tmp_path):
+        with open_store(tmp_path / "capped.db", retention=1) as hot:
+            with pytest.raises(ValueError):
+                TieredBackend(hot, tmp_path / "cold")
+
+
+# ---------------------------------------------------------------------------------------
+# Replication across heterogeneous backends
+# ---------------------------------------------------------------------------------------
+class TestHeterogeneousReplication:
+    def test_memory_follower_converges_byte_identically_on_sqlite_leader(self, tmp_path):
+        leader = SnapshotStore(tmp_path / "leader.db")
+        snapshots = build_snapshots(4)
+        for snapshot in snapshots:
+            leader.append_snapshot(snapshot)
+        follower = MemoryBackend()
+        with leader, ClassificationServer(leader) as server:
+            server.start()
+            syncer = ReplicaSyncer(server.url, follower, page_size=2)
+            report = syncer.sync_once()
+            assert report.applied == 4 and report.caught_up
+            leader_service = ClassificationService(leader)
+            follower_service = ClassificationService(follower)
+            targets = ["/v1/snapshot/latest", "/v1/diff", "/v1/as/20?history=10"]
+            targets += [f"/v1/snapshot/{s.window_end}" for s in snapshots]
+            for target in targets:
+                leader_status, leader_body = leader_service.handle(target)
+                follower_status, follower_body = follower_service.handle(target)
+                assert (leader_status, leader_body) == (follower_status, follower_body)
+            syncer.client.close()
+
+
+# ---------------------------------------------------------------------------------------
+# Tiered archive: beyond-retention serving and segment maintenance
+# ---------------------------------------------------------------------------------------
+class TestTieredArchive:
+    def test_beyond_retention_reads_are_byte_identical(self, tmp_path):
+        """The acceptance criterion: a window older than the cap serves the
+        exact bytes the hot store served before archival demoted it."""
+        snapshots = build_snapshots(6)
+        with open_store(tmp_path / "reference.db") as reference, open_store(
+            tmp_path / "hot.db", retention=2, archive_dir=tmp_path / "cold"
+        ) as tiered:
+            reference_service = ClassificationService(reference)
+            tiered_service = ClassificationService(tiered)
+            expected = {}
+            for snapshot in snapshots:
+                # Capture the reference body while every window is still hot.
+                reference.append_snapshot(snapshot)
+                target = f"/v1/snapshot/{snapshot.window_end}"
+                expected[target] = reference_service.handle(target)
+                tiered.append_snapshot(snapshot)
+            assert len(tiered.hot) == 2 and len(tiered) == 6
+            for target, body in expected.items():
+                assert tiered_service.handle(target) == body
+            # Cold per-AS history spans the full run, not just the hot cap.
+            _, body = tiered_service.handle("/v1/as/20?history=10")
+            assert len(json.loads(body)["history"]) == 6
+
+    def test_archive_survives_reopen_and_refresh(self, tmp_path):
+        snapshots = build_snapshots(5)
+        with open_store(
+            tmp_path / "hot.db", retention=1, archive_dir=tmp_path / "cold"
+        ) as producer:
+            for snapshot in snapshots[:3]:
+                producer.append_snapshot(snapshot)
+            # A second process's view (a serving worker) opened mid-run ...
+            with open_store(
+                tmp_path / "hot.db", retention=1, archive_dir=tmp_path / "cold"
+            ) as worker:
+                assert len(worker) == 3
+                # ... sees later demotions: the hot generation moves, so the
+                # tiered view re-scans the archive tail.
+                for snapshot in snapshots[3:]:
+                    producer.append_snapshot(snapshot)
+                assert len(worker) == 5
+                for index, meta in enumerate(worker.snapshots()):
+                    assert snapshot_payload(worker.load_snapshot(meta.snapshot_id)) == (
+                        snapshot_payload(snapshots[index])
+                    )
+
+    def test_archive_verify_detects_corruption(self, tmp_path):
+        with open_store(
+            tmp_path / "hot.db", retention=1, archive_dir=tmp_path / "cold"
+        ) as store:
+            for snapshot in build_snapshots(3):
+                store.append_snapshot(snapshot)
+        archive = SnapshotArchive(tmp_path / "cold")
+        assert archive.verify() == []
+        segment = tmp_path / "cold" / archive.segments()[0]["segment"]
+        raw = bytearray(segment.read_bytes())
+        flip = raw.index(b'"tagger"')  # corrupt inside the checksummed record
+        raw[flip + 1] ^= 0x01
+        segment.write_bytes(bytes(raw))
+        corrupted = SnapshotArchive(tmp_path / "cold")
+        assert corrupted.verify() != []
+        with pytest.raises(StoreError):
+            corrupted.load(corrupted.ids()[0])
+
+    def test_truncated_tail_is_tolerated_and_rearchived(self, tmp_path):
+        with open_store(
+            tmp_path / "hot.db", retention=1, archive_dir=tmp_path / "cold"
+        ) as store:
+            for snapshot in build_snapshots(3):
+                store.append_snapshot(snapshot)
+        archive = SnapshotArchive(tmp_path / "cold")
+        complete = len(archive)
+        segment = tmp_path / "cold" / archive.segments()[-1]["segment"]
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[: len(raw) - 20])  # crash mid-append
+        reopened = SnapshotArchive(tmp_path / "cold")
+        assert len(reopened) == complete - 1
+        assert reopened.verify() == []
+
+    def test_compact_coalesces_segments(self, tmp_path):
+        archive = SnapshotArchive(tmp_path / "cold")
+        with open_store(tmp_path / "hot.db") as hot:
+            tiered = TieredBackend(hot, archive, retention=1)
+            for snapshot in build_snapshots(5):
+                tiered.append_snapshot(snapshot)
+            before_ids = archive.ids()
+            archive.compact()
+            assert archive.verify() == []
+            assert archive.ids() == before_ids
+            for snapshot_id in before_ids:
+                archive.load(snapshot_id)
+
+    def test_archive_cli(self, tmp_path, capsys):
+        with open_store(
+            tmp_path / "hot.db", retention=1, archive_dir=tmp_path / "cold"
+        ) as store:
+            for snapshot in build_snapshots(3):
+                store.append_snapshot(snapshot)
+        assert main(["archive", str(tmp_path / "cold"), "list"]) == 0
+        assert "2 archived snapshots" in capsys.readouterr().out
+        assert main(["archive", str(tmp_path / "cold"), "verify"]) == 0
+        assert ": OK" in capsys.readouterr().out
+        assert main(["archive", str(tmp_path / "cold"), "compact"]) == 0
+        assert main(["archive", str(tmp_path / "missing"), "verify"]) == 1
