@@ -137,8 +137,8 @@ def test_bench_service_routing_hot_path(benchmark, warm_store, hot_ases):
 
     def serve_batch():
         for index in range(QUERY_BATCH):
-            status, _ = service.handle(targets[index % len(targets)])
-            assert status == 200
+            response = service.handle(targets[index % len(targets)])
+            assert response.status == 200
 
     benchmark.pedantic(serve_batch, rounds=5, iterations=1)
     hits_per_sec = QUERY_BATCH / benchmark.stats.stats.mean

@@ -20,12 +20,19 @@ Usage::
     python -m repro serve --store results.db --retention 32 --archive-dir cold/
     python -m repro archive cold/ list                      # inspect archive segments
     python -m repro replicate --from http://leader:8080 --store replica.db --serve
+    python -m repro replicate --from http://leader:8080 --store replica.db --promote
     python -m repro query http://localhost:8080 as 3356     # ask the running service
+    python -m repro serve --store results.db --auth-token s3cret   # lock the API
 
 Store URLs: ``--store`` accepts a plain path (SQLite, the default), an
 explicit ``sqlite:path``, or ``memory:`` (in-process, tests/demos).  With
 ``--archive-dir`` retention *archives* pruned snapshots into checksummed
 segment files instead of deleting them, and reads fall through to them.
+
+Auth: ``--auth-token`` (or the ``REPRO_AUTH_TOKEN`` environment variable)
+makes ``serve``/``replicate`` require ``Authorization: Bearer <token>`` on
+every ``/v1/*`` endpoint (``/healthz`` and ``/metrics`` stay open), and
+makes ``query``/``replicate`` send it on every request.
 """
 
 from __future__ import annotations
@@ -231,8 +238,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
     from repro.service import ClassificationServer, MultiWorkerServer
+    from repro.service.auth import resolve_token
     from repro.service.backends import open_store, parse_store_url
 
+    auth_token = resolve_token(args.auth_token)
     scheme, target = parse_store_url(args.store)
     if scheme == "sqlite" and target != ":memory:" and not Path(target).exists():
         print(f"error: store {args.store!r} does not exist", file=sys.stderr)
@@ -262,11 +271,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             retention=args.retention,
             archive_dir=args.archive_dir,
+            auth_token=auth_token,
         ) as fanout:
             fanout.start()
+            locked = " [token auth]" if auth_token is not None else ""
             print(
                 f"serving {args.store} at {fanout.url} with {fanout.workers} "
-                f"{fanout.mode} workers (Ctrl-C to stop)",
+                f"{fanout.mode} workers{locked} (Ctrl-C to stop)",
                 file=sys.stderr,
             )
 
@@ -293,10 +304,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         server = stack.enter_context(
             ClassificationServer(
-                store, host=args.host, port=args.port, cache_size=args.cache_size
+                store,
+                host=args.host,
+                port=args.port,
+                cache_size=args.cache_size,
+                auth_token=auth_token,
             )
         )
-        print(f"serving {args.store} at {server.url} (Ctrl-C to stop)", file=sys.stderr)
+        locked = " [token auth]" if auth_token is not None else ""
+        print(
+            f"serving {args.store} at {server.url}{locked} (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -304,8 +323,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_promoted(args: argparse.Namespace, stack, store, auth_token) -> int:
+    """Serve a just-promoted replica as the new leader (blocks until Ctrl-C).
+
+    Unlike ``replicate --serve``, no sync loop runs: promotion made this
+    store the leader, and its deposed predecessor is fenced, not polled.
+    """
+    import signal
+
+    from repro.service import ClassificationServer, MultiWorkerServer
+
+    waiter: object
+    if args.http_workers > 1:
+        fanout = stack.enter_context(
+            MultiWorkerServer(
+                args.store,
+                workers=args.http_workers,
+                host=args.host,
+                port=args.port,
+                cache_size=args.cache_size,
+                archive_dir=args.archive_dir,
+                auth_token=auth_token,
+            )
+        )
+        fanout.start()
+        url, workers, waiter = fanout.url, f"{fanout.workers} {fanout.mode} workers", fanout
+    else:
+        server = stack.enter_context(
+            ClassificationServer(
+                store,
+                host=args.host,
+                port=args.port,
+                cache_size=args.cache_size,
+                auth_token=auth_token,
+            )
+        )
+        server.start()
+        url, workers, waiter = server.url, "1 worker", server
+    print(
+        f"serving promoted leader {args.store} at {url} with {workers} (Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        waiter.serve_forever()  # type: ignore[attr-defined]
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
 def cmd_replicate(args: argparse.Namespace) -> int:
     """``replicate``: continuously sync a follower store from a leader's API."""
+    import json as _json
     import signal
     from contextlib import ExitStack
 
@@ -316,18 +391,48 @@ def cmd_replicate(args: argparse.Namespace) -> int:
         ReplicationError,
         ServiceClient,
         ServiceError,
+        promote,
     )
+    from repro.service.auth import resolve_token
     from repro.service.backends import open_store
 
     if args.http_workers < 1:
         print(f"error: --http-workers must be >= 1, got {args.http_workers}", file=sys.stderr)
         return 2
+    auth_token = resolve_token(args.auth_token)
     with ExitStack() as stack:
         store = stack.enter_context(
             open_store(args.store, retention=args.retention, archive_dir=args.archive_dir)
         )
-        client = stack.enter_context(ServiceClient(args.source))
-        syncer = ReplicaSyncer(client, store, page_size=args.page_size)
+        if args.promote:
+            # Failover: fast-forward from the (possibly dead) leader on a
+            # best-effort basis, then bump the fencing epoch so appends from
+            # the deposed leader's epoch raise FencedWriterError here.
+            outcome = promote(
+                store,
+                leader_url=args.source,
+                token=auth_token,
+                page_size=args.page_size,
+            )
+            print(_json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+            if outcome.sync_error is not None:
+                print(
+                    f"warning: final sync from {args.source} failed "
+                    f"({outcome.sync_error}); promoted with the replica's "
+                    "current state",
+                    file=sys.stderr,
+                )
+            print(
+                f"promoted {args.store} to leader epoch {outcome.epoch}",
+                file=sys.stderr,
+            )
+            if not args.serve:
+                return 0
+            return _serve_promoted(args, stack, store, auth_token)
+        client = stack.enter_context(ServiceClient(args.source, token=auth_token))
+        syncer = ReplicaSyncer(
+            client, store, page_size=args.page_size, follower=args.follower
+        )
 
         def report(sync) -> None:
             print(
@@ -359,6 +464,7 @@ def cmd_replicate(args: argparse.Namespace) -> int:
                         port=args.port,
                         cache_size=args.cache_size,
                         archive_dir=args.archive_dir,
+                        auth_token=auth_token,
                     )
                 )
                 fanout.start()
@@ -369,7 +475,11 @@ def cmd_replicate(args: argparse.Namespace) -> int:
                 # safe, and readers never block the applying writer (WAL).
                 server = stack.enter_context(
                     ClassificationServer(
-                        store, host=args.host, port=args.port, cache_size=args.cache_size
+                        store,
+                        host=args.host,
+                        port=args.port,
+                        cache_size=args.cache_size,
+                        auth_token=auth_token,
                     )
                 )
                 server.start()
@@ -458,9 +568,14 @@ def cmd_query(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.service import ServiceClient, ServiceError
+    from repro.service.auth import resolve_token
 
-    with ServiceClient(args.url) as client:
+    with ServiceClient(args.url, token=resolve_token(args.auth_token)) as client:
         try:
+            if args.what == "metrics":
+                # Prometheus exposition text, not JSON: print it verbatim.
+                sys.stdout.write(client.metrics_text())
+                return 0
             if args.what == "health":
                 payload = client.health()
             elif args.what == "latest":
@@ -655,6 +770,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the cold tier too: --retention demotes into this archive "
         "instead of deleting, and reads fall through to archived windows",
     )
+    serve.add_argument(
+        "--auth-token",
+        default=None,
+        help="require 'Authorization: Bearer <token>' on every /v1/* endpoint "
+        "(/healthz and /metrics stay open); defaults to $REPRO_AUTH_TOKEN",
+    )
     serve.set_defaults(handler=cmd_serve)
 
     replicate = subparsers.add_parser(
@@ -708,6 +829,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also serve the replica over the JSON HTTP API while syncing",
     )
+    replicate.add_argument(
+        "--promote",
+        action="store_true",
+        help="failover: best-effort final sync from the leader, then bump this "
+        "replica's leader epoch so it accepts writes and fences the deposed "
+        "leader's producers; combine with --serve to start serving it",
+    )
+    replicate.add_argument(
+        "--follower",
+        default=None,
+        help="name this follower reports on changelog polls; the leader "
+        "publishes a per-follower replication-lag gauge on /metrics under it",
+    )
+    replicate.add_argument(
+        "--auth-token",
+        default=None,
+        help="bearer token sent on every pull from the leader AND required by "
+        "this replica's own API when serving; defaults to $REPRO_AUTH_TOKEN",
+    )
     replicate.add_argument("--host", default="127.0.0.1")
     replicate.add_argument("--port", type=int, default=8080)
     replicate.add_argument(
@@ -737,7 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("url", help="service base URL, e.g. http://localhost:8080")
     query.add_argument(
         "what",
-        choices=("health", "latest", "stats", "diff", "as", "window"),
+        choices=("health", "latest", "stats", "diff", "as", "window", "metrics"),
         help="what to ask for",
     )
     query.add_argument(
@@ -745,6 +885,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--history", type=int, default=None, help="with 'as': include the last N snapshots"
+    )
+    query.add_argument(
+        "--auth-token",
+        default=None,
+        help="bearer token sent with every request (for an --auth-token "
+        "service); defaults to $REPRO_AUTH_TOKEN",
     )
     query.set_defaults(handler=cmd_query)
     return parser

@@ -32,17 +32,31 @@ builds the *consumer* side:
   is a replication leader (``/v1/replication/changes`` changelog pages),
   and a :class:`ReplicaSyncer` converges a follower store on it with
   exactly-once resume, byte-identical served payloads, and explicit
-  errors when the leader's retention outran the follower.
+  errors when the leader's retention outran the follower;
+* :mod:`repro.service.auth` -- bearer-token authentication enforced as
+  route-table middleware on every ``/v1/*`` endpoint (``/healthz`` and
+  ``/metrics`` stay open), constant-time comparison, token from
+  ``--auth-token`` or ``REPRO_AUTH_TOKEN``;
+* :mod:`repro.service.metrics` -- a Prometheus-text ``/metrics`` endpoint:
+  per-endpoint request/latency histograms, cache hit/miss counters, store
+  gauges, per-follower replication lag, and per-AS classification churn,
+  aggregated fleet-wide through the shared worker board;
+* :mod:`repro.service.failover` -- leader failover with a durable fencing
+  epoch: ``repro replicate --promote`` turns a follower into the new
+  leader, and appends from the deposed epoch raise
+  :class:`FencedWriterError` instead of forking history.
 
 Entry points most callers want: ``repro serve --store db.sqlite``
-(``--http-workers N`` to fan out), ``repro replicate --from URL --store
-replica.db --serve`` (cross-host read replicas), and ``repro query
-http://host:port latest`` on the CLI, or :func:`attach_store` +
+(``--http-workers N`` to fan out, ``--auth-token`` to lock the API),
+``repro replicate --from URL --store replica.db --serve`` (cross-host read
+replicas; ``--promote`` for failover), and ``repro query http://host:port
+latest`` on the CLI, or :func:`attach_store` +
 :class:`ClassificationServer` / :class:`MultiWorkerServer` /
-:class:`ReplicaSyncer` in code.
+:class:`ReplicaSyncer` / :func:`promote` in code.
 """
 
 from repro.service.backends import (
+    FencedWriterError,
     MemoryBackend,
     SnapshotArchive,
     SnapshotBackend,
@@ -50,7 +64,19 @@ from repro.service.backends import (
     open_store,
     parse_store_url,
 )
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    AuthError,
+    BadRequestError,
+    NotFoundError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.failover import PromotionReport, promote
+from repro.service.metrics import (
+    METRICS_CONTENT_TYPE,
+    MetricsRecorder,
+    render_metrics,
+)
 from repro.service.publish import (
     SnapshotPublisher,
     attach_store,
@@ -84,13 +110,20 @@ from repro.service.workers import (
 )
 
 __all__ = [
+    "METRICS_CONTENT_TYPE",
     "SCHEMA_VERSION",
     "ASHistoryEntry",
+    "AuthError",
+    "BadRequestError",
     "ClassificationServer",
     "ClassificationService",
+    "FencedWriterError",
     "LRUCache",
     "MemoryBackend",
+    "MetricsRecorder",
     "MultiWorkerServer",
+    "NotFoundError",
+    "PromotionReport",
     "ReplicaSyncer",
     "ReplicationError",
     "ServiceClient",
@@ -109,7 +142,9 @@ __all__ = [
     "ensure_snapshot",
     "open_store",
     "parse_store_url",
+    "promote",
     "publish_result",
+    "render_metrics",
     "reuseport_supported",
     "snapshot_from_payload",
     "snapshot_payload",

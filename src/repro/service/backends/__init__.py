@@ -34,6 +34,7 @@ from repro.service.backends.base import (
     SNAPSHOT_KINDS,
     STORE_SCHEMES,
     ASHistoryEntry,
+    FencedWriterError,
     SnapshotBackend,
     StoredSnapshot,
     StoreError,
@@ -76,6 +77,7 @@ def open_store(
 
 __all__ = [
     "ASHistoryEntry",
+    "FencedWriterError",
     "MemoryBackend",
     "SCHEMA_VERSION",
     "SEGMENT_RECORDS",

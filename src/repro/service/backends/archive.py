@@ -461,9 +461,11 @@ class TieredBackend(SnapshotBackend):
         kind: str = "window",
         if_absent: bool = False,
         snapshot_id: Optional[int] = None,
+        epoch: Optional[int] = None,
     ) -> int:
         new_id = self.hot.append_snapshot(
-            snapshot, kind=kind, if_absent=if_absent, snapshot_id=snapshot_id
+            snapshot, kind=kind, if_absent=if_absent, snapshot_id=snapshot_id,
+            epoch=epoch,
         )
         if self.retention is not None:
             self._archive_overflow()
@@ -517,6 +519,12 @@ class TieredBackend(SnapshotBackend):
 
     def set_applied_generation(self, generation: int) -> None:
         self.hot.set_applied_generation(generation)
+
+    def leader_epoch(self) -> int:
+        return self.hot.leader_epoch()
+
+    def bump_leader_epoch(self) -> int:
+        return self.hot.bump_leader_epoch()
 
     def snapshots_since(
         self, generation: int, *, limit: Optional[int] = None
@@ -654,6 +662,7 @@ class TieredBackend(SnapshotBackend):
             ),
             "pruned_through": self.pruned_through(),
             "applied_generation": self.applied_generation(),
+            "leader_epoch": self.leader_epoch(),
             "hot": hot_stats,
             "archive": archive_stats,
         }

@@ -53,6 +53,18 @@ class StoreError(Exception):
     """Raised for unusable stores and invalid store operations."""
 
 
+class FencedWriterError(StoreError):
+    """A write carried a stale leader epoch and was rejected.
+
+    The failover fence: writers capture :meth:`SnapshotBackend.leader_epoch`
+    when they attach and stamp it on every append.  Promotion bumps the
+    durable epoch, so a deposed leader that wakes up and keeps publishing
+    is rejected on its first append instead of forking history.  Recover by
+    re-attaching to the store (which captures the new epoch) -- or, for a
+    deposed leader, by demoting it to a follower of the promoted host.
+    """
+
+
 @dataclass(frozen=True)
 class StoredSnapshot:
     """Metadata row of one persisted snapshot (records fetched separately)."""
@@ -215,6 +227,23 @@ def require_valid_retention(retention: Optional[int]) -> None:
         raise ValueError(f"retention must be >= 1, got {retention}")
 
 
+def require_current_epoch(epoch: Optional[int], leader_epoch: int) -> None:
+    """Shared append-path fencing check.
+
+    Backends call this inside their write transaction (or under their write
+    lock), so the comparison and the append are atomic with respect to a
+    concurrent promotion.  ``None`` means the writer opted out of fencing
+    (local single-writer deployments), which keeps every pre-failover call
+    site working unchanged.
+    """
+    if epoch is not None and epoch < leader_epoch:
+        raise FencedWriterError(
+            f"write fenced: writer epoch {epoch} is behind leader epoch "
+            f"{leader_epoch} -- this writer was deposed by a promotion; "
+            "re-attach to the store or demote it to a follower"
+        )
+
+
 class SnapshotBackend(ABC):
     """Abstract durable store of classification snapshots.
 
@@ -264,8 +293,15 @@ class SnapshotBackend(ABC):
         kind: str = "window",
         if_absent: bool = False,
         snapshot_id: Optional[int] = None,
+        epoch: Optional[int] = None,
     ) -> int:
-        """Durably persist one snapshot; returns its snapshot id."""
+        """Durably persist one snapshot; returns its snapshot id.
+
+        *epoch* is the leader epoch the writer captured when it attached;
+        an append whose epoch is behind the store's current
+        :meth:`leader_epoch` raises :class:`FencedWriterError` instead of
+        committing (``None`` skips the fence).
+        """
 
     @abstractmethod
     def drop_snapshot(self, snapshot_id: int) -> bool:
@@ -298,6 +334,18 @@ class SnapshotBackend(ABC):
     @abstractmethod
     def set_applied_generation(self, generation: int) -> None:
         """Record the applied leader generation (monotonic: only forward)."""
+
+    @abstractmethod
+    def leader_epoch(self) -> int:
+        """The durable fencing epoch writers must carry (0 on a new store)."""
+
+    @abstractmethod
+    def bump_leader_epoch(self) -> int:
+        """Advance the fencing epoch (promotion); returns the new epoch.
+
+        A committed write: past this point every append stamped with an
+        older epoch raises :class:`FencedWriterError`.
+        """
 
     # -- metadata reads -----------------------------------------------------------------
     @abstractmethod
@@ -448,6 +496,7 @@ def parse_store_url(url: Union[str, os.PathLike]) -> Tuple[str, str]:
 
 __all__ = [
     "ASHistoryEntry",
+    "FencedWriterError",
     "SNAPSHOT_KINDS",
     "STORE_SCHEMES",
     "SnapshotBackend",
@@ -455,6 +504,7 @@ __all__ = [
     "StoredSnapshot",
     "parse_store_url",
     "records_of",
+    "require_current_epoch",
     "require_valid_kind",
     "require_valid_retention",
     "snapshot_from_payload",

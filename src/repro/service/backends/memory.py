@@ -31,6 +31,7 @@ from repro.service.backends.base import (
     StoredSnapshot,
     StoreError,
     records_of,
+    require_current_epoch,
     require_valid_kind,
     require_valid_retention,
     snapshot_from_records,
@@ -67,6 +68,7 @@ class MemoryBackend(SnapshotBackend):
         self._generation = 0
         self._pruned_through = 0
         self._applied_generation = 0
+        self._leader_epoch = 0
         self._closed = False
 
     @property
@@ -92,6 +94,7 @@ class MemoryBackend(SnapshotBackend):
         kind: str = "window",
         if_absent: bool = False,
         snapshot_id: Optional[int] = None,
+        epoch: Optional[int] = None,
     ) -> int:
         require_valid_kind(kind)
         result = snapshot.result
@@ -103,6 +106,8 @@ class MemoryBackend(SnapshotBackend):
         window = (kind, snapshot.window_start, snapshot.window_end)
         with self._lock:
             self._check_open()
+            # Fencing first: a deposed writer must not even see dedup success.
+            require_current_epoch(epoch, self._leader_epoch)
             if if_absent:
                 for existing_id in reversed(self._order):
                     meta = self._rows[existing_id].meta
@@ -208,6 +213,17 @@ class MemoryBackend(SnapshotBackend):
         with self._lock:
             self._check_open()
             self._applied_generation = max(self._applied_generation, generation)
+
+    def leader_epoch(self) -> int:
+        with self._lock:
+            self._check_open()
+            return self._leader_epoch
+
+    def bump_leader_epoch(self) -> int:
+        with self._lock:
+            self._check_open()
+            self._leader_epoch += 1
+            return self._leader_epoch
 
     # -- metadata reads -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -357,4 +373,5 @@ class MemoryBackend(SnapshotBackend):
                 "size_bytes": size_bytes,
                 "pruned_through": self._pruned_through,
                 "applied_generation": self._applied_generation,
+                "leader_epoch": self._leader_epoch,
             }

@@ -50,6 +50,7 @@ from repro.service.backends.base import (
     StoredSnapshot,
     StoreError,
     records_of,
+    require_current_epoch,
     require_valid_kind,
     require_valid_retention,
 )
@@ -201,6 +202,10 @@ class SnapshotStore(SnapshotBackend):
                     "INSERT OR IGNORE INTO meta (key, value)"
                     " VALUES ('pruned_through', '0')"
                 )
+                connection.execute(
+                    "INSERT OR IGNORE INTO meta (key, value)"
+                    " VALUES ('leader_epoch', '0')"
+                )
 
     @staticmethod
     def _migrate_v1(connection: sqlite3.Connection) -> None:
@@ -263,6 +268,7 @@ class SnapshotStore(SnapshotBackend):
         kind: str = "window",
         if_absent: bool = False,
         snapshot_id: Optional[int] = None,
+        epoch: Optional[int] = None,
     ) -> int:
         """Durably persist one snapshot; returns its snapshot id.
 
@@ -289,6 +295,13 @@ class SnapshotStore(SnapshotBackend):
         dedup keys on ``(kind, window_start, window_end)`` -- and a pinned
         id that is already taken by a *different* window raises
         :class:`StoreError` (the replica diverged from its leader).
+
+        *epoch* is the failover fence: a writer that captured the leader
+        epoch before a promotion bumped it is rejected with
+        :class:`~repro.service.backends.base.FencedWriterError` *before*
+        any check runs -- a deposed leader must not even observe dedup
+        success.  The comparison happens inside the write transaction, so
+        it is atomic against a concurrent promotion.
         """
         require_valid_kind(kind)
         result = snapshot.result
@@ -304,6 +317,13 @@ class SnapshotStore(SnapshotBackend):
                 # the write lock up front, making check + insert one atomic
                 # unit (the surrounding `with connection` still commits it).
                 connection.execute("BEGIN IMMEDIATE")
+                if epoch is not None:
+                    fence = connection.execute(
+                        "SELECT value FROM meta WHERE key = 'leader_epoch'"
+                    ).fetchone()
+                    require_current_epoch(
+                        epoch, int(fence[0]) if fence is not None else 0
+                    )
                 if if_absent:
                     existing = connection.execute(
                         "SELECT id FROM snapshots WHERE kind = ? AND window_start = ?"
@@ -525,6 +545,35 @@ class SnapshotStore(SnapshotBackend):
                     ") AS TEXT)",
                     (str(generation),),
                 )
+
+    def leader_epoch(self) -> int:
+        """The durable fencing epoch writers must carry (0 on a new store)."""
+        row = self._conn().execute(
+            "SELECT value FROM meta WHERE key = 'leader_epoch'"
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def bump_leader_epoch(self) -> int:
+        """Advance the fencing epoch (promotion); returns the new epoch.
+
+        A meta-only committed write: the store generation does not move
+        (nothing a reader could serve changed), but every append stamped
+        with the previous epoch is rejected from this point on.
+        """
+        with self._write_lock:
+            connection = self._conn()
+            with connection:
+                connection.execute("BEGIN IMMEDIATE")
+                row = connection.execute(
+                    "SELECT value FROM meta WHERE key = 'leader_epoch'"
+                ).fetchone()
+                epoch = (int(row[0]) if row is not None else 0) + 1
+                connection.execute(
+                    "INSERT INTO meta (key, value) VALUES ('leader_epoch', ?)"
+                    " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                    (str(epoch),),
+                )
+        return epoch
 
     def __len__(self) -> int:
         row = self._conn().execute("SELECT COUNT(*) FROM snapshots").fetchone()
@@ -785,6 +834,7 @@ class SnapshotStore(SnapshotBackend):
             "size_bytes": size_bytes,
             "pruned_through": self.pruned_through(),
             "applied_generation": self.applied_generation(),
+            "leader_epoch": self.leader_epoch(),
         }
 
 

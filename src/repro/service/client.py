@@ -2,43 +2,93 @@
 
 A thin convenience wrapper around :mod:`http.client` that keeps one TCP
 connection alive across queries (the server speaks HTTP/1.1), decodes the
-JSON bodies, and raises :class:`ServiceError` for non-200 responses.  Used
-by the ``repro query`` CLI, the end-to-end tests, and the serving benchmark.
+JSON bodies, and raises typed errors for non-200 responses.  Used by the
+``repro query`` CLI, replication pulls, the end-to-end tests, and the
+serving benchmark.
+
+Error handling follows the server's structured envelope
+(``{"error": {"status", "code", "message"}}``): :class:`ServiceError` is
+the base every caller can keep catching, with typed subclasses for the
+statuses callers branch on -- :class:`AuthError` (401/403),
+:class:`NotFoundError` (404), :class:`BadRequestError` (400).
+
+Built with ``token=``, the client sends ``Authorization: Bearer <token>``
+on **every** request -- replication pulls included, which is how a
+follower syncs from an auth-enabled leader.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple, Type
 from urllib.parse import urlsplit
 
 
 class ServiceError(Exception):
     """A non-200 response from the service (carries the HTTP status)."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, *, code: str = "error") -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: The envelope's machine-readable code (``"error"`` when absent).
+        self.code = code
 
 
-def _error_message(body: bytes) -> str:
-    """Best-effort error text from a non-200 body (JSON or otherwise)."""
+class AuthError(ServiceError):
+    """401/403: missing or invalid bearer token."""
+
+
+class NotFoundError(ServiceError):
+    """404: the endpoint or resource does not exist."""
+
+
+class BadRequestError(ServiceError):
+    """400: the request was malformed (bad operand, bad query param)."""
+
+
+#: Error class per status; anything unlisted raises the base class.
+_ERROR_CLASSES: Dict[int, Type[ServiceError]] = {
+    400: BadRequestError,
+    401: AuthError,
+    403: AuthError,
+    404: NotFoundError,
+}
+
+
+def _error_fields(body: bytes) -> Tuple[str, str]:
+    """Best-effort ``(message, code)`` from a non-200 body.
+
+    Understands the structured envelope, the pre-envelope flat shape
+    (``{"error": "msg"}`` -- an older server), and non-JSON bodies (a
+    fronting proxy's HTML error page).
+    """
     try:
         payload = json.loads(body.decode("utf-8"))
     except (ValueError, UnicodeDecodeError):
         text = " ".join(body.decode("utf-8", "replace").split())
-        return text[:120] if text else "non-JSON error body"
+        return (text[:120] if text else "non-JSON error body", "error")
     if isinstance(payload, dict):
-        return str(payload.get("error", ""))
-    return ""
+        envelope = payload.get("error", "")
+        if isinstance(envelope, dict):
+            return str(envelope.get("message", "")), str(envelope.get("code", "error"))
+        return str(envelope), "error"
+    return "", "error"
+
+
+def raise_for_error(status: int, body: bytes) -> "ServiceError":
+    """Build the typed error a non-200 response maps to (does not raise)."""
+    message, code = _error_fields(body)
+    return _ERROR_CLASSES.get(status, ServiceError)(status, message, code=code)
 
 
 class ServiceClient:
     """A persistent-connection client for one service base URL."""
 
-    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+    def __init__(
+        self, base_url: str, *, timeout: float = 10.0, token: Optional[str] = None
+    ) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.netloc:
             raise ValueError(f"expected an http://host:port base URL, got {base_url!r}")
@@ -46,6 +96,7 @@ class ServiceClient:
         self._host = split.hostname or "127.0.0.1"
         self._port = split.port or 80
         self._timeout = timeout
+        self._token = token
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing -----------------------------------------------------------------------
@@ -56,18 +107,31 @@ class ServiceClient:
             )
         return self._connection
 
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self._token is not None:
+            headers["Authorization"] = f"Bearer {self._token}"
+        return headers
+
     def get(self, target: str) -> Dict[str, object]:
-        """``GET`` *target* and decode the JSON body (raises on non-200)."""
+        """``GET`` *target* and decode the JSON body (raises on non-200).
+
+        A dead keep-alive connection -- most visibly
+        ``http.client.RemoteDisconnected`` when a fan-out worker was
+        respawned mid-idle -- is closed, rebuilt, and retried exactly once;
+        a failure on the fresh connection propagates.
+        """
         connection = self._conn()
         try:
-            connection.request("GET", target)
+            connection.request("GET", target, headers=self._headers())
             response = connection.getresponse()
             body = response.read()
         except (http.client.HTTPException, OSError):
-            # One reconnect: the server may have dropped an idle keep-alive.
+            # One reconnect: the server may have dropped an idle keep-alive
+            # (RemoteDisconnected), or the socket died some other way.
             self.close()
             connection = self._conn()
-            connection.request("GET", target)
+            connection.request("GET", target, headers=self._headers())
             response = connection.getresponse()
             body = response.read()
         # Decide on the status *before* trusting the body to be JSON: a
@@ -75,7 +139,7 @@ class ServiceClient:
         # an HTML error page, which must surface as a ServiceError rather
         # than escape as a raw JSONDecodeError.
         if response.status != 200:
-            raise ServiceError(response.status, _error_message(body))
+            raise raise_for_error(response.status, body)
         try:
             payload = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
@@ -127,8 +191,34 @@ class ServiceClient:
         """``/v1/stats``."""
         return self.get("/v1/stats")
 
+    def metrics_text(self) -> str:
+        """``/metrics`` -- the raw Prometheus exposition text.
+
+        Separate from :meth:`get` because the body is text, not JSON.  The
+        endpoint is auth-exempt, so no token is needed (one is still sent
+        when configured).
+        """
+        connection = self._conn()
+        try:
+            connection.request("GET", "/metrics", headers=self._headers())
+            response = connection.getresponse()
+            body = response.read()
+        except (http.client.HTTPException, OSError):
+            self.close()
+            connection = self._conn()
+            connection.request("GET", "/metrics", headers=self._headers())
+            response = connection.getresponse()
+            body = response.read()
+        if response.status != 200:
+            raise raise_for_error(response.status, body)
+        return body.decode("utf-8")
+
     def replication_changes(
-        self, *, since: int, limit: Optional[int] = None
+        self,
+        *,
+        since: int,
+        limit: Optional[int] = None,
+        follower: Optional[str] = None,
     ) -> Dict[str, object]:
         """``/v1/replication/changes`` -- one changelog page after *since*.
 
@@ -137,8 +227,12 @@ class ServiceClient:
         (newest generation its retention pruned), and ``more`` (another page
         is waiting).  :class:`~repro.service.replication.ReplicaSyncer`
         drives this in a loop; it is exposed here for tooling and tests.
+        *follower* self-identifies the poller, feeding the leader's
+        per-follower replication-lag gauges on ``/metrics``.
         """
         target = f"/v1/replication/changes?since={int(since)}"
         if limit is not None:
             target += f"&limit={int(limit)}"
+        if follower:
+            target += f"&follower={follower}"
         return self.get(target)

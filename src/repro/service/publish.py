@@ -40,6 +40,7 @@ def ensure_snapshot(
     *,
     kind: str = "window",
     snapshot_id: Optional[int] = None,
+    epoch: Optional[int] = None,
 ) -> Tuple[int, bool]:
     """Idempotently land one snapshot; returns ``(snapshot_id, was_new)``.
 
@@ -50,13 +51,15 @@ def ensure_snapshot(
     *snapshot_id* (replication) additionally pins the row id so follower
     ids mirror the leader's.  The pre-check keeps ``was_new`` honest for
     progress reporting; the ``if_absent`` append closes the remaining race
-    atomically inside the store's write transaction.
+    atomically inside the store's write transaction.  *epoch* is passed
+    through to the append's failover fence (see
+    :meth:`SnapshotBackend.append_snapshot`).
     """
     existing = store.find_window(kind, snapshot.window_start, snapshot.window_end)
     if existing is not None:
         return existing.snapshot_id, False
     applied = store.append_snapshot(
-        snapshot, kind=kind, if_absent=True, snapshot_id=snapshot_id
+        snapshot, kind=kind, if_absent=True, snapshot_id=snapshot_id, epoch=epoch
     )
     return applied, True
 
@@ -75,6 +78,11 @@ class SnapshotPublisher:
         self.store = store
         self.kind = kind
         self.forward = forward
+        #: The leader epoch captured at attach time, stamped on every
+        #: append.  If another host is promoted while this producer runs,
+        #: its next append raises FencedWriterError instead of forking
+        #: history (the failover fence; see repro.service.failover).
+        self.epoch = store.leader_epoch()
         self.published = 0
         self.deduplicated = 0
         self.last_snapshot_id: Optional[int] = None
@@ -101,7 +109,7 @@ class SnapshotPublisher:
         )
         if dedupe:
             self.last_snapshot_id, was_new = ensure_snapshot(
-                self.store, snapshot, kind=self.kind
+                self.store, snapshot, kind=self.kind, epoch=self.epoch
             )
             if was_new:
                 self.published += 1
@@ -109,7 +117,9 @@ class SnapshotPublisher:
                 # The window survived the crash: keep the store's copy.
                 self.deduplicated += 1
         else:
-            self.last_snapshot_id = self.store.append_snapshot(snapshot, kind=self.kind)
+            self.last_snapshot_id = self.store.append_snapshot(
+                snapshot, kind=self.kind, epoch=self.epoch
+            )
             self.published += 1
         if self.published_through is None or snapshot.window_end > self.published_through:
             self.published_through = snapshot.window_end

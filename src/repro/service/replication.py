@@ -45,6 +45,7 @@ from typing import Any, Callable, Dict, List, Optional, Union, cast
 
 from repro.core.thresholds import Thresholds
 from repro.service.backends.base import (
+    FencedWriterError,
     SnapshotBackend,
     StoreError,
     snapshot_from_payload,
@@ -122,12 +123,22 @@ class ReplicaSyncer:
         store: SnapshotBackend,
         *,
         page_size: int = DEFAULT_PAGE_SIZE,
+        follower: Optional[str] = None,
     ) -> None:
         if page_size < 1:
             raise ValueError(f"page_size must be >= 1, got {page_size}")
         self.client = ServiceClient(client) if isinstance(client, str) else client
         self.store = store
         self.page_size = page_size
+        #: Name this follower reports on changelog polls; the leader
+        #: publishes a per-follower replication-lag gauge under it.
+        self.follower = follower
+        #: The replica store's leader epoch at attach time: the syncer is
+        #: the replica's single writer, and promotion of the *replica*
+        #: (repro replicate --promote) bumps the epoch so a stale syncer
+        #: still applying old-leader pages is fenced instead of clobbering
+        #: the newly promoted history.
+        self.epoch = store.leader_epoch()
         #: Lifetime counters across every sync pass.
         self.applied_total = 0
         self.deduplicated_total = 0
@@ -149,7 +160,12 @@ class ReplicaSyncer:
                 snapshot,
                 kind=str(entry["kind"]),
                 snapshot_id=int(entry["snapshot_id"]),
+                epoch=self.epoch,
             )
+        except FencedWriterError:
+            # The replica was promoted out from under this syncer; the
+            # fence is the message, not a wrappable apply failure.
+            raise
         except StoreError as error:
             # Most commonly: the leader's snapshot id is taken by a different
             # window because this store holds locally-produced snapshots.
@@ -177,7 +193,9 @@ class ReplicaSyncer:
         leader_generation = self.store.applied_generation()
         while True:
             since = self.store.applied_generation()
-            page = self.client.replication_changes(since=since, limit=self.page_size)
+            page = self.client.replication_changes(
+                since=since, limit=self.page_size, follower=self.follower
+            )
             pages += 1
             leader_generation = int(cast(int, page["generation"]))
             horizon = int(cast(int, page["horizon"]))

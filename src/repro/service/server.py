@@ -1,9 +1,10 @@
 """Stdlib-only JSON HTTP API over any :class:`SnapshotBackend`.
 
-Endpoints (all ``GET``, all responses ``application/json``):
+Endpoints (all ``GET``; JSON unless noted):
 
 =============================  =====================================================
-``/healthz``                   liveness + store generation / snapshot count
+``/healthz``                   liveness + store generation / snapshot count (open)
+``/metrics``                   Prometheus text exposition (open)
 ``/v1/snapshot/latest``        the newest persisted snapshot, full payload
 ``/v1/snapshot/{window_end}``  the snapshot whose window ends at ``window_end``
 ``/v1/as/{asn}``               latest classification of one AS (+ ``?history=N``)
@@ -11,6 +12,18 @@ Endpoints (all ``GET``, all responses ``application/json``):
 ``/v1/stats``                  store statistics + server request / cache counters
 ``/v1/replication/changes``    snapshots committed after ``?since=`` (replication)
 =============================  =====================================================
+
+Routing is a **declarative table**: each :class:`Route` carries its URL
+pattern, handler, and three middleware flags -- ``cacheable`` (response
+cache), ``auth_required`` (bearer-token check), ``metric_name`` (the
+``endpoint=`` label of its Prometheus series).  The cache, auth, and
+metrics middleware all read the table, so a new endpoint cannot silently
+skip any of the three; adding one is adding one table row.
+
+Errors are a structured envelope, uniformly:
+``{"error": {"status": N, "code": "...", "message": "..."}}`` -- which
+:class:`~repro.service.client.ServiceClient` parses back into typed
+exceptions.
 
 The service keeps an LRU cache of encoded response bodies keyed on
 ``(store generation, request path)``.  The generation bumps on every store
@@ -26,12 +39,36 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Protocol, Tuple, Type
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Tuple,
+    Type,
+    Union,
+)
 from urllib.parse import parse_qs
 
+from repro.service.auth import check_token
 from repro.service.backends.base import SnapshotBackend, StoreError, snapshot_payload
+from repro.service.metrics import (
+    CHURN_TOP_N,
+    METRICS_CONTENT_TYPE,
+    UNKNOWN_ENDPOINT,
+    MemoryFollowerLag,
+    MetricsRecorder,
+    render_metrics,
+)
+
+#: Content type of every JSON endpoint (everything except ``/metrics``).
+JSON_CONTENT_TYPE = "application/json"
 
 
 class StatsSink(Protocol):
@@ -39,25 +76,52 @@ class StatsSink(Protocol):
 
     A multi-worker deployment hands every worker's service the same sink;
     each request is mirrored into it under the worker's id, and any worker
-    can render the fleet-wide aggregate into its ``/v1/stats`` response.
+    can render the fleet-wide aggregate into its ``/v1/stats`` response and
+    its ``/metrics`` scrape.
     """
 
     def record(self, worker_id: int, *, hit: bool, error: bool) -> None:
         """Count one request handled by *worker_id*."""
         ...
 
+    def observe(
+        self, worker_id: int, endpoint: str, *, hit: bool, error: bool, seconds: float
+    ) -> None:
+        """Account one request against *endpoint*'s fleet-wide series."""
+        ...
+
     def payload(self) -> Dict[str, object]:
         """JSON-friendly fleet aggregate for ``/v1/stats``."""
         ...
 
+    def metrics_payload(self) -> Dict[str, Dict[str, object]]:
+        """Fleet-wide per-endpoint aggregate for ``/metrics``."""
+        ...
+
+
+#: Error codes of the structured envelope, by status (fallback: the family).
+_ERROR_CODES = {
+    400: "bad_request",
+    401: "unauthorized",
+    403: "forbidden",
+    404: "not_found",
+    500: "internal",
+}
+
 
 class ApiError(Exception):
-    """An HTTP error response (status + message) raised by route handlers."""
+    """An HTTP error response raised by route handlers.
 
-    def __init__(self, status: int, message: str) -> None:
+    Carries the three fields of the error envelope; *code* defaults from
+    the status so handlers only spell it out when a status has more than
+    one meaning (e.g. 500 ``internal`` vs ``store_failure``).
+    """
+
+    def __init__(self, status: int, message: str, *, code: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code if code is not None else _ERROR_CODES.get(status, "error")
 
 
 class ServiceStats:
@@ -126,9 +190,60 @@ class LRUCache:
 #: Default number of encoded responses kept hot.
 DEFAULT_CACHE_SIZE = 512
 
+#: What a route handler returns: a JSON payload, or pre-rendered text
+#: (the Prometheus exposition) tagged with its content type.
+RoutePayload = Union[Dict[str, object], str]
+
+#: Handler signature: ``(service, path params, query params) -> payload``.
+RouteHandler = Callable[
+    ["ClassificationService", Dict[str, str], Dict[str, List[str]]], RoutePayload
+]
+
+
+class Route(NamedTuple):
+    """One row of the declarative route table.
+
+    The three flags are the middleware contract: the response cache honours
+    ``cacheable``, the auth middleware honours ``auth_required``, and the
+    metrics middleware labels the endpoint's series ``metric_name`` -- all
+    read from here, never hard-coded per handler.
+    """
+
+    pattern: str
+    handler: RouteHandler
+    cacheable: bool
+    auth_required: bool
+    metric_name: str
+
+
+def _match_route(pattern: str, parts: List[str]) -> Optional[Dict[str, str]]:
+    """Match normalized path segments against a route pattern.
+
+    Patterns are segment-literal except ``{name}`` placeholders, which
+    capture one segment into the returned params dict.  ``None``: no match.
+    """
+    expected = [segment for segment in pattern.split("/") if segment]
+    if len(expected) != len(parts):
+        return None
+    params: Dict[str, str] = {}
+    for want, got in zip(expected, parts):
+        if want.startswith("{") and want.endswith("}"):
+            params[want[1:-1]] = got
+        elif want != got:
+            return None
+    return params
+
+
+class ServiceResponse(NamedTuple):
+    """One handled request: status, encoded body, and its content type."""
+
+    status: int
+    body: bytes
+    content_type: str = JSON_CONTENT_TYPE
+
 
 class ClassificationService:
-    """Routing + caching logic of the HTTP API, independent of any socket.
+    """Routing + caching + middleware logic of the API, socket-independent.
 
     Tests (and the benchmark's store-level mode) drive :meth:`handle`
     directly; the HTTP handler below is a thin socket adapter around it.
@@ -141,16 +256,25 @@ class ClassificationService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         worker_id: int = 0,
         stats_sink: Optional[StatsSink] = None,
+        auth_token: Optional[str] = None,
+        lag_tracker: Optional[MemoryFollowerLag] = None,
     ) -> None:
         self.store = store
         self.cache = LRUCache(cache_size)
         self.stats = ServiceStats()
+        self.metrics = MetricsRecorder()
         self.worker_id = worker_id
         self.stats_sink = stats_sink
+        self.auth_token = auth_token
+        self.lag_tracker = lag_tracker if lag_tracker is not None else MemoryFollowerLag()
+        self._churn_lock = threading.Lock()
+        self._churn_cache: Optional[Tuple[int, int, List[Tuple[int, int]]]] = None
 
     #: Endpoints whose payloads change without a store write (request
-    #: counters, liveness): caching them would serve stale operational data.
-    VOLATILE_PATHS = frozenset({"/healthz", "/v1/stats"})
+    #: counters, liveness, scrapes): their routes are ``cacheable=False``,
+    #: and this set documents why (serving them stale would hide live
+    #: operational state).  Kept in sync with the route table by test.
+    VOLATILE_PATHS = frozenset({"/healthz", "/metrics", "/v1/stats"})
 
     #: Endpoints kept out of the response cache.  Beyond the volatile ones,
     #: replication changelog pages are excluded: each page is huge (up to
@@ -160,46 +284,112 @@ class ClassificationService:
     UNCACHED_PATHS = VOLATILE_PATHS | frozenset({"/v1/replication/changes"})
 
     # -- entry point --------------------------------------------------------------------
-    def _record(self, *, hit: bool = False, error: bool = False) -> None:
+    def _record(
+        self,
+        endpoint: str,
+        *,
+        hit: bool = False,
+        error: bool = False,
+        seconds: float = 0.0,
+    ) -> None:
         """Count one request locally and (if fleet-attached) in the sink."""
         self.stats.record(hit=hit, error=error)
+        self.metrics.observe(endpoint, hit=hit, error=error, seconds=seconds)
         if self.stats_sink is not None:
             self.stats_sink.record(self.worker_id, hit=hit, error=error)
+            self.stats_sink.observe(
+                self.worker_id, endpoint, hit=hit, error=error, seconds=seconds
+            )
 
-    def handle(self, target: str) -> Tuple[int, bytes]:
-        """Serve one request target; returns ``(status, encoded JSON body)``."""
+    def resolve(self, path: str) -> Tuple[Optional[Route], Dict[str, str]]:
+        """The route table row (and captured params) serving *path*."""
+        parts = [part for part in path.split("/") if part]
+        for route in self.ROUTES:
+            params = _match_route(route.pattern, parts)
+            if params is not None:
+                return route, params
+        return None, {}
+
+    def handle(
+        self, target: str, headers: Optional[Mapping[str, str]] = None
+    ) -> ServiceResponse:
+        """Serve one request target through the full middleware stack.
+
+        *headers* carries the ``Authorization`` header when auth is
+        enabled (tests may pass a plain dict; the HTTP adapter passes the
+        request's header mapping).  Middleware order: resolve -> auth ->
+        cache -> handler -> cache put -> metrics; metrics see every
+        outcome, auth rejections and cache hits included.
+        """
+        started = time.perf_counter()
         # HTTP request targets are origin-form: everything before `?` is
         # the path (urlsplit would misread `//healthz` as a netloc).
         raw_path, _, query_text = target.partition("?")
         # Normalize the path exactly as routing sees it (empty segments
-        # dropped) and use the normalized form for BOTH the volatile check
+        # dropped) and use the normalized form for BOTH the route flags
         # and the cache key.  Checking the raw path would let aliases like
-        # `/healthz/` or `//healthz` slip past VOLATILE_PATHS into the
+        # `/healthz/` or `//healthz` slip past the volatile routes into the
         # cache and serve stale liveness / fleet counters forever; keying
         # the cache on the raw target would also store one entry per alias
         # of the same resource.
         path = "/" + "/".join(part for part in raw_path.split("/") if part)
-        cacheable = path not in self.UNCACHED_PATHS
+        route, _params = self.resolve(path)
+        endpoint = route.metric_name if route is not None else UNKNOWN_ENDPOINT
+
+        def finish(
+            status: int, body: bytes, content_type: str, *, hit: bool = False
+        ) -> ServiceResponse:
+            self._record(
+                endpoint,
+                hit=hit,
+                error=status >= 400,
+                seconds=time.perf_counter() - started,
+            )
+            return ServiceResponse(status, body, content_type)
+
+        if self.auth_token is not None:
+            # Unroutable /v1/* paths are checked too: probing for endpoints
+            # must not be cheaper without credentials than with them.
+            protected = (
+                route.auth_required if route is not None else path.startswith("/v1/")
+            )
+            if protected:
+                failure = check_token(headers, self.auth_token)
+                if failure is not None:
+                    return finish(
+                        failure.status,
+                        _encode_error(failure.status, failure.code, failure.message),
+                        JSON_CONTENT_TYPE,
+                    )
+        cacheable = route is not None and route.cacheable
+        cache_key = (0, "")
         if cacheable:
             normalized = path + ("?" + query_text if query_text else "")
             cache_key = (self.store.generation(), normalized)
             cached = self.cache.get(cache_key)
             if cached is not None:
-                self._record(hit=True)
-                return 200, cached
+                return finish(200, cached, JSON_CONTENT_TYPE, hit=True)
         try:
             payload = self._route(path, parse_qs(query_text))
         except ApiError as error:
-            self._record(error=True)
-            return error.status, _encode({"error": error.message, "status": error.status})
+            return finish(
+                error.status,
+                _encode_error(error.status, error.code, error.message),
+                JSON_CONTENT_TYPE,
+            )
         except StoreError as error:
             # A snapshot resolved a moment ago may be pruned by the producer
             # before its rows are read; that is a 404, not a dropped socket.
-            self._record(error=True)
-            return 404, _encode({"error": str(error), "status": 404})
+            return finish(404, _encode_error(404, "not_found", str(error)), JSON_CONTENT_TYPE)
         except sqlite3.Error as error:
-            self._record(error=True)
-            return 500, _encode({"error": f"store failure: {error}", "status": 500})
+            return finish(
+                500,
+                _encode_error(500, "store_failure", f"store failure: {error}"),
+                JSON_CONTENT_TYPE,
+            )
+        if isinstance(payload, str):
+            # Pre-rendered text (the /metrics exposition), never cached.
+            return finish(200, payload.encode("utf-8"), METRICS_CONTENT_TYPE)
         body = _encode(payload)
         # Re-read the generation before publishing the body to the cache: a
         # commit that landed after the key was computed means the payload
@@ -211,36 +401,76 @@ class ClassificationService:
         # generation.)
         if cacheable and self.store.generation() == cache_key[0]:
             self.cache.put(cache_key, body)
-        self._record()
-        return 200, body
+        return finish(200, body, JSON_CONTENT_TYPE)
 
     # -- routing ------------------------------------------------------------------------
-    def _route(self, path: str, query: Dict[str, List[str]]) -> Dict[str, object]:
-        parts = [part for part in path.split("/") if part]
-        if parts == ["healthz"]:
-            return self._healthz()
-        if len(parts) >= 2 and parts[0] == "v1":
-            if parts[1] == "snapshot" and len(parts) == 3:
-                if parts[2] == "latest":
-                    return self._snapshot_latest()
-                return self._snapshot_by_window(_int_operand(parts[2], "window"))
-            if parts[1] == "as" and len(parts) == 3:
-                return self._as_info(_int_operand(parts[2], "asn"), query)
-            if parts[1] == "diff" and len(parts) == 2:
-                return self._diff(query)
-            if parts[1] == "stats" and len(parts) == 2:
-                return self._stats()
-            if parts[1] == "replication" and parts[2:] == ["changes"]:
-                return self._replication_changes(query)
-        raise ApiError(404, f"unknown endpoint {path!r}")
+    def _route(self, path: str, query: Dict[str, List[str]]) -> RoutePayload:
+        """Resolve and invoke the handler of *path* (the dispatch step)."""
+        route, params = self.resolve(path)
+        if route is None:
+            raise ApiError(404, f"unknown endpoint {path!r}")
+        return route.handler(self, params, query)
 
     # -- endpoints ----------------------------------------------------------------------
-    def _healthz(self) -> Dict[str, object]:
+    def _healthz(
+        self, params: Dict[str, str], query: Dict[str, List[str]]
+    ) -> RoutePayload:
         return {
             "status": "ok",
             "generation": self.store.generation(),
             "snapshots": len(self.store),
         }
+
+    def _churn(self) -> Tuple[int, List[Tuple[int, int]]]:
+        """Per-AS classification churn from the persisted change maps.
+
+        Computed by summing every retained snapshot's change set; memoized
+        by store generation, so repeated scrapes of an idle store cost one
+        dict lookup and a generation read.
+        """
+        generation = self.store.generation()
+        with self._churn_lock:
+            cached = self._churn_cache
+            if cached is not None and cached[0] == generation:
+                return cached[1], cached[2]
+        counts: Dict[int, int] = {}
+        for meta in self.store.snapshots():
+            for asn in self.store.changes(meta.snapshot_id):
+                counts[int(asn)] = counts.get(int(asn), 0) + 1
+        total = sum(counts.values())
+        top = sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:CHURN_TOP_N]
+        with self._churn_lock:
+            self._churn_cache = (generation, total, top)
+        return total, top
+
+    def _metrics(
+        self, params: Dict[str, str], query: Dict[str, List[str]]
+    ) -> RoutePayload:
+        """One Prometheus scrape of the whole deployment.
+
+        With a stats sink attached, the per-endpoint aggregate comes off
+        the shared worker board, so any worker the kernel picks answers
+        for the entire ``--http-workers N`` fleet.
+        """
+        workers: Optional[int] = None
+        if self.stats_sink is not None:
+            endpoints: Mapping[str, Mapping[str, object]] = (
+                self.stats_sink.metrics_payload()
+            )
+            board = self.stats_sink.payload()
+            count = board.get("count")
+            workers = int(count) if isinstance(count, int) else None
+        else:
+            endpoints = self.metrics.endpoint_stats()
+        churn_total, churn_top = self._churn()
+        return render_metrics(
+            endpoints=endpoints,
+            store_stats=self.store.stats(),
+            followers=self.lag_tracker.snapshot(),
+            churn_total=churn_total,
+            churn_top=churn_top,
+            workers=workers,
+        )
 
     def _latest_or_404(self) -> int:
         latest = self.store.latest()
@@ -248,16 +478,24 @@ class ClassificationService:
             raise ApiError(404, "store holds no snapshots yet")
         return latest.snapshot_id
 
-    def _snapshot_latest(self) -> Dict[str, object]:
+    def _snapshot_latest(
+        self, params: Dict[str, str], query: Dict[str, List[str]]
+    ) -> RoutePayload:
         return snapshot_payload(self.store.load_snapshot(self._latest_or_404()))
 
-    def _snapshot_by_window(self, window_end: int) -> Dict[str, object]:
+    def _snapshot_by_window(
+        self, params: Dict[str, str], query: Dict[str, List[str]]
+    ) -> RoutePayload:
+        window_end = _int_operand(params["window_end"], "window")
         meta = self.store.by_window_end(window_end)
         if meta is None:
             raise ApiError(404, f"no snapshot with window_end {window_end}")
         return snapshot_payload(self.store.load_snapshot(meta.snapshot_id))
 
-    def _as_info(self, asn: int, query: Dict[str, List[str]]) -> Dict[str, object]:
+    def _as_info(
+        self, params: Dict[str, str], query: Dict[str, List[str]]
+    ) -> RoutePayload:
+        asn = _int_operand(params["asn"], "asn")
         if asn < 0:
             raise ApiError(400, f"invalid asn {asn}")
         self._latest_or_404()
@@ -281,7 +519,9 @@ class ClassificationService:
             ]
         return payload
 
-    def _diff(self, query: Dict[str, List[str]]) -> Dict[str, object]:
+    def _diff(
+        self, params: Dict[str, str], query: Dict[str, List[str]]
+    ) -> RoutePayload:
         if "window" in query:
             window_end = _int_operand(query["window"][-1], "window")
             meta = self.store.by_window_end(window_end)
@@ -307,17 +547,23 @@ class ClassificationService:
     REPLICATION_PAGE = 64
     REPLICATION_PAGE_MAX = 256
 
-    def _replication_changes(self, query: Dict[str, List[str]]) -> Dict[str, object]:
+    def _replication_changes(
+        self, params: Dict[str, str], query: Dict[str, List[str]]
+    ) -> RoutePayload:
         """The changelog page a follower polls: snapshots after ``since``.
 
         Deterministic given the store state, but deliberately *not* cached
-        (see :data:`UNCACHED_PATHS`): pages are large and each ``since`` is
-        requested at most once per follower.  The current generation is
-        read *before* the page so a concurrent commit can only make the
-        reported generation conservative (the follower polls again), never
-        claim coverage of snapshots the page omitted; the horizon is read
-        *after*, so a concurrent prune surfaces as a raised horizon rather
-        than a silent gap.
+        (``cacheable=False`` in the route table): pages are large and each
+        ``since`` is requested at most once per follower.  The current
+        generation is read *before* the page so a concurrent commit can
+        only make the reported generation conservative (the follower polls
+        again), never claim coverage of snapshots the page omitted; the
+        horizon is read *after*, so a concurrent prune surfaces as a raised
+        horizon rather than a silent gap.
+
+        Followers that pass ``?follower=name`` feed the per-follower
+        replication-lag gauges of ``/metrics``: the poll itself states how
+        far behind the poller is (``generation - since``).
         """
         since = 0
         if "since" in query:
@@ -331,6 +577,10 @@ class ClassificationService:
                 raise ApiError(400, f"limit must be >= 1, got {limit}")
             limit = min(limit, self.REPLICATION_PAGE_MAX)
         generation = self.store.generation()
+        if "follower" in query and query["follower"][-1]:
+            self.lag_tracker.record(
+                query["follower"][-1], since=since, generation=generation
+            )
         metas = self.store.snapshots_since(since, limit=limit + 1)
         more = len(metas) > limit
         changes: List[Dict[str, object]] = []
@@ -360,7 +610,9 @@ class ClassificationService:
             "more": more,
         }
 
-    def _stats(self) -> Dict[str, object]:
+    def _stats(
+        self, params: Dict[str, str], query: Dict[str, List[str]]
+    ) -> RoutePayload:
         payload: Dict[str, object] = {
             "store": self.store.stats(),
             "server": {
@@ -368,6 +620,7 @@ class ClassificationService:
                 "cache_entries": len(self.cache),
                 "worker_id": self.worker_id,
             },
+            "auth": {"enabled": self.auth_token is not None},
         }
         if self.stats_sink is not None:
             # Any worker of a fan-out deployment answers for the whole
@@ -376,9 +629,31 @@ class ClassificationService:
             payload["workers"] = self.stats_sink.payload()
         return payload
 
+    #: The route table.  Order matters only where patterns overlap: the
+    #: literal ``/v1/snapshot/latest`` must precede the ``{window_end}``
+    #: capture.  ``metric_name`` values come from
+    #: :data:`repro.service.metrics.METRIC_ENDPOINTS` (asserted by test).
+    ROUTES: Tuple[Route, ...] = (
+        Route("/healthz", _healthz, False, False, "healthz"),
+        Route("/metrics", _metrics, False, False, "metrics"),
+        Route("/v1/snapshot/latest", _snapshot_latest, True, True, "snapshot_latest"),
+        Route("/v1/snapshot/{window_end}", _snapshot_by_window, True, True, "snapshot_window"),
+        Route("/v1/as/{asn}", _as_info, True, True, "as_info"),
+        Route("/v1/diff", _diff, True, True, "diff"),
+        Route("/v1/stats", _stats, False, True, "stats"),
+        Route("/v1/replication/changes", _replication_changes, False, True, "replication_changes"),
+    )
+
 
 def _encode(payload: Dict[str, object]) -> bytes:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def _encode_error(status: int, code: str, message: str) -> bytes:
+    """Encode the structured error envelope every non-2xx response uses."""
+    return _encode(
+        {"error": {"status": status, "code": code, "message": message}}
+    )
 
 
 def _int_operand(text: str, name: str) -> int:
@@ -389,7 +664,7 @@ def _int_operand(text: str, name: str) -> int:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Socket adapter: one GET in, one cached JSON body out."""
+    """Socket adapter: one GET in, one cached body out."""
 
     # Keep-alive matters for the queries/sec target: HTTP/1.1 + an explicit
     # Content-Length lets clients reuse one TCP connection for many queries.
@@ -401,12 +676,12 @@ class _Handler(BaseHTTPRequestHandler):
     service: ClassificationService  # injected by ClassificationServer
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        status, body = self.service.handle(self.path)
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+        response = self.service.handle(self.path, self.headers)
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
         self.end_headers()
-        self.wfile.write(body)
+        self.wfile.write(response.body)
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         pass  # keep the serving hot path quiet; stats live in /v1/stats
@@ -437,8 +712,11 @@ class ClassificationServer:
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        auth_token: Optional[str] = None,
     ) -> None:
-        self.service = ClassificationService(store, cache_size=cache_size)
+        self.service = ClassificationService(
+            store, cache_size=cache_size, auth_token=auth_token
+        )
         self.httpd = ThreadingHTTPServer((host, port), build_handler(self.service))
         self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None

@@ -39,6 +39,7 @@ from __future__ import annotations
 import mmap
 import multiprocessing
 import os
+import shutil
 import socket
 import struct
 import sys
@@ -51,6 +52,15 @@ from multiprocessing.process import BaseProcess
 from typing import Dict, List, Optional, Tuple, Type
 
 from repro.service.backends import SnapshotBackend, open_store, parse_store_url
+from repro.service.metrics import (
+    ENDPOINT_COUNTER_FIELDS,
+    LATENCY_BUCKETS,
+    METRIC_ENDPOINTS,
+    UNKNOWN_ENDPOINT,
+    FileFollowerLag,
+    bucket_index,
+    empty_endpoint_stats,
+)
 from repro.service.server import (
     DEFAULT_CACHE_SIZE,
     ClassificationService,
@@ -62,6 +72,21 @@ STAT_FIELDS = ("requests", "cache_hits", "cache_misses", "errors")
 
 _SLOT_FORMAT = "<" + "q" * len(STAT_FIELDS)
 _SLOT_SIZE = struct.calcsize(_SLOT_FORMAT)
+
+#: One endpoint's accounting on the board: the four integer counters, the
+#: latency sum (float64 seconds), and one count per histogram bucket
+#: (``len(LATENCY_BUCKETS)`` finite bounds + the ``+Inf`` overflow).
+_ENDPOINT_FORMAT = (
+    "<" + "q" * len(ENDPOINT_COUNTER_FIELDS) + "d" + "q" * (len(LATENCY_BUCKETS) + 1)
+)
+_ENDPOINT_SIZE = struct.calcsize(_ENDPOINT_FORMAT)
+
+#: Full per-worker slot: the legacy aggregate counters first (their layout
+#: is unchanged, so readers of the old board region keep working), then one
+#: endpoint block per :data:`METRIC_ENDPOINTS` entry, in tuple order.
+_WORKER_SLOT_SIZE = _SLOT_SIZE + len(METRIC_ENDPOINTS) * _ENDPOINT_SIZE
+
+_ENDPOINT_INDEX = {name: index for index, name in enumerate(METRIC_ENDPOINTS)}
 
 
 def reuseport_supported() -> bool:
@@ -86,13 +111,16 @@ def reuseport_supported() -> bool:
 
 
 class WorkerStatsBoard:
-    """Per-worker request counters in a file every worker process maps.
+    """Per-worker request accounting in a file every worker process maps.
 
-    The board is a flat array of ``workers x len(STAT_FIELDS)`` little-endian
-    int64 slots.  Exactly one worker writes each slot (its request threads
-    serialise through a per-process lock), so there is no cross-process
-    locking; concurrent readers may see a counter mid-increment, which is
-    harmless for monotonically growing statistics.
+    Each worker owns one slot: the four legacy aggregate counters (their
+    layout predates the metrics endpoint and is preserved), followed by one
+    block per :data:`~repro.service.metrics.METRIC_ENDPOINTS` entry holding
+    that endpoint's counters, latency sum, and histogram bucket counts.
+    Exactly one worker writes each slot (its request threads serialise
+    through a per-process lock), so there is no cross-process locking;
+    concurrent readers may see a counter mid-increment, which is harmless
+    for monotonically growing statistics.
     """
 
     def __init__(self, path: str, workers: int) -> None:
@@ -102,20 +130,20 @@ class WorkerStatsBoard:
         self.workers = workers
         self._lock = threading.Lock()
         self._file = open(path, "r+b")
-        self._map = mmap.mmap(self._file.fileno(), workers * _SLOT_SIZE)
+        self._map = mmap.mmap(self._file.fileno(), workers * _WORKER_SLOT_SIZE)
 
     @classmethod
     def create(cls, workers: int) -> "WorkerStatsBoard":
         """Allocate a zeroed board in a fresh temporary file."""
         fd, path = tempfile.mkstemp(prefix="repro-serve-stats-", suffix=".bin")
         with os.fdopen(fd, "wb") as handle:
-            handle.write(b"\x00" * workers * _SLOT_SIZE)
+            handle.write(b"\x00" * workers * _WORKER_SLOT_SIZE)
         return cls(path, workers)
 
     # -- StatsSink ----------------------------------------------------------------------
     def record(self, worker_id: int, *, hit: bool, error: bool) -> None:
         """Count one request handled by *worker_id* (its own slot only)."""
-        offset = worker_id * _SLOT_SIZE
+        offset = worker_id * _WORKER_SLOT_SIZE
         with self._lock:
             requests, hits, misses, errors = struct.unpack_from(
                 _SLOT_FORMAT, self._map, offset
@@ -129,11 +157,32 @@ class WorkerStatsBoard:
                 misses += 1
             struct.pack_into(_SLOT_FORMAT, self._map, offset, requests, hits, misses, errors)
 
+    def observe(
+        self, worker_id: int, endpoint: str, *, hit: bool, error: bool, seconds: float
+    ) -> None:
+        """Account one request against *endpoint*'s block of this worker."""
+        index = _ENDPOINT_INDEX.get(endpoint, _ENDPOINT_INDEX[UNKNOWN_ENDPOINT])
+        offset = worker_id * _WORKER_SLOT_SIZE + _SLOT_SIZE + index * _ENDPOINT_SIZE
+        with self._lock:
+            values = list(struct.unpack_from(_ENDPOINT_FORMAT, self._map, offset))
+            values[0] += 1  # requests
+            if error:
+                values[1] += 1  # errors
+            elif hit:
+                values[2] += 1  # cache_hits
+            else:
+                values[3] += 1  # cache_misses
+            values[4] += seconds  # latency_sum
+            values[5 + bucket_index(seconds)] += 1
+            struct.pack_into(_ENDPOINT_FORMAT, self._map, offset, *values)
+
     def per_worker(self) -> List[Dict[str, int]]:
-        """Each worker's counters, indexed by worker id."""
+        """Each worker's legacy aggregate counters, indexed by worker id."""
         rows: List[Dict[str, int]] = []
         for worker_id in range(self.workers):
-            values = struct.unpack_from(_SLOT_FORMAT, self._map, worker_id * _SLOT_SIZE)
+            values = struct.unpack_from(
+                _SLOT_FORMAT, self._map, worker_id * _WORKER_SLOT_SIZE
+            )
             rows.append(dict(zip(STAT_FIELDS, values)))
         return rows
 
@@ -142,6 +191,30 @@ class WorkerStatsBoard:
         rows = self.per_worker()
         aggregate = {field: sum(row[field] for row in rows) for field in STAT_FIELDS}
         return {"count": self.workers, "aggregate": aggregate, "per_worker": rows}
+
+    def metrics_payload(self) -> Dict[str, Dict[str, object]]:
+        """Fleet-wide per-endpoint aggregate (the ``/metrics`` data source).
+
+        Sums every worker's endpoint blocks into the same shape
+        :meth:`MetricsRecorder.endpoint_stats` returns, so the renderer
+        does not care whether a scrape is single- or multi-worker.
+        """
+        endpoints = {name: empty_endpoint_stats() for name in METRIC_ENDPOINTS}
+        for worker_id in range(self.workers):
+            base = worker_id * _WORKER_SLOT_SIZE + _SLOT_SIZE
+            for index, name in enumerate(METRIC_ENDPOINTS):
+                values = struct.unpack_from(
+                    _ENDPOINT_FORMAT, self._map, base + index * _ENDPOINT_SIZE
+                )
+                stats = endpoints[name]
+                for field_index, field in enumerate(ENDPOINT_COUNTER_FIELDS):
+                    stats[field] = int(stats[field]) + int(values[field_index])  # type: ignore[call-overload]
+                stats["latency_sum"] = float(stats["latency_sum"]) + float(values[4])  # type: ignore[arg-type]
+                buckets = stats["buckets"]
+                assert isinstance(buckets, list)
+                for bucket, count in enumerate(values[5:]):
+                    buckets[bucket] += int(count)
+        return endpoints
 
     def close(self, *, unlink: bool = False) -> None:
         """Unmap the board; the supervisor also unlinks the backing file."""
@@ -225,6 +298,8 @@ def _serve_worker(
     board_path: str,
     supervisor_pid: int,
     ready: Optional[Connection],
+    auth_token: Optional[str] = None,
+    lag_dir: Optional[str] = None,
 ) -> None:
     """Worker process entry point: open the store, bind, accept forever.
 
@@ -233,12 +308,21 @@ def _serve_worker(
     is carried for ``/v1/stats`` visibility only -- serving never appends,
     so it never prunes here.  *archive_dir* makes every worker open the
     same tiered view, so cold (beyond-retention) reads answer on any
-    worker the kernel picks.
+    worker the kernel picks.  *lag_dir* is the supervisor's shared
+    follower-lag directory: each worker persists the changelog polls it
+    saw, so the ``/metrics`` scrape of any worker reports every follower.
     """
     board = WorkerStatsBoard(board_path, workers)
     store = open_store(store_path, retention=retention, archive_dir=archive_dir)
     service = ClassificationService(
-        store, cache_size=cache_size, worker_id=worker_id, stats_sink=board
+        store,
+        cache_size=cache_size,
+        worker_id=worker_id,
+        stats_sink=board,
+        auth_token=auth_token,
+        lag_tracker=(
+            FileFollowerLag(lag_dir, worker_id) if lag_dir is not None else None
+        ),
     )
     httpd = ReusePortHTTPServer((host, port), build_handler(service))
     threading.Thread(
@@ -284,6 +368,7 @@ class MultiWorkerServer:
         cache_size: int = DEFAULT_CACHE_SIZE,
         retention: Optional[int] = None,
         archive_dir: Optional[str] = None,
+        auth_token: Optional[str] = None,
         mode: str = "auto",
         poll_interval: float = 0.2,
         start_method: str = "spawn",
@@ -306,6 +391,7 @@ class MultiWorkerServer:
         self.cache_size = cache_size
         self.retention = retention
         self.archive_dir = str(archive_dir) if archive_dir is not None else None
+        self.auth_token = auth_token
         self.mode = mode
         self.poll_interval = poll_interval
         self.respawns = 0
@@ -318,6 +404,7 @@ class MultiWorkerServer:
         self._monitor_thread: Optional[threading.Thread] = None
         self._placeholder: Optional[socket.socket] = None
         self._board: Optional[WorkerStatsBoard] = None
+        self._lag_dir: Optional[str] = None
         self._port: Optional[int] = None
         # Process mode state.
         self._processes: List[Optional[BaseProcess]] = []
@@ -374,6 +461,7 @@ class MultiWorkerServer:
         if self._port is not None:
             raise RuntimeError("server already started")
         self._board = WorkerStatsBoard.create(self.workers)
+        self._lag_dir = tempfile.mkdtemp(prefix="repro-serve-lag-")
         if self.mode == "process":
             self._port = self._reserve_port()
             self._processes = [None] * self.workers
@@ -406,6 +494,8 @@ class MultiWorkerServer:
                 self._board.path,
                 os.getpid(),
                 child_end,
+                self.auth_token,
+                self._lag_dir,
             ),
             daemon=True,
         )
@@ -452,7 +542,16 @@ class MultiWorkerServer:
                 archive_dir=self.archive_dir,
             )
             service = ClassificationService(
-                store, cache_size=self.cache_size, worker_id=worker_id, stats_sink=self._board
+                store,
+                cache_size=self.cache_size,
+                worker_id=worker_id,
+                stats_sink=self._board,
+                auth_token=self.auth_token,
+                lag_tracker=(
+                    FileFollowerLag(self._lag_dir, worker_id)
+                    if self._lag_dir is not None
+                    else None
+                ),
             )
             server = _SharedListenerHTTPServer(listener, build_handler(service))
             self._thread_stores.append(store)
@@ -554,6 +653,9 @@ class MultiWorkerServer:
         if self._board is not None:
             self._board.close(unlink=True)
             self._board = None
+        if self._lag_dir is not None:
+            shutil.rmtree(self._lag_dir, ignore_errors=True)
+            self._lag_dir = None
 
     def __enter__(self) -> "MultiWorkerServer":
         return self

@@ -26,6 +26,7 @@ from repro.cli import main
 from repro.service import (
     ClassificationServer,
     ClassificationService,
+    FencedWriterError,
     MemoryBackend,
     ReplicaSyncer,
     SnapshotArchive,
@@ -120,6 +121,31 @@ class TestConformance:
             loaded = store.load_snapshot(snapshot_id)
             assert snapshot_payload(loaded) == snapshot_payload(snapshot)
             assert store.changes(snapshot_id) == snapshot.changed
+
+    def test_leader_epoch_contract(self, make_backend):
+        """Every backend persists the failover fence the same way: epoch 0
+        at creation, monotonic bumps, stale-epoch appends fenced before any
+        dedup can claim success, ``epoch=None`` opted out."""
+        store = make_backend()
+        assert store.leader_epoch() == 0
+        assert store.stats()["leader_epoch"] == 0
+        snapshots = build_snapshots(3)
+        store.append_snapshot(snapshots[0])  # epoch=None: legacy writer
+        store.append_snapshot(snapshots[1], epoch=0)
+        assert store.bump_leader_epoch() == 1
+        assert store.bump_leader_epoch() == 2
+        assert store.leader_epoch() == 2
+        generation = store.generation()
+        with pytest.raises(FencedWriterError):
+            store.append_snapshot(snapshots[2], epoch=1)
+        # The fenced write landed nothing and moved nothing.
+        assert len(store) == 2 and store.generation() == generation
+        # Fencing outranks dedup: re-offering a held window is still fenced.
+        with pytest.raises(FencedWriterError):
+            store.append_snapshot(snapshots[0], if_absent=True, epoch=0)
+        store.append_snapshot(snapshots[2], epoch=2)
+        assert len(store) == 3
+        assert store.stats()["leader_epoch"] == 2
 
     def test_generation_monotonic_across_writes(self, make_backend):
         store = make_backend()
@@ -322,9 +348,7 @@ class TestHeterogeneousReplication:
             targets = ["/v1/snapshot/latest", "/v1/diff", "/v1/as/20?history=10"]
             targets += [f"/v1/snapshot/{s.window_end}" for s in snapshots]
             for target in targets:
-                leader_status, leader_body = leader_service.handle(target)
-                follower_status, follower_body = follower_service.handle(target)
-                assert (leader_status, leader_body) == (follower_status, follower_body)
+                assert leader_service.handle(target) == follower_service.handle(target)
             syncer.client.close()
 
 
@@ -352,7 +376,7 @@ class TestTieredArchive:
             for target, body in expected.items():
                 assert tiered_service.handle(target) == body
             # Cold per-AS history spans the full run, not just the hot cap.
-            _, body = tiered_service.handle("/v1/as/20?history=10")
+            body = tiered_service.handle("/v1/as/20?history=10").body
             assert len(json.loads(body)["history"]) == 6
 
     def test_archive_survives_reopen_and_refresh(self, tmp_path):

@@ -1,0 +1,301 @@
+"""/metrics observability: exposition validity, aggregation, lag, churn.
+
+Pins the Prometheus contract of ``repro.service.metrics``:
+
+* every ``/metrics`` line parses as valid text exposition format 0.0.4
+  (``name{labels} value`` samples, ``# HELP`` / ``# TYPE`` headers, every
+  sample preceded by its declaration);
+* histograms are well-formed: cumulative ``le`` buckets ending in ``+Inf``,
+  with ``_count`` equal to the ``+Inf`` bucket;
+* the route table's ``metric_name`` values and the board slot layout come
+  from one list (:data:`METRIC_ENDPOINTS`), so counters and the mmap board
+  cannot drift apart;
+* request / cache counters and store gauges move with real traffic, both
+  single-worker (local recorder) and fleet-aggregated (worker board);
+* per-follower replication-lag gauges appear when a follower identifies
+  itself on changelog polls, across worker processes via the lag files;
+* per-AS classification churn is rendered from the persisted change maps,
+  cardinality-capped at :data:`CHURN_TOP_N`.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.service import (
+    ClassificationServer,
+    ClassificationService,
+    MemoryBackend,
+    ReplicaSyncer,
+    ServiceClient,
+    SnapshotStore,
+    WorkerStatsBoard,
+)
+from repro.service.client import NotFoundError
+from repro.service.metrics import (
+    CHURN_TOP_N,
+    LATENCY_BUCKETS,
+    METRIC_ENDPOINTS,
+    METRICS_CONTENT_TYPE,
+    FileFollowerLag,
+    MetricsRecorder,
+    bucket_index,
+    render_metrics,
+)
+from repro.service.server import ClassificationService as Service
+from tests.test_backends import build_snapshots
+
+#: One exposition sample: metric name, optional {labels}, numeric value.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$"
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with SnapshotStore(tmp_path / "metrics.db") as snapshot_store:
+        for snapshot in build_snapshots(3):
+            snapshot_store.append_snapshot(snapshot)
+        yield snapshot_store
+
+
+def parse_exposition(text: str):
+    """Validate exposition text; returns ``{name: {labels-tuple: value}}``."""
+    samples = {}
+    declared = set()
+    for line in text.splitlines():
+        assert line == line.strip() and line, f"stray whitespace: {line!r}"
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            declared.add(line.split()[2])
+            continue
+        assert SAMPLE_RE.match(line), f"invalid exposition line: {line!r}"
+        name_and_labels, value = line.rsplit(" ", 1)
+        name, _, labels = name_and_labels.partition("{")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in declared or base in declared, f"undeclared metric: {name}"
+        samples.setdefault(name, {})[labels.rstrip("}")] = float(value)
+    assert text.endswith("\n")
+    return samples
+
+
+def scrape(service) -> dict:
+    response = service.handle("/metrics")
+    assert response.status == 200
+    assert response.content_type == METRICS_CONTENT_TYPE
+    return parse_exposition(response.body.decode())
+
+
+# ---------------------------------------------------------------------------------------
+# Exposition format validity
+# ---------------------------------------------------------------------------------------
+class TestExpositionFormat:
+    def test_every_line_parses(self, store):
+        service = ClassificationService(store)
+        for target in ("/healthz", "/v1/snapshot/latest", "/v1/as/10", "/nope"):
+            service.handle(target)
+        samples = scrape(service)
+        assert "repro_http_requests_total" in samples
+        assert "repro_store_generation" in samples
+
+    def test_histogram_is_cumulative_and_ends_at_inf(self, store):
+        service = ClassificationService(store)
+        for _ in range(5):
+            service.handle("/v1/snapshot/latest")
+        samples = scrape(service)
+        buckets = samples["repro_http_request_latency_seconds_bucket"]
+        endpoint = 'endpoint="snapshot_latest"'
+        series = [
+            (labels, value)
+            for labels, value in buckets.items()
+            if labels.startswith(endpoint)
+        ]
+        assert len(series) == len(LATENCY_BUCKETS) + 1
+        values = [value for _, value in series]
+        assert values == sorted(values)  # cumulative, by construction
+        inf = buckets[f'{endpoint},le="+Inf"']
+        assert inf == 5
+        count = samples["repro_http_request_latency_seconds_count"][endpoint]
+        assert count == inf
+        assert samples["repro_http_request_latency_seconds_sum"][endpoint] >= 0
+
+    def test_bucket_index_matches_bounds(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(LATENCY_BUCKETS[0]) == 0
+        assert bucket_index(LATENCY_BUCKETS[-1]) == len(LATENCY_BUCKETS) - 1
+        assert bucket_index(LATENCY_BUCKETS[-1] + 1) == len(LATENCY_BUCKETS)
+
+    def test_label_values_are_escaped(self):
+        text = render_metrics(
+            endpoints=MetricsRecorder().endpoint_stats(),
+            store_stats={"generation": 1},
+            followers={'evil"name\n': {"lag": 1.0}},
+            churn_total=0,
+            churn_top=[],
+        )
+        assert '\\"' in text and "\\n" in text
+        parse_exposition(text)
+
+
+# ---------------------------------------------------------------------------------------
+# One source of truth for endpoint names
+# ---------------------------------------------------------------------------------------
+class TestEndpointConsistency:
+    def test_route_table_metric_names_are_board_slots(self):
+        table_names = {route.metric_name for route in Service.ROUTES}
+        assert table_names <= set(METRIC_ENDPOINTS)
+        # The catch-all for unroutable paths is a board slot too.
+        assert "unknown" in METRIC_ENDPOINTS
+
+    def test_route_table_flags_match_documented_sets(self):
+        """The legacy VOLATILE/UNCACHED path sets and the table agree."""
+        for route in Service.ROUTES:
+            pattern_path = "/" + "/".join(
+                part for part in route.pattern.split("/") if part
+            )
+            if pattern_path in Service.UNCACHED_PATHS:
+                assert not route.cacheable, route.pattern
+        exempt = {r.pattern for r in Service.ROUTES if not r.auth_required}
+        assert exempt == {"/healthz", "/metrics"}
+
+
+# ---------------------------------------------------------------------------------------
+# Counters move with real traffic
+# ---------------------------------------------------------------------------------------
+class TestCounters:
+    def test_requests_hits_errors_and_unknown(self, store):
+        service = ClassificationService(store)
+        service.handle("/v1/as/10")
+        service.handle("/v1/as/10")  # cache hit
+        service.handle("/v1/as/abc")  # 400
+        service.handle("/totally/bogus")  # unroutable -> unknown
+        samples = scrape(service)
+        requests = samples["repro_http_requests_total"]
+        assert requests['endpoint="as_info"'] == 3
+        assert requests['endpoint="unknown"'] == 1
+        assert samples["repro_http_request_errors_total"]['endpoint="as_info"'] == 1
+        assert samples["repro_cache_hits_total"]['endpoint="as_info"'] == 1
+        assert samples["repro_cache_misses_total"]['endpoint="as_info"'] == 1
+        ratio = samples["repro_cache_hit_ratio"][""]
+        assert 0.0 < ratio < 1.0
+
+    def test_store_gauges_track_the_backend(self, store):
+        service = ClassificationService(store)
+        samples = scrape(service)
+        assert samples["repro_store_generation"][""] == store.generation()
+        assert samples["repro_store_snapshots"][""] == len(store)
+        assert samples["repro_store_leader_epoch"][""] == 0
+        store.bump_leader_epoch()
+        assert scrape(service)["repro_store_leader_epoch"][""] == 1
+
+    def test_fleet_aggregation_through_the_board(self, store):
+        board = WorkerStatsBoard.create(2)
+        try:
+            services = [
+                ClassificationService(store, worker_id=i, stats_sink=board)
+                for i in range(2)
+            ]
+            services[0].handle("/v1/snapshot/latest")
+            services[1].handle("/v1/snapshot/latest")
+            services[1].handle("/v1/as/10")
+            # Either worker answers the scrape with the fleet-wide sums.
+            for service in services:
+                samples = scrape(service)
+                requests = samples["repro_http_requests_total"]
+                assert requests['endpoint="snapshot_latest"'] == 2
+                assert requests['endpoint="as_info"'] == 1
+                assert samples["repro_serve_workers"][""] == 2
+            aggregated = board.metrics_payload()
+            assert aggregated["snapshot_latest"]["requests"] == 2
+            assert sum(aggregated["snapshot_latest"]["buckets"]) == 2
+        finally:
+            board.close()
+
+
+# ---------------------------------------------------------------------------------------
+# Follower lag gauges
+# ---------------------------------------------------------------------------------------
+class TestFollowerLag:
+    def test_named_follower_poll_appears_as_lag_gauge(self, store):
+        follower = MemoryBackend()
+        with ClassificationServer(store) as server:
+            server.start()
+            with ServiceClient(server.url) as client:
+                syncer = ReplicaSyncer(client, follower, follower="replica-a")
+                syncer.sync_once()
+                # The first poll stated the full backlog at poll time.
+                first = scrape(server.service)["repro_replication_follower_lag"]
+                assert first['follower="replica-a"'] == store.generation()
+                syncer.sync_once()  # caught up: the next poll reports 0
+            samples = scrape(server.service)
+        lag = samples["repro_replication_follower_lag"]
+        assert lag['follower="replica-a"'] == 0.0
+
+    def test_anonymous_polls_add_no_series(self, store):
+        service = ClassificationService(store)
+        service.handle("/v1/replication/changes?since=0")
+        assert scrape(service).get("repro_replication_follower_lag", {}) == {}
+
+    def test_lag_files_merge_across_workers(self, tmp_path, store):
+        """Polls landing on different workers are merged at scrape time."""
+        services = [
+            ClassificationService(
+                store,
+                worker_id=worker_id,
+                lag_tracker=FileFollowerLag(str(tmp_path), worker_id),
+            )
+            for worker_id in range(2)
+        ]
+        services[0].handle("/v1/replication/changes?since=1&follower=replica-a")
+        services[1].handle("/v1/replication/changes?since=2&follower=replica-b")
+        for service in services:  # either worker sees both followers
+            lag = scrape(service)["repro_replication_follower_lag"]
+            assert lag['follower="replica-a"'] == store.generation() - 1
+            assert lag['follower="replica-b"'] == store.generation() - 2
+
+
+# ---------------------------------------------------------------------------------------
+# Classification churn
+# ---------------------------------------------------------------------------------------
+class TestChurn:
+    def test_churn_totals_match_the_change_maps(self, store):
+        expected = sum(len(store.changes(m.snapshot_id)) for m in store.snapshots())
+        assert expected > 0
+        service = ClassificationService(store)
+        samples = scrape(service)
+        assert samples["repro_classification_churn_total"][""] == expected
+        per_as = samples["repro_as_classification_churn"]
+        assert 0 < len(per_as) <= CHURN_TOP_N
+        assert sum(per_as.values()) <= expected
+
+    def test_churn_memoized_by_generation(self, store):
+        service = ClassificationService(store)
+        scrape(service)
+        assert service._churn_cache is not None
+        generation, total, top = service._churn_cache
+        assert generation == store.generation()
+        # A new commit invalidates the memo on the next scrape.
+        store.append_snapshot(build_snapshots(4)[-1])
+        scrape(service)
+        assert service._churn_cache[0] == store.generation()
+
+
+# ---------------------------------------------------------------------------------------
+# Over HTTP: content type and the client helper
+# ---------------------------------------------------------------------------------------
+class TestMetricsOverHttp:
+    def test_scrape_via_client(self, store):
+        with ClassificationServer(store) as server:
+            server.start()
+            with ServiceClient(server.url) as client:
+                client.health()
+                with pytest.raises(NotFoundError):
+                    client.snapshot(999_999)
+                text = client.metrics_text()
+        samples = parse_exposition(text)
+        assert samples["repro_http_requests_total"]['endpoint="healthz"'] == 1
+        assert samples["repro_http_request_errors_total"]['endpoint="snapshot_window"'] == 1

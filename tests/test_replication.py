@@ -193,10 +193,10 @@ class TestReplicationEndpoint:
 
         _, store = leader
         service = ClassificationService(store)
-        status, first = service.handle("/v1/replication/changes?since=0&limit=2")
-        assert status == 200
-        status, second = service.handle("/v1/replication/changes?since=0&limit=2")
-        assert (status, second) == (200, first)  # still deterministic
+        first = service.handle("/v1/replication/changes?since=0&limit=2")
+        assert first.status == 200
+        second = service.handle("/v1/replication/changes?since=0&limit=2")
+        assert (second.status, second.body) == (200, first.body)  # still deterministic
         assert service.stats.cache_hits == 0
         assert len(service.cache) == 0
 

@@ -628,18 +628,18 @@ class TestHttpApi:
     def test_cache_hits_and_invalidation(self, drained):
         engine, store = drained
         service = ClassificationService(store, cache_size=8)
-        status, first = service.handle("/v1/snapshot/latest")
-        assert status == 200
-        status, second = service.handle("/v1/snapshot/latest")
-        assert (status, second) == (200, first)
+        first = service.handle("/v1/snapshot/latest")
+        assert first.status == 200
+        second = service.handle("/v1/snapshot/latest")
+        assert (second.status, second.body) == (200, first.body)
         assert service.stats.cache_hits == 1
         # A store write bumps the generation: the next read misses the
         # cache and reflects the new snapshot.
         publish_result(store, engine.result())
-        status, third = service.handle("/v1/snapshot/latest")
-        assert status == 200
+        third = service.handle("/v1/snapshot/latest")
+        assert third.status == 200
         assert service.stats.cache_misses == 2
-        assert json.loads(third.decode()) != json.loads(first.decode()) or True
+        assert json.loads(third.body.decode()) != json.loads(first.body.decode()) or True
 
     def test_volatile_path_aliases_are_never_cached(self, drained):
         """`/healthz/`, `//healthz`, `/v1/stats/` route to volatile endpoints
@@ -648,27 +648,25 @@ class TestHttpApi:
         _, store = drained
         service = ClassificationService(store)
         for alias in ("/healthz/", "//healthz", "/healthz//", "/v1/stats/", "//v1//stats"):
-            status, _ = service.handle(alias)
-            assert status == 200
-            status, _ = service.handle(alias)
-            assert status == 200
+            assert service.handle(alias).status == 200
+            assert service.handle(alias).status == 200
         assert service.stats.cache_hits == 0
         assert len(service.cache) == 0
         # The payload really is live: request counters keep moving across
         # two trailing-slash stats calls at the same store generation.
-        first = json.loads(service.handle("/v1/stats/")[1].decode())
-        second = json.loads(service.handle("/v1/stats/")[1].decode())
+        first = json.loads(service.handle("/v1/stats/").body.decode())
+        second = json.loads(service.handle("/v1/stats/").body.decode())
         assert second["server"]["requests"] > first["server"]["requests"]
 
     def test_path_aliases_share_one_cache_entry(self, drained):
         """`/v1//as/10`-style aliases collapse onto the canonical entry."""
         _, store = drained
         service = ClassificationService(store)
-        status, body = service.handle("/v1/as/10")
-        assert status == 200
+        canonical = service.handle("/v1/as/10")
+        assert canonical.status == 200
         for alias in ("/v1//as/10", "//v1/as/10", "/v1/as/10/"):
-            status, aliased = service.handle(alias)
-            assert (status, aliased) == (200, body)
+            aliased = service.handle(alias)
+            assert (aliased.status, aliased.body) == (200, canonical.body)
         assert service.stats.cache_hits == 3
         assert len(service.cache) == 1
 
@@ -687,17 +685,17 @@ class TestHttpApi:
             return original_route(path, query)
 
         service._route = racing_route
-        status, racy_body = service.handle("/v1/snapshot/latest")
-        assert status == 200
+        racy = service.handle("/v1/snapshot/latest")
+        assert racy.status == 200
         # The put was skipped: nothing is cached under the stale key.
         assert len(service.cache) == 0
         assert service.cache.get((stale_generation, "/v1/snapshot/latest")) is None
         # The next read (no race) caches and serves the same fresh bytes.
         service._route = original_route
-        status, fresh_body = service.handle("/v1/snapshot/latest")
-        assert (status, fresh_body) == (200, racy_body)
-        status, cached_body = service.handle("/v1/snapshot/latest")
-        assert (status, cached_body) == (200, fresh_body)
+        fresh = service.handle("/v1/snapshot/latest")
+        assert (fresh.status, fresh.body) == (200, racy.body)
+        cached = service.handle("/v1/snapshot/latest")
+        assert (cached.status, cached.body) == (200, fresh.body)
         assert service.stats.cache_hits == 1
 
     def test_store_failures_become_json_errors(self, drained, monkeypatch):
@@ -707,17 +705,20 @@ class TestHttpApi:
         monkeypatch.setattr(
             store, "load_snapshot", lambda *_: (_ for _ in ()).throw(StoreError("pruned"))
         )
-        status, body = service.handle("/v1/snapshot/latest")
-        assert status == 404
-        assert json.loads(body.decode())["error"] == "pruned"
+        response = service.handle("/v1/snapshot/latest")
+        assert response.status == 404
+        envelope = json.loads(response.body.decode())["error"]
+        assert (envelope["code"], envelope["message"]) == ("not_found", "pruned")
         monkeypatch.setattr(
             store,
             "load_snapshot",
             lambda *_: (_ for _ in ()).throw(sqlite3.OperationalError("disk I/O error")),
         )
-        status, body = service.handle("/v1/snapshot/latest")
-        assert status == 500
-        assert "store failure" in json.loads(body.decode())["error"]
+        response = service.handle("/v1/snapshot/latest")
+        assert response.status == 500
+        envelope = json.loads(response.body.decode())["error"]
+        assert envelope["code"] == "store_failure"
+        assert "store failure" in envelope["message"]
 
     def test_payloads_are_json_clean(self, served):
         """Every endpoint's payload survives a strict JSON round trip."""
