@@ -3,8 +3,10 @@
 Measures what a live deployment cares about:
 
 * sustained ingest throughput (events/sec) over a steady-state synthetic
-  feed — the acceptance floor is 50k events/sec, overridable via the
-  ``REPRO_BENCH_MIN_STREAM_EPS`` environment variable (0 disables);
+  feed, measured for both tuple representations — the acceptance floor is
+  75k events/sec (raised from 50k when the columnar hot path landed),
+  overridable via the ``REPRO_BENCH_MIN_STREAM_EPS`` environment variable
+  (0 disables);
 * steady-state memory: once the unique-tuple set is warm, re-announcements
   must not grow engine state;
 * the cost of a window flush on a warm engine (the incremental delta path)
@@ -21,8 +23,8 @@ import pytest
 from repro.core.column import ColumnInference
 from repro.stream import MemorySource, ScenarioSource, StreamConfig, StreamEngine, WindowSpec
 
-#: Acceptance floor for sustained ingest throughput.
-MIN_EVENTS_PER_SEC = float(os.environ.get("REPRO_BENCH_MIN_STREAM_EPS", "50000"))
+#: Acceptance floor for sustained ingest throughput (both representations).
+MIN_EVENTS_PER_SEC = float(os.environ.get("REPRO_BENCH_MIN_STREAM_EPS", "75000"))
 
 
 @pytest.fixture(scope="module")
@@ -33,9 +35,14 @@ def stream_events(context):
 
 
 @pytest.mark.benchmark(group="stream")
-def test_bench_stream_ingest_throughput(benchmark, stream_events):
+@pytest.mark.parametrize("representation", ["object", "columnar"])
+def test_bench_stream_ingest_throughput(benchmark, stream_events, representation):
     def drain():
-        engine = StreamEngine(StreamConfig(window=WindowSpec(size=3600), shards=4))
+        engine = StreamEngine(
+            StreamConfig(
+                window=WindowSpec(size=3600), shards=4, representation=representation
+            )
+        )
         engine.run(MemorySource(stream_events))
         return engine
 
@@ -47,10 +54,12 @@ def test_bench_stream_ingest_throughput(benchmark, stream_events):
     benchmark.extra_info["events_per_sec"] = round(events_per_sec)
     benchmark.extra_info["events"] = len(stream_events)
     benchmark.extra_info["unique_tuples"] = engine.unique_tuples
+    benchmark.extra_info["representation"] = representation
     if MIN_EVENTS_PER_SEC:
         assert events_per_sec >= MIN_EVENTS_PER_SEC, (
-            f"sustained throughput {events_per_sec:,.0f} events/sec is below the "
-            f"{MIN_EVENTS_PER_SEC:,.0f} floor (override via REPRO_BENCH_MIN_STREAM_EPS)"
+            f"sustained {representation} throughput {events_per_sec:,.0f} events/sec "
+            f"is below the {MIN_EVENTS_PER_SEC:,.0f} floor "
+            f"(override via REPRO_BENCH_MIN_STREAM_EPS)"
         )
 
 

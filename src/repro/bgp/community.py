@@ -67,6 +67,10 @@ class Community:
     def is_large(self) -> bool:
         return False
 
+    def __reduce__(self):
+        # Compact pickle: two ints instead of an instance-dict payload.
+        return (Community, (self.upper, self.lower))
+
     def __str__(self) -> str:
         return f"{self.upper}:{self.lower}"
 
@@ -106,6 +110,9 @@ class LargeCommunity:
     @property
     def is_large(self) -> bool:
         return True
+
+    def __reduce__(self):
+        return (LargeCommunity, (self.upper, self.data1, self.data2))
 
     def __str__(self) -> str:
         return f"{self.upper}:{self.data1}:{self.data2}"
@@ -153,7 +160,7 @@ class CommunitySet:
     field is present (``A_x:* in output(A_1)``).
     """
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "_hash")
 
     def __init__(self, items: Iterable[AnyCommunity] = ()) -> None:
         self._items: FrozenSet[AnyCommunity] = frozenset(items)
@@ -176,7 +183,18 @@ class CommunitySet:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._items)
+        # Community sets are dict/set keys on the hot path; cache the hash.
+        # The guard keeps instances from pickles predating the slot working.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(self._items)
+            self._hash = value
+            return value
+
+    def __reduce__(self):
+        # Compact pickle: a plain tuple of (already compact) communities.
+        return (CommunitySet, (tuple(self._items),))
 
     def __bool__(self) -> bool:
         return bool(self._items)

@@ -56,7 +56,7 @@ class ASPath:
     segments is supported via :meth:`from_segments`.
     """
 
-    __slots__ = ("_asns", "_segments")
+    __slots__ = ("_asns", "_segments", "_hash")
 
     def __init__(self, asns: Iterable[ASN], segments: Optional[Sequence[PathSegment]] = None) -> None:
         self._asns: Tuple[ASN, ...] = tuple(asns)
@@ -124,7 +124,23 @@ class ASPath:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._asns)
+        # Paths are dict/set keys all over the hot path (dedup, interning,
+        # retention maps); cache the hash on first use.  The guard instead of
+        # an ``__init__`` assignment keeps instances from old pickles (which
+        # predate the ``_hash`` slot) working.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(self._asns)
+            self._hash = value
+            return value
+
+    def __reduce__(self):
+        # Compact pickle: positional constructor args instead of a per-slot
+        # state dict.  Matters when tuples are shipped between processes.
+        if self._segments is None:
+            return (ASPath, (self._asns,))
+        return (ASPath, (self._asns, self._segments))
 
     def __repr__(self) -> str:
         return f"ASPath({' '.join(str(a) for a in self._asns)})"

@@ -13,6 +13,8 @@ import ipaddress
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
+from repro.bgp.prefixtrie import PrefixTrie
+
 IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
 
 
@@ -111,14 +113,15 @@ _SPECIAL_USE_V4: Tuple[str, ...] = (
 )
 
 
+#: The special-use blocks, parsed once into a covering-lookup trie.  The old
+#: implementation re-parsed all 13 block strings on every call — and this
+#: predicate runs for every observation that reaches the sanitizer.
+_SPECIAL_USE_TRIE = PrefixTrie(Prefix.from_string(block) for block in _SPECIAL_USE_V4)
+
+
 def is_special_use(prefix: Prefix) -> bool:
     """Return ``True`` for martian / special-use prefixes (IPv4 only)."""
-    if not prefix.is_ipv4:
-        return False
-    for block in _SPECIAL_USE_V4:
-        if Prefix.from_string(block).covers(prefix):
-            return True
-    return False
+    return prefix.is_ipv4 and _SPECIAL_USE_TRIE.has_covering(prefix)
 
 
 @dataclass
@@ -132,25 +135,33 @@ class PrefixAllocation:
 
     blocks: List[Prefix] = field(default_factory=list)
     _by_afi: Dict[int, List[Prefix]] = field(default_factory=dict, repr=False)
+    _trie: PrefixTrie = field(default_factory=PrefixTrie, repr=False)
 
     def register(self, block: Prefix) -> None:
         """Register an allocated covering block."""
         self.blocks.append(block)
         self._by_afi.setdefault(block.afi, []).append(block)
+        self._lookup_trie().insert(block)
 
     def register_many(self, blocks: Iterable[Prefix]) -> None:
         """Register several allocated blocks."""
         for block in blocks:
             self.register(block)
 
+    def _lookup_trie(self) -> PrefixTrie:
+        """The covering-lookup trie (rebuilt lazily for pre-trie pickles)."""
+        trie = getattr(self, "_trie", None)
+        if trie is None:
+            trie = self._trie = PrefixTrie(self.blocks)
+        return trie
+
     def is_allocated(self, prefix: Prefix) -> bool:
-        """Return ``True`` if *prefix* falls inside an allocated block."""
-        if is_special_use(prefix):
-            return False
-        for block in self._by_afi.get(prefix.afi, ()):
-            if block.covers(prefix):
-                return True
-        return False
+        """Return ``True`` if *prefix* falls inside an allocated block.
+
+        One O(prefix-length) trie walk instead of a scan over every
+        registered block (``default_internet`` alone registers ~220).
+        """
+        return not is_special_use(prefix) and self._lookup_trie().has_covering(prefix)
 
     def __contains__(self, prefix: object) -> bool:
         return isinstance(prefix, Prefix) and self.is_allocated(prefix)

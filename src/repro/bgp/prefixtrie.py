@@ -1,0 +1,138 @@
+"""A binary (bit-wise) prefix trie for covering-block lookups.
+
+The sanitation pipeline answers "is this prefix covered by an allocated
+block?" for every observation; the naive scan over all registered blocks is
+O(blocks) per lookup.  This trie makes it O(prefix length): walk the
+prefix's network bits from the most significant end and stop at the first
+stored block on the path (every node on the walk whose payload is set is by
+construction a covering block).
+
+The structure mirrors the patricia-trie idiom of the ``pytricia`` C
+extension commonly used for exactly this job in BGP tooling, but is
+dependency-free: nodes are plain 3-element lists ``[zero-child, one-child,
+payload]`` and one root is kept per address family, so IPv4/IPv6 lookups
+never interfere.
+
+The trie is duck-typed over the stored items: anything exposing ``afi``,
+``network``, ``length``, and ``max_length`` (i.e. :class:`repro.bgp.prefix.
+Prefix`) works, which keeps this module free of imports from the rest of
+the package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+#: Node layout: ``[zero-child, one-child, stored prefix or None]``.
+_Node = List
+
+
+class PrefixTrie:
+    """Bit-wise trie over prefixes, one sub-trie per address family."""
+
+    __slots__ = ("_roots", "_count")
+
+    def __init__(self, prefixes=()) -> None:
+        self._roots: dict = {}
+        self._count = 0
+        for prefix in prefixes:
+            self.insert(prefix)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def insert(self, prefix) -> None:
+        """Store *prefix*; replaces an existing entry with the same bits."""
+        node = self._roots.setdefault(prefix.afi, [None, None, None])
+        shift = prefix.max_length - 1
+        network = prefix.network
+        for depth in range(prefix.length):
+            bit = (network >> (shift - depth)) & 1
+            child = node[bit]
+            if child is None:
+                child = node[bit] = [None, None, None]
+            node = child
+        if node[2] is None:
+            self._count += 1
+        node[2] = prefix
+
+    def covering(self, prefix):
+        """The most specific stored block covering *prefix* (or ``None``).
+
+        A stored block covers *prefix* exactly when it lies on the walk of
+        *prefix*'s network bits at a depth ``<= prefix.length`` — the
+        longest-prefix-match walk every BGP lookup table performs.
+        """
+        node = self._roots.get(prefix.afi)
+        if node is None:
+            return None
+        best = node[2]
+        shift = prefix.max_length - 1
+        network = prefix.network
+        for depth in range(prefix.length):
+            node = node[(network >> (shift - depth)) & 1]
+            if node is None:
+                break
+            if node[2] is not None:
+                best = node[2]
+        return best
+
+    def has_covering(self, prefix) -> bool:
+        """``True`` when any stored block covers *prefix*.
+
+        Early-exits at the least specific covering block, so allocation
+        checks against broad registry blocks terminate after a few bits.
+        """
+        node = self._roots.get(prefix.afi)
+        if node is None:
+            return False
+        if node[2] is not None:
+            return True
+        shift = prefix.max_length - 1
+        network = prefix.network
+        for depth in range(prefix.length):
+            node = node[(network >> (shift - depth)) & 1]
+            if node is None:
+                return False
+            if node[2] is not None:
+                return True
+        return False
+
+    def __contains__(self, prefix) -> bool:
+        """Exact membership: was this very prefix inserted?"""
+        node = self._roots.get(prefix.afi)
+        if node is None:
+            return False
+        shift = prefix.max_length - 1
+        network = prefix.network
+        for depth in range(prefix.length):
+            node = node[(network >> (shift - depth)) & 1]
+            if node is None:
+                return False
+        return node[2] == prefix
+
+    def __iter__(self) -> Iterator:
+        """Yield every stored prefix (depth-first, zero branch first)."""
+        for root in self._roots.values():
+            stack: List[_Node] = [root]
+            while stack:
+                node = stack.pop()
+                if node[2] is not None:
+                    yield node[2]
+                # Push one-child first so the zero branch is yielded first.
+                if node[1] is not None:
+                    stack.append(node[1])
+                if node[0] is not None:
+                    stack.append(node[0])
+
+    def __reduce__(self):
+        # Serialise as the stored prefixes, not the node graph: the pickle
+        # stays flat (no 32/128-deep nested lists) and stable across
+        # internal layout changes.
+        return (PrefixTrie, (tuple(self),))
+
+    def __repr__(self) -> str:
+        return f"PrefixTrie({self._count} prefixes)"

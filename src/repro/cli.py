@@ -78,6 +78,7 @@ def cmd_classify(args: argparse.Namespace) -> int:
         thresholds=Thresholds.uniform(args.threshold),
         algorithm=args.algorithm,
         workers=args.workers,
+        representation=args.representation,
     )
     outcome = pipeline.run_from_mrt(blobs)
     database = ClassificationDatabase.from_result(outcome.result)
@@ -166,6 +167,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 algorithm=args.algorithm,
                 thresholds=Thresholds.uniform(args.threshold),
                 checkpoint_every=args.checkpoint_every,
+                representation=args.representation,
             )
             if workers > 1:
                 engine = engine_cls(
@@ -650,6 +652,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for sanitation and counting (default: 1, serial)",
     )
     classify.add_argument(
+        "--representation",
+        choices=("object", "columnar"),
+        default="object",
+        help="internal data layout: object tuples or the interned columnar "
+        "hot path (identical classification, much faster counting)",
+    )
+    classify.add_argument(
         "--store",
         help="also materialize the result into this snapshot store "
         "(path, sqlite:path, or memory:)",
@@ -664,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--format", choices=("text", "json"), default="text")
     stream.add_argument("--threshold", type=float, default=0.99)
     stream.add_argument("--algorithm", choices=("column", "row"), default="column")
+    stream.add_argument(
+        "--representation",
+        choices=("object", "columnar"),
+        default="object",
+        help="internal data layout (columnar requires --workers 1)",
+    )
     stream.add_argument(
         "--window", type=int, default=3600, help="window size in seconds of event time"
     )

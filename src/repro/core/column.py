@@ -28,9 +28,14 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN
-from repro.core.counters import CounterStore, DecisionView
+from repro.core import matrix as _matrix
+from repro.core.counters import CounterStore, DecisionView, PackedCounterStore
 from repro.core.results import ClassificationResult
 from repro.core.thresholds import Thresholds
+from repro.core.tuples import ColumnarBatch, CountingGroup, TupleTable
+
+#: Inference data representations: the object oracle and the columnar twin.
+REPRESENTATIONS = ("object", "columnar")
 
 #: The internal per-tuple form: ``(path ASNs, upper fields of output(A_1))``.
 PreparedTuple = Tuple[Tuple[ASN, ...], FrozenSet[ASN]]
@@ -162,6 +167,156 @@ def count_forwarding_phase(
     return delta, increments
 
 
+def _group_matrix(groups: Sequence[CountingGroup]) -> Optional["_matrix.GroupMatrix"]:
+    """The vectorised form of *groups* if it is worth using, else ``None``."""
+    if len(groups) < _matrix.MIN_MATRIX_GROUPS:
+        return None
+    matrix_of = getattr(groups, "matrix", None)  # GroupList carries the cache
+    return matrix_of() if matrix_of is not None else None
+
+
+def count_tagging_phase_packed(
+    groups: Sequence[CountingGroup],
+    column: int,
+    tagger_flags: Sequence[int],
+    forward_flags: Sequence[int],
+) -> Tuple[Dict[int, List[int]], int]:
+    """Columnar twin of :func:`count_tagging_phase`.
+
+    Operates on grouped ``(as-index row, hits, count)`` work units: the
+    Cond1 scan runs once per group and the contribution is multiplied by
+    the group's multiplicity, which is exactly the sum the object kernel
+    produces over the group's tuples (phase contributions are commutative).
+    The ``A_x in output(A_1)`` membership test is one bit test on ``hits``.
+
+    Large :class:`~repro.core.matrix.GroupList` inputs take the vectorised
+    bucket kernel; overflow groups (paths too long for an int64 bitmask)
+    and small inputs run the scalar loop below.
+    """
+    matrix = _group_matrix(groups)
+    if matrix is not None:
+        delta, increments = _matrix.count_tagging_matrix(matrix, column, forward_flags)
+        if matrix.overflow:
+            extra, more = _count_tagging_groups(
+                matrix.overflow, column, tagger_flags, forward_flags
+            )
+            merge_phase_delta(delta, extra)
+            increments += more
+        return delta, increments
+    return _count_tagging_groups(groups, column, tagger_flags, forward_flags)
+
+
+def _count_tagging_groups(
+    groups: Sequence[CountingGroup],
+    column: int,
+    tagger_flags: Sequence[int],
+    forward_flags: Sequence[int],
+) -> Tuple[Dict[int, List[int]], int]:
+    """Scalar tagging kernel (also the conformance oracle for the matrix)."""
+    del tagger_flags  # same signature as the forwarding kernel
+    delta: Dict[int, List[int]] = {}
+    increments = 0
+    check_cond1 = column > 1
+    position = column - 1
+    bit = 1 << position
+    for row, hits, count in groups:
+        if len(row) < column:
+            continue
+        if check_cond1:
+            qualified = True
+            for i in range(position):
+                if not forward_flags[row[i]]:
+                    qualified = False
+                    break
+            if not qualified:
+                continue
+        index = row[position]
+        entry = delta.get(index)
+        if entry is None:
+            entry = delta[index] = [0, 0]
+        if hits & bit:
+            entry[0] += count
+        else:
+            entry[1] += count
+        increments += count
+    return delta, increments
+
+
+def count_forwarding_phase_packed(
+    groups: Sequence[CountingGroup],
+    column: int,
+    tagger_flags: Sequence[int],
+    forward_flags: Sequence[int],
+) -> Tuple[Dict[int, List[int]], int]:
+    """Columnar twin of :func:`count_forwarding_phase`.
+
+    The Cond2 tagger search walks the AS-index row through the packed
+    decision flags; whether the found tagger's community is present is the
+    bit of ``hits`` at the tagger's path position (identical to the object
+    kernel's frozenset test, because the bitmask was computed per position).
+
+    Dispatches to the vectorised bucket kernel exactly like
+    :func:`count_tagging_phase_packed`.
+    """
+    matrix = _group_matrix(groups)
+    if matrix is not None:
+        delta, increments = _matrix.count_forwarding_matrix(
+            matrix, column, tagger_flags, forward_flags
+        )
+        if matrix.overflow:
+            extra, more = _count_forwarding_groups(
+                matrix.overflow, column, tagger_flags, forward_flags
+            )
+            merge_phase_delta(delta, extra)
+            increments += more
+        return delta, increments
+    return _count_forwarding_groups(groups, column, tagger_flags, forward_flags)
+
+
+def _count_forwarding_groups(
+    groups: Sequence[CountingGroup],
+    column: int,
+    tagger_flags: Sequence[int],
+    forward_flags: Sequence[int],
+) -> Tuple[Dict[int, List[int]], int]:
+    """Scalar forwarding kernel (also the matrix kernel's overflow path)."""
+    delta: Dict[int, List[int]] = {}
+    increments = 0
+    check_cond1 = column > 1
+    position = column - 1
+    for row, hits, count in groups:
+        length = len(row)
+        if length < column:
+            continue
+        if check_cond1:
+            qualified = True
+            for i in range(position):
+                if not forward_flags[row[i]]:
+                    qualified = False
+                    break
+            if not qualified:
+                continue
+        tagger_position = -1
+        for candidate in range(column, length):
+            if tagger_flags[row[candidate]]:
+                tagger_position = candidate
+                break
+            if not forward_flags[row[candidate]]:
+                break
+        if tagger_position < 0:
+            continue
+        index = row[position]
+        entry = delta.get(index)
+        if entry is None:
+            entry = delta[index] = [0, 0]
+        if (hits >> tagger_position) & 1:
+            entry[0] += count
+        else:
+            entry[1] += count
+        increments += count
+    return delta, increments
+
+
 @dataclass
 class ColumnInferenceReport:
     """Diagnostics about one inference run (coverage per column)."""
@@ -190,15 +345,21 @@ class ColumnInference:
         *,
         max_columns: Optional[int] = None,
         stop_when_stalled: bool = True,
+        representation: str = "object",
     ) -> None:
+        if representation not in REPRESENTATIONS:
+            raise ValueError(f"unknown representation {representation!r}")
         self.thresholds = thresholds or Thresholds()
         self.max_columns = max_columns
         self.stop_when_stalled = stop_when_stalled
+        self.representation = representation
         self.report = ColumnInferenceReport()
 
     # -- public API --------------------------------------------------------------------
     def run(self, tuples: Sequence[PathCommTuple]) -> ClassificationResult:
         """Infer the community usage classification for every observed AS."""
+        if self.representation == "columnar":
+            return self._run_columnar(tuples)
         store = CounterStore(self.thresholds)
         observed: Set[ASN] = set()
         if not tuples:
@@ -239,3 +400,50 @@ class ColumnInference:
                 break
 
         return ClassificationResult(store=store, observed_ases=observed, algorithm="column")
+
+    # -- columnar fast path ------------------------------------------------------------
+    def _run_columnar(self, tuples: Sequence[PathCommTuple]) -> ClassificationResult:
+        """Same inference over the interned, packed representation."""
+        table = TupleTable()
+        batch = ColumnarBatch(table)
+        for item in tuples:
+            batch.add_tuple(item)
+        observed = batch.observed_ases()
+        packed = PackedCounterStore(self.thresholds)
+        self.report = ColumnInferenceReport()
+        if not len(batch):
+            return ClassificationResult(
+                store=CounterStore(self.thresholds), observed_ases=observed, algorithm="column"
+            )
+
+        groups = batch.counting_groups()
+        limit = (
+            table.max_path_length
+            if self.max_columns is None
+            else min(table.max_path_length, self.max_columns)
+        )
+        for column in range(1, limit + 1):
+            tagger_flags, forward_flags = packed.decision_flags(table.as_count)
+            tagging_delta, tagging_increments = count_tagging_phase_packed(
+                groups, column, tagger_flags, forward_flags
+            )
+            packed.apply_tagging_delta(tagging_delta)
+            tagger_flags, forward_flags = packed.decision_flags(table.as_count)
+            forwarding_delta, forwarding_increments = count_forwarding_phase_packed(
+                groups, column, tagger_flags, forward_flags
+            )
+            packed.apply_forwarding_delta(forwarding_delta)
+            self.report.columns_processed = column
+            self.report.tagging_counts_per_column.append(tagging_increments)
+            self.report.forwarding_counts_per_column.append(forwarding_increments)
+            if (
+                self.stop_when_stalled
+                and column > 1
+                and tagging_increments == 0
+                and forwarding_increments == 0
+            ):
+                break
+
+        return ClassificationResult(
+            store=packed.to_store(table.as_values()), observed_ases=observed, algorithm="column"
+        )

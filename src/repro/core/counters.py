@@ -13,6 +13,7 @@ the final classification.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
@@ -355,3 +356,164 @@ class CounterStore:
     def classify_all(self) -> Dict[ASN, UsageClassification]:
         """Classification of every AS with at least one counter."""
         return {asn: self.get_class(asn) for asn in self._counters}
+
+
+#: Per-AS-index phase deltas of the packed path (``idx -> [d1, d2]``).
+PackedPhaseDelta = Dict[int, Sequence[int]]
+
+
+class PackedCounterStore:
+    """Dense ``array``-backed twin of :class:`CounterStore`.
+
+    Counters live in four flat ``array('q')`` columns indexed by the dense
+    AS index a :class:`~repro.core.tuples.TupleTable` assigns, so the hot
+    counting loops touch machine integers instead of per-AS objects.  The
+    delta/merge/state APIs mirror the object store; a slot whose four
+    counters are all zero reads as *absent*, which keeps the membership
+    semantics identical to an object store that pruned retracted evidence.
+    """
+
+    __slots__ = ("thresholds", "tagger", "silent", "forward", "cleaner")
+
+    def __init__(self, thresholds: Optional[Thresholds] = None, slots: int = 0) -> None:
+        self.thresholds = thresholds or Thresholds()
+        self.tagger: "array[int]" = array("q", bytes(8 * slots))
+        self.silent: "array[int]" = array("q", bytes(8 * slots))
+        self.forward: "array[int]" = array("q", bytes(8 * slots))
+        self.cleaner: "array[int]" = array("q", bytes(8 * slots))
+
+    @property
+    def slots(self) -> int:
+        """Number of AS-index slots currently allocated."""
+        return len(self.tagger)
+
+    def ensure_slots(self, count: int) -> None:
+        """Grow to at least *count* zero-initialised slots."""
+        grow = count - len(self.tagger)
+        if grow > 0:
+            pad = bytes(8 * grow)
+            self.tagger.frombytes(pad)
+            self.silent.frombytes(pad)
+            self.forward.frombytes(pad)
+            self.cleaner.frombytes(pad)
+
+    # -- incremental updates ----------------------------------------------------------
+    def apply_tagging_delta(self, delta: Mapping[int, Sequence[int]]) -> None:
+        """Apply ``{as_index: (dt, ds)}`` deltas (may be negative)."""
+        tagger, silent = self.tagger, self.silent
+        for index, (d_tagger, d_silent) in delta.items():
+            tagger[index] += d_tagger
+            silent[index] += d_silent
+
+    def apply_forwarding_delta(self, delta: Mapping[int, Sequence[int]]) -> None:
+        """Apply ``{as_index: (df, dc)}`` deltas (may be negative)."""
+        forward, cleaner = self.forward, self.cleaner
+        for index, (d_forward, d_cleaner) in delta.items():
+            forward[index] += d_forward
+            cleaner[index] += d_cleaner
+
+    def apply_delta(self, delta: Mapping[int, Sequence[int]]) -> None:
+        """Apply full ``{as_index: (dt, ds, df, dc)}`` deltas (may be negative)."""
+        tagger, silent, forward, cleaner = self.tagger, self.silent, self.forward, self.cleaner
+        for index, (d_tagger, d_silent, d_forward, d_cleaner) in delta.items():
+            tagger[index] += d_tagger
+            silent[index] += d_silent
+            forward[index] += d_forward
+            cleaner[index] += d_cleaner
+
+    def merge_from(self, other: "PackedCounterStore") -> None:
+        """Element-wise add *other*'s counters (same table's index space)."""
+        self.ensure_slots(other.slots)
+        for mine, theirs in (
+            (self.tagger, other.tagger),
+            (self.silent, other.silent),
+            (self.forward, other.forward),
+            (self.cleaner, other.cleaner),
+        ):
+            for index, value in enumerate(theirs):
+                if value:
+                    mine[index] += value
+
+    def decay(self, factor: float) -> None:
+        """Multiplicatively age every counter (half-up, like the object store).
+
+        Slots aged to zero read as absent, matching ``decay(prune=True)``.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"decay factor must be within [0, 1], got {factor}")
+        for column in (self.tagger, self.silent, self.forward, self.cleaner):
+            for index, value in enumerate(column):
+                if value:
+                    column[index] = int(value * factor + 0.5)
+
+    # -- decisions ---------------------------------------------------------------------
+    def decision_flags(self, slots: Optional[int] = None) -> Tuple[bytearray, bytearray]:
+        """Per-index ``is_tagger`` / ``is_forward`` flags, zero-padded to *slots*.
+
+        The flag semantics are exactly :meth:`CounterStore.decision_view`'s:
+        a flag is set iff there is evidence and the share meets the
+        threshold.  Padding lets the kernels index by any AS the table has
+        interned, counted or not.
+        """
+        if slots is not None:
+            self.ensure_slots(slots)
+        tagger_threshold = self.thresholds.tagger
+        forward_threshold = self.thresholds.forward
+        count = len(self.tagger)
+        tagger_flags = bytearray(count)
+        forward_flags = bytearray(count)
+        tagger, silent, forward, cleaner = self.tagger, self.silent, self.forward, self.cleaner
+        for index in range(count):
+            t = tagger[index]
+            total = t + silent[index]
+            if total and t / total >= tagger_threshold:
+                tagger_flags[index] = 1
+            f = forward[index]
+            total = f + cleaner[index]
+            if total and f / total >= forward_threshold:
+                forward_flags[index] = 1
+        return tagger_flags, forward_flags
+
+    def decision_view(self, as_values: Sequence[ASN]) -> DecisionView:
+        """The :class:`DecisionView` equivalent of :meth:`decision_flags`."""
+        tagger_flags, forward_flags = self.decision_flags()
+        return DecisionView(
+            frozenset(as_values[i] for i, flag in enumerate(tagger_flags) if flag),
+            frozenset(as_values[i] for i, flag in enumerate(forward_flags) if flag),
+        )
+
+    # -- conversion / (de)serialisation -----------------------------------------------
+    def state_dict(self, as_values: Sequence[ASN]) -> Dict[ASN, Tuple[int, int, int, int]]:
+        """``{asn: (t, s, f, c)}`` of every non-zero slot (object-store parity)."""
+        state: Dict[ASN, Tuple[int, int, int, int]] = {}
+        tagger, silent, forward, cleaner = self.tagger, self.silent, self.forward, self.cleaner
+        for index in range(len(tagger)):
+            t, s, f, c = tagger[index], silent[index], forward[index], cleaner[index]
+            if t or s or f or c:
+                state[as_values[index]] = (t, s, f, c)
+        return state
+
+    def to_store(self, as_values: Sequence[ASN]) -> CounterStore:
+        """An equivalent object :class:`CounterStore` (the result boundary)."""
+        return CounterStore.from_state(self.state_dict(as_values), self.thresholds)
+
+    def arrays_state(self) -> Dict[str, "array[int]"]:
+        """Raw column snapshot (checkpointing alongside the tuple table)."""
+        return {
+            "tagger": array("q", self.tagger),
+            "silent": array("q", self.silent),
+            "forward": array("q", self.forward),
+            "cleaner": array("q", self.cleaner),
+        }
+
+    @classmethod
+    def from_arrays_state(
+        cls, state: Mapping[str, Sequence[int]], thresholds: Optional[Thresholds] = None
+    ) -> "PackedCounterStore":
+        """Rebuild from :meth:`arrays_state` output (same table required)."""
+        store = cls(thresholds)
+        store.tagger = array("q", state["tagger"])
+        store.silent = array("q", state["silent"])
+        store.forward = array("q", state["forward"])
+        store.cleaner = array("q", state["cleaner"])
+        return store

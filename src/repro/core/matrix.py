@@ -1,0 +1,244 @@
+"""Vectorised (numpy) twins of the packed counting kernels.
+
+The pure-Python packed kernels in :mod:`repro.core.column` and
+:mod:`repro.core.row` walk one counting group at a time.  When numpy is
+available the same sums can be computed bucket-wise: groups are split by
+path length into dense ``(n, L)`` index matrices once, and every phase
+reduces whole buckets with boolean masks and ``bincount`` instead of a
+Python loop per group.  All arithmetic stays in integers (the ``bincount``
+weights are integer-valued float64, exact far beyond any realistic event
+count), so the deltas are *identical* to the scalar kernels — the
+conformance suites run with this path active.
+
+numpy is optional.  When it is missing every entry point in this module
+keeps working in the degenerate sense (``HAVE_NUMPY`` is ``False`` and the
+callers fall back to the scalar kernels), so nothing here may be imported
+for effect.
+
+Groups whose path is longer than :data:`MAX_MATRIX_LENGTH` cannot have
+their hits bitmask represented in an ``int64`` and are kept aside in
+:attr:`GroupMatrix.overflow` for the scalar kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every columnar test
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = _np is not None
+
+#: Longest path representable as an int64 hits bitmask (sign bit spared).
+MAX_MATRIX_LENGTH = 62
+
+#: Below this many groups the scalar kernels win; matrix setup is overhead.
+MIN_MATRIX_GROUPS = 512
+
+
+class GroupList(list):
+    """A list of counting groups carrying a lazily built matrix form.
+
+    The matrix is cached on first use and rebuilt lazily after pickling
+    (``__reduce__`` ships only the groups), so pinned worker chunks build
+    their matrices once per process, not once per phase.
+    """
+
+    __slots__ = ("_matrix",)
+
+    def matrix(self) -> Optional["GroupMatrix"]:
+        """The cached matrix form, or ``None`` when numpy is unavailable."""
+        if not HAVE_NUMPY:
+            return None
+        matrix = getattr(self, "_matrix", None)
+        if matrix is None:
+            matrix = self._matrix = GroupMatrix(self)
+        return matrix
+
+    def __reduce__(self):
+        return (GroupList, (list(self),))
+
+
+class GroupMatrix:
+    """Counting groups bucketed by path length into dense index matrices.
+
+    Per length ``L`` the bucket holds ``rows`` (``(n, L)`` int64 AS-index
+    matrix), ``hits`` (``(n,)`` int64 bitmasks), and ``counts`` (``(n,)``
+    int64 multiplicities).
+    """
+
+    __slots__ = ("buckets", "overflow")
+
+    def __init__(self, groups) -> None:
+        by_length: Dict[int, list] = {}
+        overflow = []
+        for group in groups:
+            length = len(group[0])
+            if length > MAX_MATRIX_LENGTH:
+                overflow.append(group)
+            else:
+                by_length.setdefault(length, []).append(group)
+        self.overflow: list = overflow
+        self.buckets: Dict[int, Tuple["_np.ndarray", "_np.ndarray", "_np.ndarray"]] = {}
+        for length, bucket in by_length.items():
+            self.buckets[length] = (
+                _np.array([g[0] for g in bucket], dtype=_np.int64),
+                _np.array([g[1] for g in bucket], dtype=_np.int64),
+                _np.array([g[2] for g in bucket], dtype=_np.int64),
+            )
+
+
+def _flags_array(flags) -> "_np.ndarray":
+    """Zero-copy uint8 view of a decision flag bytearray."""
+    return _np.frombuffer(flags, dtype=_np.uint8)
+
+
+def _accumulate(
+    totals: "_np.ndarray", indices: "_np.ndarray", weights: "_np.ndarray"
+) -> None:
+    """``totals[indices] += weights`` with repeated indices summed exactly."""
+    if indices.size:
+        totals += _np.bincount(
+            indices, weights=weights, minlength=len(totals)
+        ).astype(_np.int64)
+
+
+def _nonzero_delta(
+    first: "_np.ndarray", second: "_np.ndarray"
+) -> Dict[int, List[int]]:
+    """Lower two per-slot component arrays into the kernels' delta dict."""
+    nonzero = _np.nonzero(first | second)[0]
+    return {
+        int(index): [int(a), int(b)]
+        for index, a, b in zip(
+            nonzero.tolist(), first[nonzero].tolist(), second[nonzero].tolist()
+        )
+    }
+
+
+def count_tagging_matrix(
+    matrix: GroupMatrix, column: int, forward_flags
+) -> Tuple[Dict[int, List[int]], int]:
+    """Vectorised :func:`repro.core.column.count_tagging_phase_packed`.
+
+    Does not handle :attr:`GroupMatrix.overflow`; the dispatching caller
+    folds those through the scalar kernel.
+    """
+    forward = _flags_array(forward_flags)
+    slots = len(forward)
+    taggers = _np.zeros(slots, dtype=_np.int64)
+    silents = _np.zeros(slots, dtype=_np.int64)
+    increments = 0
+    position = column - 1
+    for length, (rows, hits, counts) in matrix.buckets.items():
+        if length < column:
+            continue
+        if column > 1:
+            qualified = forward[rows[:, :position]].all(axis=1)
+            rows_q, hits_q, counts_q = rows[qualified], hits[qualified], counts[qualified]
+        else:
+            rows_q, hits_q, counts_q = rows, hits, counts
+        if not counts_q.size:
+            continue
+        indices = rows_q[:, position]
+        tagged = ((hits_q >> position) & 1).astype(bool)
+        _accumulate(taggers, indices[tagged], counts_q[tagged])
+        _accumulate(silents, indices[~tagged], counts_q[~tagged])
+        increments += int(counts_q.sum())
+    return _nonzero_delta(taggers, silents), increments
+
+
+def count_forwarding_matrix(
+    matrix: GroupMatrix, column: int, tagger_flags, forward_flags
+) -> Tuple[Dict[int, List[int]], int]:
+    """Vectorised :func:`repro.core.column.count_forwarding_phase_packed`.
+
+    The Cond2 scan ("nearest downstream tagger reachable through forward
+    ASes") becomes a per-bucket reachability mask: position ``j`` is
+    reachable while every earlier downstream position was a non-tagger
+    forwarder, and the first reachable tagger position (``argmax`` over the
+    eligibility mask) selects the hit bit exactly like the scalar walk.
+    """
+    tagger = _flags_array(tagger_flags)
+    forward = _flags_array(forward_flags)
+    slots = len(forward)
+    forwards = _np.zeros(slots, dtype=_np.int64)
+    cleaners = _np.zeros(slots, dtype=_np.int64)
+    increments = 0
+    position = column - 1
+    for length, (rows, hits, counts) in matrix.buckets.items():
+        if length <= column:  # no downstream positions to search
+            continue
+        if column > 1:
+            qualified = forward[rows[:, :position]].all(axis=1)
+            rows_q, hits_q, counts_q = rows[qualified], hits[qualified], counts[qualified]
+        else:
+            rows_q, hits_q, counts_q = rows, hits, counts
+        if not counts_q.size:
+            continue
+        downstream = rows_q[:, column:]
+        is_tagger = tagger[downstream] != 0
+        proceed = (~is_tagger) & (forward[downstream] != 0)
+        reachable = _np.empty(is_tagger.shape, dtype=bool)
+        reachable[:, 0] = True
+        if reachable.shape[1] > 1:
+            reachable[:, 1:] = _np.logical_and.accumulate(proceed[:, :-1], axis=1)
+        eligible = reachable & is_tagger
+        found = eligible.any(axis=1)
+        if not found.any():
+            continue
+        first = eligible[found].argmax(axis=1)
+        tagger_position = column + first
+        tagged = ((hits_q[found] >> tagger_position) & 1).astype(bool)
+        indices = rows_q[found, position]
+        counts_f = counts_q[found]
+        _accumulate(forwards, indices[tagged], counts_f[tagged])
+        _accumulate(cleaners, indices[~tagged], counts_f[~tagged])
+        increments += int(counts_f.sum())
+    return _nonzero_delta(forwards, cleaners), increments
+
+
+def count_row_matrix(matrix: GroupMatrix) -> Dict[int, List[int]]:
+    """Vectorised :func:`repro.core.row.count_row_phase_packed`.
+
+    Tagging counts every position's hit bit; the forwarding pass uses the
+    same suffix-count identity as the scalar kernel (``df`` at position
+    ``j`` is the number of present communities strictly downstream of
+    ``j``), computed as total minus inclusive cumulative sum.
+    """
+    slots = 0
+    for _, (rows, _, _) in matrix.buckets.items():
+        if rows.size:
+            slots = max(slots, int(rows.max()) + 1)
+    for row, _, _ in matrix.overflow:
+        for index in row:
+            slots = max(slots, index + 1)
+    components = _np.zeros((4, slots), dtype=_np.int64)
+    for length, (rows, hits, counts) in matrix.buckets.items():
+        bits = ((hits[:, None] >> _np.arange(length)) & 1).astype(_np.int64)
+        flat_rows = rows.ravel()
+        flat_bits = bits.ravel().astype(bool)
+        flat_counts = _np.repeat(counts, length)
+        _accumulate(components[0], flat_rows[flat_bits], flat_counts[flat_bits])
+        _accumulate(components[1], flat_rows[~flat_bits], flat_counts[~flat_bits])
+        if length < 2:
+            continue
+        # present-downstream suffix counts, excluding the position itself
+        suffix = bits.sum(axis=1, keepdims=True) - _np.cumsum(bits, axis=1)
+        upstream = rows[:, :-1]
+        _accumulate(
+            components[2], upstream.ravel(), (suffix[:, :-1] * counts[:, None]).ravel()
+        )
+        missing_next = bits[:, 1:] == 0
+        _accumulate(
+            components[3],
+            upstream[missing_next],
+            _np.broadcast_to(counts[:, None], upstream.shape)[missing_next],
+        )
+    nonzero = _np.nonzero(components.any(axis=0))[0]
+    return {
+        int(index): [int(a), int(b), int(c), int(d)]
+        for index, a, b, c, d in zip(nonzero.tolist(), *components[:, nonzero].tolist())
+    }

@@ -23,7 +23,7 @@ from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.asn import ASNRegistry
 from repro.bgp.prefix import PrefixAllocation
 from repro.collectors.archive import iter_observations_from_mrt
-from repro.core.column import ColumnInference
+from repro.core.column import REPRESENTATIONS, ColumnInference
 from repro.core.results import ClassificationResult
 from repro.core.row import RowInference
 from repro.core.thresholds import Thresholds
@@ -76,17 +76,21 @@ class InferencePipeline:
         sanitation: Optional[SanitationConfig] = None,
         algorithm: str = "column",
         workers: int = 1,
+        representation: str = "object",
     ) -> None:
         if algorithm not in ("column", "row"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if representation not in REPRESENTATIONS:
+            raise ValueError(f"unknown representation {representation!r}")
         self.thresholds = thresholds or Thresholds()
         self.asn_registry = asn_registry
         self.prefix_allocation = prefix_allocation
         self.sanitation_config = sanitation or SanitationConfig()
         self.algorithm = algorithm
         self.workers = workers
+        self.representation = representation
 
     # -- stage helpers --------------------------------------------------------------------
     def _make_sanitizer(self) -> Sanitizer:
@@ -101,11 +105,15 @@ class InferencePipeline:
             from repro.parallel.inference import ParallelColumnInference, ParallelRowInference
 
             if self.algorithm == "row":
-                return ParallelRowInference(self.thresholds, workers=self.workers)
-            return ParallelColumnInference(self.thresholds, workers=self.workers)
+                return ParallelRowInference(
+                    self.thresholds, workers=self.workers, representation=self.representation
+                )
+            return ParallelColumnInference(
+                self.thresholds, workers=self.workers, representation=self.representation
+            )
         if self.algorithm == "row":
-            return RowInference(self.thresholds)
-        return ColumnInference(self.thresholds)
+            return RowInference(self.thresholds, representation=self.representation)
+        return ColumnInference(self.thresholds, representation=self.representation)
 
     # -- entry points ----------------------------------------------------------------------
     def run_from_observations(self, observations: Iterable[RouteObservation]) -> PipelineResult:

@@ -29,10 +29,12 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN
-from repro.core.column import PreparedTuple, prepare_tuple
-from repro.core.counters import CounterStore
+from repro.core import matrix as _matrix
+from repro.core.column import REPRESENTATIONS, PreparedTuple, prepare_tuple
+from repro.core.counters import CounterStore, PackedCounterStore
 from repro.core.results import ClassificationResult
 from repro.core.thresholds import Thresholds
+from repro.core.tuples import ColumnarBatch, CountingGroup, TupleTable
 
 #: Per-AS four-component ``[dt, ds, df, dc]`` counter deltas.
 RowDelta = Dict[ASN, List[int]]
@@ -84,14 +86,84 @@ def count_row_phase(prepared: Sequence[PreparedTuple]) -> RowDelta:
     return delta
 
 
+def row_group_delta_packed(
+    row: Sequence[int],
+    hits: int,
+    count: int,
+    delta: Optional[Dict[int, List[int]]] = None,
+) -> Dict[int, List[int]]:
+    """Columnar twin of :func:`row_tuple_delta` over one counting group.
+
+    The object kernel's forwarding pass is O(n²): for every *present*
+    downstream community it walks all upstream positions.  Per position
+    ``j`` that inner loop contributes exactly ``#{x > j : hits bit x set}``
+    forward counts, so one right-to-left suffix count produces identical
+    sums in O(n).  Multiplying by the group multiplicity folds all tuples
+    sharing ``(row, hits)`` in one pass (contributions are commutative).
+    """
+    if delta is None:
+        delta = {}
+
+    def entry(index: int) -> List[int]:
+        found = delta.get(index)
+        if found is None:
+            found = delta[index] = [0, 0, 0, 0]
+        return found
+
+    # Tagging: every position, tagger when its own community is present.
+    for position in range(len(row)):
+        if (hits >> position) & 1:
+            entry(row[position])[0] += count
+        else:
+            entry(row[position])[1] += count
+    # Forwarding: suffix-count of present downstream communities.
+    present_downstream = 0
+    for position in range(len(row) - 2, -1, -1):
+        next_present = (hits >> (position + 1)) & 1
+        present_downstream += next_present
+        slot = entry(row[position])
+        if present_downstream:
+            slot[2] += present_downstream * count
+        if not next_present:
+            slot[3] += count
+    return delta
+
+
+def count_row_phase_packed(groups: Sequence[CountingGroup]) -> Dict[int, List[int]]:
+    """Summed per-AS-index deltas of grouped columnar work units.
+
+    Large :class:`~repro.core.matrix.GroupList` inputs take the vectorised
+    bucket kernel; overflow groups and small inputs run the scalar loop.
+    """
+    matrix_of = getattr(groups, "matrix", None)
+    if matrix_of is not None and len(groups) >= _matrix.MIN_MATRIX_GROUPS:
+        matrix = matrix_of()
+        if matrix is not None:
+            delta = _matrix.count_row_matrix(matrix)
+            for row, hits, count in matrix.overflow:
+                row_group_delta_packed(row, hits, count, delta)
+            return delta
+    delta: Dict[int, List[int]] = {}
+    for row, hits, count in groups:
+        row_group_delta_packed(row, hits, count, delta)
+    return delta
+
+
 class RowInference:
     """Runs the row-based baseline over ``(path, comm)`` tuples."""
 
-    def __init__(self, thresholds: Optional[Thresholds] = None) -> None:
+    def __init__(
+        self, thresholds: Optional[Thresholds] = None, *, representation: str = "object"
+    ) -> None:
+        if representation not in REPRESENTATIONS:
+            raise ValueError(f"unknown representation {representation!r}")
         self.thresholds = thresholds or Thresholds()
+        self.representation = representation
 
     def run(self, tuples: Sequence[PathCommTuple]) -> ClassificationResult:
         """Infer classifications with the row-based counting rules."""
+        if self.representation == "columnar":
+            return self._run_columnar(tuples)
         store = CounterStore(self.thresholds)
         observed: Set[ASN] = set()
 
@@ -103,3 +175,17 @@ class RowInference:
 
         store.apply_delta(count_row_phase(prepared))
         return ClassificationResult(store=store, observed_ases=observed, algorithm="row")
+
+    def _run_columnar(self, tuples: Sequence[PathCommTuple]) -> ClassificationResult:
+        """Same counting over the interned, packed representation."""
+        table = TupleTable()
+        batch = ColumnarBatch(table)
+        for item in tuples:
+            batch.add_tuple(item)
+        packed = PackedCounterStore(self.thresholds, slots=table.as_count)
+        packed.apply_delta(count_row_phase_packed(batch.counting_groups()))
+        return ClassificationResult(
+            store=packed.to_store(table.as_values()),
+            observed_ases=batch.observed_ases(),
+            algorithm="row",
+        )

@@ -1,0 +1,380 @@
+"""Interned columnar representation of sanitized ``(path, comm)`` tuples.
+
+The object pipeline carries every tuple as an :class:`~repro.bgp.path.ASPath`
+plus a :class:`~repro.bgp.community.CommunitySet` and answers the counting
+kernels' membership questions (``A_x in output(A_1)``) with frozenset
+lookups on boxed Python ints.  At millions of events per second that object
+overhead dominates the runtime.
+
+This module provides the columnar twin of that representation:
+
+* :class:`TupleTable` interns each unique AS path and community set exactly
+  once.  ASNs get dense indices into a flat ``array('Q')`` symbol table;
+  paths are stored as packed ``array('Q')`` runs of AS indices with an
+  offset index (one slice per path); community sets keep their upper-field
+  sets.  For every distinct ``(path, comm)`` pair the table computes a
+  **hits bitmask** once: bit ``p`` is set iff ``path[p]``'s ASN appears as
+  an upper field of the community set.  Every membership test the counting
+  kernels perform afterwards is a single shift-and-mask on that bitmask.
+* :class:`ColumnarBatch` holds a batch of tuples as dense integer id pairs
+  (``path_id``, ``comm_id``) and groups them into :data:`CountingGroup`
+  rows — ``(as-index row, hits, multiplicity)`` — the form the packed
+  kernels in :mod:`repro.core.column` / :mod:`repro.core.row` consume.
+
+Because every counting phase is a pure function of ``(tuples, decisions)``
+and all phase contributions are commutative sums, swapping the
+representation cannot change a single output byte — the conformance tests
+pin the columnar path against the object oracle tuple for tuple.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.asn import ASN
+from repro.bgp.community import CommunitySet
+from repro.bgp.path import ASPath
+from repro.core.matrix import GroupList
+
+#: A tuple interned into a :class:`TupleTable`: ``(path_id, comm_id)``.
+TupleRef = Tuple[int, int]
+
+#: One unit of packed counting work: ``(as-index row, hits bitmask,
+#: multiplicity)``.  Tuples sharing a path and a hits bitmask are counted
+#: once and their contribution multiplied — the kernels never look at the
+#: community set again.
+CountingGroup = Tuple[Tuple[int, ...], int, int]
+
+#: Aggregated multiplicities of one batch: ``(path_id, hits) -> count``.
+GroupCounts = Dict[Tuple[int, int], int]
+
+
+def _hits_bitmask(asns: Sequence[ASN], uppers: FrozenSet[ASN]) -> int:
+    """Bit ``p`` set iff ``asns[p]`` appears as an upper field."""
+    hits = 0
+    for position, asn in enumerate(asns):
+        if asn in uppers:
+            hits |= 1 << position
+    return hits
+
+
+class TupleTable:
+    """Append-only symbol tables interning paths, community sets, and ASNs.
+
+    Ids are dense and assigned in first-intern order, so a table restored
+    from :meth:`state_dict` output assigns identical ids to identical
+    inputs — the property the checkpoint round-trip relies on.
+    """
+
+    __slots__ = (
+        "_as_ids",
+        "_as_values",
+        "_path_ids",
+        "_path_rows",
+        "_path_objs",
+        "_path_offsets",
+        "_path_data",
+        "_comm_ids",
+        "_comm_sets",
+        "_comm_uppers",
+        "_pair_hits",
+        "max_path_length",
+    )
+
+    def __init__(self) -> None:
+        self._as_ids: Dict[ASN, int] = {}
+        self._as_values: "array[int]" = array("Q")
+        self._path_ids: Dict[Tuple[ASN, ...], int] = {}
+        #: Per-path tuple of AS indices (the kernels' row form).
+        self._path_rows: List[Tuple[int, ...]] = []
+        #: Per-path interned :class:`ASPath` (reconstruction without rebuild).
+        self._path_objs: List[ASPath] = []
+        #: Packed persisted form: offsets into one flat AS-index run array.
+        self._path_offsets: "array[int]" = array("Q", [0])
+        self._path_data: "array[int]" = array("Q")
+        self._comm_ids: Dict[CommunitySet, int] = {}
+        self._comm_sets: List[CommunitySet] = []
+        self._comm_uppers: List[FrozenSet[ASN]] = []
+        #: ``(path_id, comm_id) -> hits`` bitmask cache (computed once).
+        self._pair_hits: Dict[TupleRef, int] = {}
+        self.max_path_length = 0
+
+    # -- sizes -------------------------------------------------------------------------
+    @property
+    def as_count(self) -> int:
+        """Number of distinct ASNs interned so far."""
+        return len(self._as_values)
+
+    @property
+    def path_count(self) -> int:
+        """Number of distinct paths interned so far."""
+        return len(self._path_rows)
+
+    @property
+    def comm_count(self) -> int:
+        """Number of distinct community sets interned so far."""
+        return len(self._comm_sets)
+
+    def __len__(self) -> int:
+        """Number of distinct ``(path, comm)`` pairs seen."""
+        return len(self._pair_hits)
+
+    # -- interning ---------------------------------------------------------------------
+    def intern_asn(self, asn: ASN) -> int:
+        """Dense index of *asn*, assigned on first sight."""
+        index = self._as_ids.get(asn)
+        if index is None:
+            index = self._as_ids[asn] = len(self._as_values)
+            self._as_values.append(asn)
+        return index
+
+    def intern_path(self, path: ASPath) -> int:
+        """Id of *path*'s ASN sequence, interning it on first sight."""
+        asns = path.asns
+        path_id = self._path_ids.get(asns)
+        if path_id is None:
+            path_id = self._intern_path_asns(asns, path)
+        return path_id
+
+    def _intern_path_asns(self, asns: Tuple[ASN, ...], path: Optional[ASPath]) -> int:
+        path_id = self._path_ids[asns] = len(self._path_rows)
+        # Inlined intern_asn: this loop runs once per ASN of every new path
+        # and is the hottest part of interning.
+        as_ids = self._as_ids
+        as_values = self._as_values
+        indices = []
+        for asn in asns:
+            index = as_ids.get(asn)
+            if index is None:
+                index = as_ids[asn] = len(as_values)
+                as_values.append(asn)
+            indices.append(index)
+        row = tuple(indices)
+        self._path_rows.append(row)
+        self._path_objs.append(path if path is not None else ASPath(asns))
+        self._path_data.extend(row)
+        self._path_offsets.append(len(self._path_data))
+        if len(asns) > self.max_path_length:
+            self.max_path_length = len(asns)
+        return path_id
+
+    def intern_comm(self, communities: CommunitySet) -> int:
+        """Id of *communities*, interning it on first sight."""
+        comm_id = self._comm_ids.get(communities)
+        if comm_id is None:
+            comm_id = self._comm_ids[communities] = len(self._comm_sets)
+            self._comm_sets.append(communities)
+            self._comm_uppers.append(frozenset(communities.upper_fields()))
+        return comm_id
+
+    def intern(self, path: ASPath, communities: CommunitySet) -> TupleRef:
+        """Intern one ``(path, comm)`` pair; computes its hits bitmask once."""
+        ref = (self.intern_path(path), self.intern_comm(communities))
+        if ref not in self._pair_hits:
+            self._pair_hits[ref] = _hits_bitmask(
+                self._path_objs[ref[0]].asns, self._comm_uppers[ref[1]]
+            )
+        return ref
+
+    def intern_tuple(self, item: PathCommTuple) -> TupleRef:
+        """Intern one :class:`PathCommTuple`."""
+        return self.intern(item.path, item.communities)
+
+    # -- lookup ------------------------------------------------------------------------
+    def asn_of(self, index: int) -> ASN:
+        """The ASN behind dense AS index *index*."""
+        return self._as_values[index]
+
+    def as_values(self) -> Sequence[ASN]:
+        """Dense index -> ASN symbol table (index order)."""
+        return self._as_values
+
+    def path_row(self, path_id: int) -> Tuple[int, ...]:
+        """The AS-index row of *path_id* (the kernels' path form)."""
+        return self._path_rows[path_id]
+
+    def path_of(self, path_id: int) -> ASPath:
+        """The interned :class:`ASPath` behind *path_id*."""
+        return self._path_objs[path_id]
+
+    def comm_of(self, comm_id: int) -> CommunitySet:
+        """The interned :class:`CommunitySet` behind *comm_id*."""
+        return self._comm_sets[comm_id]
+
+    def hits_of(self, path_id: int, comm_id: int) -> int:
+        """The hits bitmask of an interned pair (cached)."""
+        ref = (path_id, comm_id)
+        hits = self._pair_hits.get(ref)
+        if hits is None:
+            hits = self._pair_hits[ref] = _hits_bitmask(
+                self._path_objs[path_id].asns, self._comm_uppers[comm_id]
+            )
+        return hits
+
+    def tuple_of(self, ref: TupleRef) -> PathCommTuple:
+        """Reconstruct the :class:`PathCommTuple` behind *ref*."""
+        return PathCommTuple(self._path_objs[ref[0]], self._comm_sets[ref[1]])
+
+    def path_asns_of(self, path_id: int) -> Tuple[ASN, ...]:
+        """The ASN sequence of *path_id*."""
+        return self._path_objs[path_id].asns
+
+    # -- (de)serialisation (checkpointing) ---------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot; ids are preserved by the append order."""
+        return {
+            "as_values": array("Q", self._as_values),
+            "path_offsets": array("Q", self._path_offsets),
+            "path_data": array("Q", self._path_data),
+            "comm_sets": list(self._comm_sets),
+            "max_path_length": self.max_path_length,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore the table **in place** from :meth:`state_dict` output.
+
+        In-place so every holder of this table instance (shard workers, the
+        incremental classifier) observes the restored contents.
+        """
+        as_values = state["as_values"]
+        offsets = state["path_offsets"]
+        data = state["path_data"]
+        comm_sets = state["comm_sets"]
+        self.__init__()  # type: ignore[misc]
+        self._as_values = array("Q", as_values)  # type: ignore[arg-type]
+        self._as_ids = {asn: index for index, asn in enumerate(self._as_values)}
+        self._path_offsets = array("Q", offsets)  # type: ignore[arg-type]
+        self._path_data = array("Q", data)  # type: ignore[arg-type]
+        for path_id in range(len(self._path_offsets) - 1):
+            start, end = self._path_offsets[path_id], self._path_offsets[path_id + 1]
+            row = tuple(self._path_data[start:end])
+            asns = tuple(self._as_values[index] for index in row)
+            self._path_rows.append(row)
+            self._path_objs.append(ASPath(asns))
+            self._path_ids[asns] = path_id
+            if len(asns) > self.max_path_length:
+                self.max_path_length = len(asns)
+        for comm_id, communities in enumerate(comm_sets):  # type: ignore[arg-type]
+            self._comm_ids[communities] = comm_id
+            self._comm_sets.append(communities)
+            self._comm_uppers.append(frozenset(communities.upper_fields()))
+        # Hits bitmasks are derived data; recomputed lazily on demand.
+        self.max_path_length = state["max_path_length"]  # type: ignore[assignment]
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "TupleTable":
+        """Rebuild a table from :meth:`state_dict` output."""
+        table = cls()
+        table.load_state(state)
+        return table
+
+
+class ColumnarBatch:
+    """A batch of interned tuples as dense integer id columns.
+
+    The wire/pickle form is two flat ``array('I')`` columns, which is what
+    makes shipping batches between processes cheap; :meth:`counting_groups`
+    lowers the batch into the grouped form the packed kernels consume.
+    """
+
+    __slots__ = ("table", "_path_ids", "_comm_ids")
+
+    def __init__(self, table: TupleTable, refs: Iterable[TupleRef] = ()) -> None:
+        self.table = table
+        self._path_ids: "array[int]" = array("I")
+        self._comm_ids: "array[int]" = array("I")
+        self.extend(refs)
+
+    def append(self, ref: TupleRef) -> None:
+        """Append one interned tuple to the batch."""
+        self._path_ids.append(ref[0])
+        self._comm_ids.append(ref[1])
+
+    def extend(self, refs: Iterable[TupleRef]) -> None:
+        """Append many interned tuples."""
+        for ref in refs:
+            self.append(ref)
+
+    def add_tuple(self, item: PathCommTuple) -> TupleRef:
+        """Intern *item* into the table and append it."""
+        ref = self.table.intern_tuple(item)
+        self.append(ref)
+        return ref
+
+    def __len__(self) -> int:
+        return len(self._path_ids)
+
+    def refs(self) -> Iterator[TupleRef]:
+        """The contained ``(path_id, comm_id)`` pairs, in append order."""
+        return zip(self._path_ids, self._comm_ids)
+
+    def group_counts(self) -> GroupCounts:
+        """Aggregate the batch into ``(path_id, hits) -> multiplicity``."""
+        table = self.table
+        counts: GroupCounts = {}
+        for path_id, comm_id in zip(self._path_ids, self._comm_ids):
+            key = (path_id, table.hits_of(path_id, comm_id))
+            count = counts.get(key)
+            counts[key] = 1 if count is None else count + 1
+        return counts
+
+    def counting_groups(self) -> List[CountingGroup]:
+        """The grouped kernel form of this batch."""
+        return materialize_groups(self.table, self.group_counts())
+
+    def observed_ases(self) -> Set[ASN]:
+        """Every ASN appearing on any contained path."""
+        table = self.table
+        observed: Set[ASN] = set()
+        for path_id in set(self._path_ids):
+            observed.update(table.path_asns_of(path_id))
+        return observed
+
+    def max_path_length(self) -> int:
+        """Longest path length among the contained tuples."""
+        table = self.table
+        longest = 0
+        for path_id in set(self._path_ids):
+            length = len(table.path_row(path_id))
+            if length > longest:
+                longest = length
+        return longest
+
+    # -- (de)serialisation -------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot (ids are table-relative)."""
+        return {
+            "path_ids": array("I", self._path_ids),
+            "comm_ids": array("I", self._comm_ids),
+        }
+
+    @classmethod
+    def from_state(cls, table: TupleTable, state: Dict[str, object]) -> "ColumnarBatch":
+        """Rebuild a batch against the table its ids were minted by."""
+        batch = cls(table)
+        batch._path_ids = array("I", state["path_ids"])  # type: ignore[arg-type]
+        batch._comm_ids = array("I", state["comm_ids"])  # type: ignore[arg-type]
+        return batch
+
+
+def materialize_groups(table: TupleTable, counts: GroupCounts) -> List[CountingGroup]:
+    """Lower ``(path_id, hits) -> count`` aggregates into kernel groups.
+
+    Returns a :class:`~repro.core.matrix.GroupList` so large group sets can
+    take the vectorised counting kernels (the matrix form is built lazily
+    and cached on the list).
+    """
+    path_row = table.path_row
+    return GroupList(
+        (path_row(path_id), hits, count) for (path_id, hits), count in counts.items()
+    )
+
+
+def merge_group_counts(target: GroupCounts, extra: GroupCounts) -> None:
+    """Fold *extra* multiplicities into *target* in place (commutative)."""
+    get = target.get
+    for key, count in extra.items():
+        existing = get(key)
+        target[key] = count if existing is None else existing + count

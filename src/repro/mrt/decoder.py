@@ -44,18 +44,24 @@ class MRTDecodeError(ValueError):
 
 
 class _Cursor:
-    """A tiny bounds-checked reader over a bytes object."""
+    """A tiny bounds-checked reader over a bytes-like object.
+
+    Accepts ``bytes`` or ``memoryview``; with a memoryview every
+    :meth:`read` is a zero-copy slice into the underlying archive blob,
+    which is what makes the decoder's ``zero_copy`` mode copy-free from
+    record framing down to individual attribute values.
+    """
 
     __slots__ = ("data", "pos")
 
-    def __init__(self, data: bytes, pos: int = 0) -> None:
+    def __init__(self, data, pos: int = 0) -> None:
         self.data = data
         self.pos = pos
 
     def remaining(self) -> int:
         return len(self.data) - self.pos
 
-    def read(self, count: int) -> bytes:
+    def read(self, count: int):
         if count < 0 or self.remaining() < count:
             raise MRTDecodeError(
                 f"truncated record: wanted {count} bytes, {self.remaining()} available"
@@ -76,11 +82,13 @@ def _decode_prefix_nlri(cursor: _Cursor, afi: int = AFI_IPV4) -> Prefix:
     if length > max_length:
         raise MRTDecodeError(f"prefix length {length} exceeds maximum {max_length}")
     n_bytes = (length + 7) // 8
-    network_bytes = cursor.read(n_bytes) + b"\x00" * (total_bytes - n_bytes)
-    return Prefix(int.from_bytes(network_bytes, "big"), length, afi)
+    # Shift instead of concatenating zero padding: works on memoryview
+    # chunks (bytes-like concatenation does not) and skips a copy.
+    network = int.from_bytes(cursor.read(n_bytes), "big") << (8 * (total_bytes - n_bytes))
+    return Prefix(network, length, afi)
 
 
-def _decode_as_path(value: bytes, asn_size: int) -> ASPath:
+def _decode_as_path(value, asn_size: int) -> ASPath:
     """Decode the AS_PATH attribute value."""
     cursor = _Cursor(value)
     segments: List[PathSegment] = []
@@ -95,8 +103,13 @@ def _decode_as_path(value: bytes, asn_size: int) -> ASPath:
     return ASPath.from_segments(segments)
 
 
-def decode_path_attributes(value: bytes, *, asn_size: int = 4) -> PathAttributes:
-    """Decode a BGP path attribute blob into :class:`PathAttributes`."""
+def decode_path_attributes(value, *, asn_size: int = 4) -> PathAttributes:
+    """Decode a BGP path attribute blob into :class:`PathAttributes`.
+
+    *value* may be ``bytes`` or a ``memoryview`` slice; every consumer below
+    (``struct.unpack``, ``int.from_bytes``, indexing) reads either without
+    copying.
+    """
     cursor = _Cursor(value)
     as_path: Optional[ASPath] = None
     origin = Origin.INCOMPLETE
@@ -147,10 +160,19 @@ def decode_path_attributes(value: bytes, *, asn_size: int = 4) -> PathAttributes
 
 
 class MRTDecoder:
-    """Iterator over the MRT records contained in a byte blob."""
+    """Iterator over the MRT records contained in a byte blob.
 
-    def __init__(self, data: bytes) -> None:
-        self._cursor = _Cursor(data)
+    With ``zero_copy`` (the default) the decoder reads through one
+    ``memoryview`` over *data*: record bodies, attribute blobs, and NLRI
+    chunks are views into the original blob and nothing is copied until a
+    value (an int, an ASN, a prefix) is materialised.  Decoded records
+    never retain the views, so the blob's lifetime is not extended.  Pass
+    ``zero_copy=False`` to decode over plain byte slices; the output is
+    identical (the equivalence tests pin this down).
+    """
+
+    def __init__(self, data: bytes, *, zero_copy: bool = True) -> None:
+        self._cursor = _Cursor(memoryview(data) if zero_copy else data)
         self._peer_table: Optional[PeerIndexTable] = None
 
     @property
@@ -192,7 +214,7 @@ class MRTDecoder:
         if subtype_enum == TableDumpV2Subtype.PEER_INDEX_TABLE:
             collector_id = cursor.read_uint(4)
             view_len = cursor.read_uint(2)
-            view_name = cursor.read(view_len).decode(errors="replace")
+            view_name = bytes(cursor.read(view_len)).decode(errors="replace")
             peer_count = cursor.read_uint(2)
             peers: List[PeerEntry] = []
             for _ in range(peer_count):
@@ -306,6 +328,6 @@ class MRTDecoder:
         )
 
 
-def decode_records(data: bytes) -> List[MRTRecord]:
+def decode_records(data: bytes, *, zero_copy: bool = True) -> List[MRTRecord]:
     """Decode every record in *data* into a list."""
-    return list(MRTDecoder(data))
+    return list(MRTDecoder(data, zero_copy=zero_copy))

@@ -9,6 +9,12 @@ serial :meth:`Sanitizer.to_unique_tuples` pass would produce:
   per-shard dedup equals global dedup;
 * outcomes carry their global sequence number, so sorting the merged output
   restores the serial first-appearance order tuple-for-tuple.
+
+The objects crossing the process boundary pickle compactly:
+:class:`~repro.bgp.path.ASPath` and community values define ``__reduce__``
+codecs that serialise to positional integer tuples, and the columnar
+inference layer (``representation="columnar"``) ships pure-integer counting
+groups instead of object tuples — see :mod:`repro.parallel.inference`.
 """
 
 from __future__ import annotations

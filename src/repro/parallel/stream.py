@@ -40,6 +40,15 @@ class ParallelStreamEngine(StreamEngine):
         **kwargs,
     ) -> None:
         super().__init__(config, **kwargs)
+        if self._table is not None:
+            # The pool's worker processes sanitize against their own address
+            # spaces; a shared intern table would need cross-process id
+            # coordination.  Columnar streaming is the synchronous engine's
+            # fast path; the parallel engine ships object tuples.
+            raise ValueError(
+                "ParallelStreamEngine supports representation='object' only; "
+                "use StreamEngine for the columnar hot path"
+            )
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         if batch_size < 1:

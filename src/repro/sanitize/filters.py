@@ -196,12 +196,15 @@ class TupleDeduper:
 
     The streaming engine keeps one deduper per shard so that replaying an
     archive yields exactly the unique tuples the batch pipeline would see.
+    Keys are ``(path, comm)`` object pairs by default; the columnar engine
+    dedupes on interned ``(path_id, comm_id)`` id pairs through
+    :meth:`add_key` instead — any hashable key works.
     """
 
     __slots__ = ("_seen",)
 
-    def __init__(self, seen: Optional[Set[Tuple[ASPath, CommunitySet]]] = None) -> None:
-        self._seen: Set[Tuple[ASPath, CommunitySet]] = seen if seen is not None else set()
+    def __init__(self, seen: Optional[Set[Tuple]] = None) -> None:
+        self._seen: Set[Tuple] = set(seen) if seen is not None else set()
 
     def __len__(self) -> int:
         return len(self._seen)
@@ -217,7 +220,14 @@ class TupleDeduper:
         self._seen.add(key)
         return PathCommTuple(observation.path, observation.communities)
 
-    def discard(self, keys: Iterable[Tuple[ASPath, CommunitySet]]) -> int:
+    def add_key(self, key: Tuple) -> bool:
+        """Record an arbitrary hashable key; ``True`` when it was new."""
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+    def discard(self, keys: Iterable[Tuple]) -> int:
         """Forget *keys* (window eviction); returns how many were present."""
         removed = 0
         for key in keys:
@@ -226,13 +236,19 @@ class TupleDeduper:
                 removed += 1
         return removed
 
-    def state_dict(self) -> Set[Tuple[ASPath, CommunitySet]]:
-        """The raw seen-set (checkpointing)."""
-        return self._seen
+    def state_dict(self) -> Set[Tuple]:
+        """A **copy** of the seen-set (checkpointing).
+
+        A copy on both sides of the (de)serialisation boundary keeps a
+        snapshot taken mid-stream frozen while the engine keeps deduping —
+        returning the live set here once let further ``add()`` calls leak
+        into already-written checkpoints.
+        """
+        return set(self._seen)
 
     @classmethod
-    def from_state(cls, state: Set[Tuple[ASPath, CommunitySet]]) -> "TupleDeduper":
-        """Rebuild a deduper from :meth:`state_dict` output."""
+    def from_state(cls, state: Set[Tuple]) -> "TupleDeduper":
+        """Rebuild a deduper from :meth:`state_dict` output (copies)."""
         return cls(seen=state)
 
 

@@ -26,8 +26,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.asn import ASN, ASNRegistry
 from repro.bgp.prefix import PrefixAllocation
+from repro.core.column import REPRESENTATIONS
 from repro.core.results import ClassificationResult
 from repro.core.thresholds import Thresholds
+from repro.core.tuples import TupleTable
 from repro.sanitize.filters import SanitationConfig, SanitationStats
 from repro.stream.checkpoint import CheckpointManager
 from repro.stream.incremental import classifier_from_state, make_classifier
@@ -49,10 +51,17 @@ class StreamConfig:
     checkpoint_every: Optional[int] = None
     #: Window snapshots retained in memory.
     max_snapshots: int = 64
+    #: Internal data layout: ``"object"`` keeps ``(path, comm)`` objects end
+    #: to end; ``"columnar"`` interns them into a shared
+    #: :class:`~repro.core.tuples.TupleTable` and counts over packed arrays.
+    #: The classification is identical either way.
+    representation: str = "object"
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("column", "row"):
             raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.representation not in REPRESENTATIONS:
+            raise ValueError(f"unknown representation {self.representation!r}")
         if self.shards < 1:
             raise ValueError(f"need at least one shard, got {self.shards}")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
@@ -139,17 +148,25 @@ class StreamEngine:
         self.snapshots: List[WindowSnapshot] = []
         self._asn_registry = asn_registry
         self._prefix_allocation = prefix_allocation
+        # Old checkpoints predate the representation field; default them.
+        representation = getattr(self.config, "representation", "object")
+        self._table: Optional[TupleTable] = (
+            TupleTable() if representation == "columnar" else None
+        )
         self.router = ShardRouter(
             self.config.shards,
             asn_registry=asn_registry,
             prefix_allocation=prefix_allocation,
             sanitation=self.config.sanitation,
+            table=self._table,
         )
         self.clock = WindowClock(self.config.window)
         self.classifier = make_classifier(
             self.config.algorithm,
             self.config.thresholds,
             max_columns=self.config.max_columns,
+            representation=representation,
+            table=self._table,
         )
         self._last_codes: Dict[ASN, str] = {}
         #: Sliding policy only: tuple key -> (last observed event time, shard).
@@ -211,7 +228,10 @@ class StreamEngine:
                 if previous is None or timestamp > previous[0]:
                     self._last_seen[key] = (timestamp, shard_id)
             if new_tuple is not None:
-                self.classifier.add_tuple(new_tuple)
+                if self._table is not None:
+                    self.classifier.add_ref(new_tuple)
+                else:
+                    self.classifier.add_tuple(new_tuple)
         self._events_since_checkpoint += 1
         if (
             self.checkpoints is not None
@@ -258,11 +278,17 @@ class StreamEngine:
             _, shard_id = self._last_seen.pop(key)
             by_shard.setdefault(shard_id, []).append(key)
         self._router_evict(by_shard)
-        evicted_tuples = [PathCommTuple(path, communities) for path, communities in expired]
-        remaining = [
-            PathCommTuple(path, communities) for path, communities in self._last_seen
-        ]
-        self.classifier.evict(evicted_tuples, remaining)
+        if self._table is not None:
+            # Columnar mode: keys already are interned refs.
+            self.classifier.evict_refs(expired, list(self._last_seen))
+        else:
+            evicted_tuples = [
+                PathCommTuple(path, communities) for path, communities in expired
+            ]
+            remaining = [
+                PathCommTuple(path, communities) for path, communities in self._last_seen
+            ]
+            self.classifier.evict(evicted_tuples, remaining)
         self.stats.tuples_evicted += len(expired)
 
     def _router_evict(self, by_shard: Dict[int, List[TupleKey]]) -> None:
@@ -299,6 +325,9 @@ class StreamEngine:
             "config": self.config,
             "asn_registry": self._asn_registry,
             "prefix_allocation": self._prefix_allocation,
+            # Columnar mode: the shared intern table the classifier state and
+            # dedup/retention keys refer into.  ``None`` in object mode.
+            "table": self._table.state_dict() if self._table is not None else None,
             "router": self.router.state_dict(),
             "clock": self.clock.state_dict(),
             "classifier": self.classifier.state_dict(),
@@ -319,12 +348,29 @@ class StreamEngine:
         # would filter differently than the one that wrote the checkpoint.
         self._asn_registry = state.get("asn_registry")
         self._prefix_allocation = state.get("prefix_allocation")
+        # If the checkpoint's representation differs from how this engine was
+        # constructed, rebuild the table + router to match before restoring.
+        representation = getattr(self.config, "representation", "object")
+        if (representation == "columnar") != (self._table is not None):
+            self._table = TupleTable() if representation == "columnar" else None
+            self.router = ShardRouter(
+                self.config.shards,
+                asn_registry=self._asn_registry,
+                prefix_allocation=self._prefix_allocation,
+                sanitation=self.config.sanitation,
+                table=self._table,
+            )
+        # The table loads in place *first*: router dedup keys and the
+        # classifier state restored below refer into it, and every holder
+        # (workers, classifier) shares this one object.
+        if self._table is not None:
+            self._table.load_state(state["table"])
         for worker in self.router.workers:
             worker.sanitizer.asn_registry = self._asn_registry
             worker.sanitizer.prefix_allocation = self._prefix_allocation
         self.router.load_state_dict(state["router"])
         self.clock = WindowClock.from_state(state["clock"])
-        self.classifier = classifier_from_state(state["classifier"])
+        self.classifier = classifier_from_state(state["classifier"], table=self._table)
         self.stats = state["stats"]
         self._last_codes = dict(state["last_codes"])
         self._last_seen = dict(state["last_seen"])

@@ -37,14 +37,24 @@ from repro.core.column import (
     PhaseDelta,
     PreparedTuple,
     count_forwarding_phase,
+    count_forwarding_phase_packed,
     count_tagging_phase,
+    count_tagging_phase_packed,
     merge_phase_delta,
     prepare_tuple,
 )
-from repro.core.counters import CounterStore, DecisionView
+from repro.core.counters import CounterStore, DecisionView, PackedCounterStore
 from repro.core.results import ClassificationResult
-from repro.core.row import row_tuple_delta
+from repro.core.row import row_group_delta_packed, row_tuple_delta
 from repro.core.thresholds import Thresholds
+from repro.core.tuples import (
+    CountingGroup,
+    GroupCounts,
+    TupleRef,
+    TupleTable,
+    materialize_groups,
+    merge_group_counts,
+)
 
 
 @dataclass
@@ -95,6 +105,7 @@ class IncrementalColumnClassifier:
     """
 
     algorithm = "column"
+    representation = "object"
 
     def __init__(
         self,
@@ -243,6 +254,7 @@ class IncrementalColumnClassifier:
         """Plain-data snapshot of the full classifier state."""
         return {
             "algorithm": self.algorithm,
+            "representation": self.representation,
             "thresholds": self.thresholds,
             "max_columns": self.max_columns,
             "stop_when_stalled": self.stop_when_stalled,
@@ -285,6 +297,7 @@ class IncrementalRowClassifier:
     """
 
     algorithm = "row"
+    representation = "object"
 
     def __init__(self, thresholds: Optional[Thresholds] = None, **_ignored) -> None:
         self.thresholds = thresholds or Thresholds()
@@ -351,6 +364,7 @@ class IncrementalRowClassifier:
         """Plain-data snapshot of the full classifier state."""
         return {
             "algorithm": self.algorithm,
+            "representation": self.representation,
             "thresholds": self.thresholds,
             "store": self._store.state_dict(),
             "observed": set(self._observed),
@@ -369,28 +383,433 @@ class IncrementalRowClassifier:
         return classifier
 
 
+@dataclass
+class PackedPhaseRecord:
+    """Columnar twin of :class:`PhaseRecord`.
+
+    ``decisions`` is the pair of per-AS-index decision flag vectors with
+    trailing zeros stripped: two snapshots are equal iff they set the same
+    flag for the same AS, regardless of how many ASes the shared tuple
+    table interned in between (new ASes have no evidence, hence zero
+    flags — exactly what the stripped encoding makes implicit).
+    """
+
+    decisions: "tuple[bytes, bytes]"
+    delta: Dict[int, List[int]]
+    increments: int
+
+
+def _strip_flags(tagger_flags: bytearray, forward_flags: bytearray) -> "tuple[bytes, bytes]":
+    """Growth-invariant equality key of a decision flag snapshot."""
+    return (bytes(tagger_flags).rstrip(b"\x00"), bytes(forward_flags).rstrip(b"\x00"))
+
+
+class ColumnarColumnClassifier:
+    """Columnar twin of :class:`IncrementalColumnClassifier`.
+
+    Tuples are held as ``(path_id, hits) -> multiplicity`` aggregates
+    against a (usually engine-shared) :class:`TupleTable`; phases run the
+    packed kernels over grouped work units and the per-phase memoisation
+    compares packed decision flags instead of frozenset views.  Output is
+    byte-identical to the object classifier — the conformance property
+    tests pin both against the batch oracle.
+    """
+
+    algorithm = "column"
+    representation = "columnar"
+
+    def __init__(
+        self,
+        thresholds: Optional[Thresholds] = None,
+        *,
+        max_columns: Optional[int] = None,
+        stop_when_stalled: bool = True,
+        table: Optional[TupleTable] = None,
+    ) -> None:
+        self.thresholds = thresholds or Thresholds()
+        self.max_columns = max_columns
+        self.stop_when_stalled = stop_when_stalled
+        self.stats = IncrementalStats()
+        self.report = ColumnInferenceReport()
+        self.table = table if table is not None else TupleTable()
+        self._groups: GroupCounts = {}
+        self._pending_groups: GroupCounts = {}
+        self._counted_cache: Optional[List[CountingGroup]] = None
+        self._counted_tuples = 0
+        self._pending_tuples = 0
+        self._observed: Set[ASN] = set()
+        self._max_length = 0
+        self._tagging_records: List[PackedPhaseRecord] = []
+        self._forwarding_records: List[PackedPhaseRecord] = []
+        self._packed = PackedCounterStore(self.thresholds)
+        self._store = CounterStore(self.thresholds)
+
+    # -- ingestion ---------------------------------------------------------------------
+    @property
+    def tuple_count(self) -> int:
+        """Number of unique tuples currently folded in (incl. pending)."""
+        return self._counted_tuples + self._pending_tuples
+
+    def add_ref(self, ref: TupleRef) -> None:
+        """Queue one interned unique tuple for the next :meth:`update`."""
+        path_id = ref[0]
+        key = (path_id, self.table.hits_of(path_id, ref[1]))
+        count = self._pending_groups.get(key)
+        self._pending_groups[key] = 1 if count is None else count + 1
+        asns = self.table.path_asns_of(path_id)
+        self._observed.update(asns)
+        if len(asns) > self._max_length:
+            self._max_length = len(asns)
+        self._pending_tuples += 1
+        self.stats.tuples_added += 1
+
+    def add_tuple(self, item: PathCommTuple) -> None:
+        """Intern and queue one new unique tuple."""
+        self.add_ref(self.table.intern_tuple(item))
+
+    def add_tuples(self, items: Iterable[PathCommTuple]) -> None:
+        """Intern and queue many new unique tuples."""
+        for item in items:
+            self.add_tuple(item)
+
+    def evict_refs(
+        self, evicted: Sequence[TupleRef], remaining: Iterable[TupleRef]
+    ) -> None:
+        """Drop expired tuples (sliding windows); invalidates all records."""
+        if not evicted:
+            return
+        self._groups = {}
+        self._pending_groups = {}
+        self._counted_cache = None
+        self._counted_tuples = 0
+        self._pending_tuples = 0
+        self._observed = set()
+        self._max_length = 0
+        self._tagging_records = []
+        self._forwarding_records = []
+        self.stats.resets += 1
+        added_before = self.stats.tuples_added
+        for ref in remaining:
+            self.add_ref(ref)
+        self.stats.tuples_added = added_before  # re-adds are not arrivals
+
+    def evict(
+        self, evicted: Sequence[PathCommTuple], remaining: Iterable[PathCommTuple]
+    ) -> None:
+        """Object-tuple eviction entry point (interns, then defers)."""
+        self.evict_refs(
+            [self.table.intern_tuple(item) for item in evicted],
+            (self.table.intern_tuple(item) for item in remaining),
+        )
+
+    # -- classification -----------------------------------------------------------------
+    def _counted_groups(self) -> List[CountingGroup]:
+        cache = self._counted_cache
+        if cache is None:
+            cache = self._counted_cache = materialize_groups(self.table, self._groups)
+        return cache
+
+    def _run_phase(
+        self,
+        records: List[PackedPhaseRecord],
+        count_phase,
+        pending: Sequence[CountingGroup],
+        column: int,
+        packed: PackedCounterStore,
+    ) -> PackedPhaseRecord:
+        """Bring one phase record up to date and return it."""
+        index = column - 1
+        tagger_flags, forward_flags = packed.decision_flags(self.table.as_count)
+        decisions = _strip_flags(tagger_flags, forward_flags)
+        record = records[index] if index < len(records) else None
+        if record is not None and record.decisions == decisions:
+            if pending:
+                delta, increments = count_phase(pending, column, tagger_flags, forward_flags)
+                merge_phase_delta(record.delta, delta)
+                record.increments += increments
+            self.stats.delta_phases += 1
+        else:
+            delta, increments = count_phase(
+                self._counted_groups(), column, tagger_flags, forward_flags
+            )
+            record = PackedPhaseRecord(decisions=decisions, delta=delta, increments=increments)
+            if index < len(records):
+                records[index] = record
+            else:
+                records.append(record)
+            self.stats.recount_phases += 1
+        return record
+
+    def update(self) -> ClassificationResult:
+        """Fold pending tuples in and return the up-to-date classification."""
+        pending_counts = self._pending_groups
+        self._pending_groups = {}
+        pending = (
+            materialize_groups(self.table, pending_counts) if pending_counts else []
+        )
+        if pending_counts:
+            merge_group_counts(self._groups, pending_counts)
+            self._counted_cache = None
+        self._counted_tuples += self._pending_tuples
+        self._pending_tuples = 0
+
+        packed = PackedCounterStore(self.thresholds)
+        report = ColumnInferenceReport()
+        limit = (
+            self._max_length
+            if self.max_columns is None
+            else min(self._max_length, self.max_columns)
+        )
+        for column in range(1, limit + 1):
+            tagging = self._run_phase(
+                self._tagging_records, count_tagging_phase_packed, pending, column, packed
+            )
+            packed.apply_tagging_delta(tagging.delta)
+            forwarding = self._run_phase(
+                self._forwarding_records, count_forwarding_phase_packed, pending, column, packed
+            )
+            packed.apply_forwarding_delta(forwarding.delta)
+            report.columns_processed = column
+            report.tagging_counts_per_column.append(tagging.increments)
+            report.forwarding_counts_per_column.append(forwarding.increments)
+            if (
+                self.stop_when_stalled
+                and column > 1
+                and tagging.increments == 0
+                and forwarding.increments == 0
+            ):
+                # A batch run would stop here; records beyond this column are
+                # stale leftovers from a previous, shorter-stalling run.
+                del self._tagging_records[column:]
+                del self._forwarding_records[column:]
+                break
+
+        self._packed = packed
+        self._store = packed.to_store(self.table.as_values())
+        self.report = report
+        self.stats.updates += 1
+        return self.result()
+
+    def result(self) -> ClassificationResult:
+        """The classification as of the last :meth:`update`."""
+        return ClassificationResult(
+            store=self._store, observed_ases=set(self._observed), algorithm="column"
+        )
+
+    # -- checkpointing ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot (ids are relative to the shared table)."""
+        return {
+            "algorithm": self.algorithm,
+            "representation": self.representation,
+            "thresholds": self.thresholds,
+            "max_columns": self.max_columns,
+            "stop_when_stalled": self.stop_when_stalled,
+            "groups": dict(self._groups),
+            "pending_groups": dict(self._pending_groups),
+            "counted_tuples": self._counted_tuples,
+            "pending_tuples": self._pending_tuples,
+            "observed": set(self._observed),
+            "max_length": self._max_length,
+            "tagging_records": list(self._tagging_records),
+            "forwarding_records": list(self._forwarding_records),
+            "store_arrays": self._packed.arrays_state(),
+            "stats": self.stats,
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], table: TupleTable
+    ) -> "ColumnarColumnClassifier":
+        """Rebuild against the restored table the ids were minted by."""
+        classifier = cls(
+            state["thresholds"],
+            max_columns=state["max_columns"],
+            stop_when_stalled=state["stop_when_stalled"],
+            table=table,
+        )
+        classifier._groups = dict(state["groups"])
+        classifier._pending_groups = dict(state["pending_groups"])
+        classifier._counted_tuples = state["counted_tuples"]
+        classifier._pending_tuples = state["pending_tuples"]
+        classifier._observed = set(state["observed"])
+        classifier._max_length = state["max_length"]
+        classifier._tagging_records = list(state["tagging_records"])
+        classifier._forwarding_records = list(state["forwarding_records"])
+        classifier._packed = PackedCounterStore.from_arrays_state(
+            state["store_arrays"], classifier.thresholds
+        )
+        classifier._store = classifier._packed.to_store(table.as_values())
+        classifier.stats = state["stats"]
+        classifier.report = state["report"]
+        return classifier
+
+
+class ColumnarRowClassifier:
+    """Columnar twin of :class:`IncrementalRowClassifier`.
+
+    Arrivals and retractions are exact packed-array deltas computed per
+    ``(path, hits)`` group; a retracted group applies the same delta with
+    multiplicity ``-1``, so the packed store is always the commutative sum
+    of the live tuples (slots at zero read as absent, matching the object
+    store's post-eviction pruning).
+    """
+
+    algorithm = "row"
+    representation = "columnar"
+
+    def __init__(
+        self,
+        thresholds: Optional[Thresholds] = None,
+        *,
+        table: Optional[TupleTable] = None,
+        **_ignored,
+    ) -> None:
+        self.thresholds = thresholds or Thresholds()
+        self.stats = IncrementalStats()
+        self.table = table if table is not None else TupleTable()
+        self._packed = PackedCounterStore(self.thresholds)
+        self._observed: Set[ASN] = set()
+        self._tuple_count = 0
+
+    # -- ingestion ---------------------------------------------------------------------
+    @property
+    def tuple_count(self) -> int:
+        """Number of unique tuples currently folded in."""
+        return self._tuple_count
+
+    def _apply_ref(self, ref: TupleRef, count: int) -> None:
+        path_id = ref[0]
+        hits = self.table.hits_of(path_id, ref[1])
+        self._packed.ensure_slots(self.table.as_count)
+        self._packed.apply_delta(
+            row_group_delta_packed(self.table.path_row(path_id), hits, count)
+        )
+
+    def add_ref(self, ref: TupleRef) -> None:
+        """Fold one interned unique tuple into the counters immediately."""
+        self._apply_ref(ref, 1)
+        self._observed.update(self.table.path_asns_of(ref[0]))
+        self._tuple_count += 1
+        self.stats.tuples_added += 1
+        self.stats.delta_phases += 1
+
+    def add_tuple(self, item: PathCommTuple) -> None:
+        """Intern and fold one new unique tuple."""
+        self.add_ref(self.table.intern_tuple(item))
+
+    def add_tuples(self, items: Iterable[PathCommTuple]) -> None:
+        """Intern and fold many new unique tuples."""
+        for item in items:
+            self.add_tuple(item)
+
+    def evict_refs(
+        self, evicted: Sequence[TupleRef], remaining: Iterable[TupleRef]
+    ) -> None:
+        """Retract expired tuples with exact negative deltas."""
+        observed: Set[ASN] = set()
+        for ref in evicted:
+            self._apply_ref(ref, -1)
+            self._tuple_count -= 1
+        for ref in remaining:
+            observed.update(self.table.path_asns_of(ref[0]))
+        self._observed = observed
+
+    def evict(
+        self, evicted: Sequence[PathCommTuple], remaining: Iterable[PathCommTuple]
+    ) -> None:
+        """Object-tuple eviction entry point (interns, then defers)."""
+        self.evict_refs(
+            [self.table.intern_tuple(item) for item in evicted],
+            (self.table.intern_tuple(item) for item in remaining),
+        )
+
+    # -- classification -----------------------------------------------------------------
+    def update(self) -> ClassificationResult:
+        """Return the up-to-date classification (counters are always live)."""
+        self.stats.updates += 1
+        return self.result()
+
+    def result(self) -> ClassificationResult:
+        """The current classification as an immutable snapshot."""
+        return ClassificationResult(
+            store=self._packed.to_store(self.table.as_values()),
+            observed_ases=set(self._observed),
+            algorithm="row",
+        )
+
+    # -- checkpointing ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot (ids are relative to the shared table)."""
+        return {
+            "algorithm": self.algorithm,
+            "representation": self.representation,
+            "thresholds": self.thresholds,
+            "store_arrays": self._packed.arrays_state(),
+            "observed": set(self._observed),
+            "tuple_count": self._tuple_count,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], table: TupleTable
+    ) -> "ColumnarRowClassifier":
+        """Rebuild against the restored table the ids were minted by."""
+        classifier = cls(state["thresholds"], table=table)
+        classifier._packed = PackedCounterStore.from_arrays_state(
+            state["store_arrays"], classifier.thresholds
+        )
+        classifier._observed = set(state["observed"])
+        classifier._tuple_count = state["tuple_count"]
+        classifier.stats = state["stats"]
+        return classifier
+
+
 def make_classifier(
     algorithm: str,
     thresholds: Optional[Thresholds] = None,
     *,
     max_columns: Optional[int] = None,
     stop_when_stalled: bool = True,
+    representation: str = "object",
+    table: Optional[TupleTable] = None,
 ):
     """Instantiate the incremental classifier for *algorithm*."""
+    if representation not in ("object", "columnar"):
+        raise ValueError(f"unknown representation {representation!r}")
     if algorithm == "column":
+        if representation == "columnar":
+            return ColumnarColumnClassifier(
+                thresholds,
+                max_columns=max_columns,
+                stop_when_stalled=stop_when_stalled,
+                table=table,
+            )
         return IncrementalColumnClassifier(
             thresholds, max_columns=max_columns, stop_when_stalled=stop_when_stalled
         )
     if algorithm == "row":
+        if representation == "columnar":
+            return ColumnarRowClassifier(thresholds, table=table)
         return IncrementalRowClassifier(thresholds)
     raise ValueError(f"unknown algorithm {algorithm!r}")
 
 
-def classifier_from_state(state: Dict[str, object]):
+def classifier_from_state(state: Dict[str, object], *, table: Optional[TupleTable] = None):
     """Rebuild whichever classifier a :func:`state_dict` snapshot came from."""
     algorithm = state.get("algorithm")
-    if algorithm == "column":
+    representation = state.get("representation", "object")
+    if representation == "columnar":
+        if table is None:
+            raise ValueError("columnar classifier state needs its TupleTable to restore")
+        if algorithm == "column":
+            return ColumnarColumnClassifier.from_state(state, table)
+        if algorithm == "row":
+            return ColumnarRowClassifier.from_state(state, table)
+    elif algorithm == "column":
         return IncrementalColumnClassifier.from_state(state)
-    if algorithm == "row":
+    elif algorithm == "row":
         return IncrementalRowClassifier.from_state(state)
     raise ValueError(f"unknown algorithm in classifier state: {algorithm!r}")

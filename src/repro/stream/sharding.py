@@ -21,11 +21,15 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.asn import ASN, ASNRegistry
 from repro.bgp.prefix import PrefixAllocation
+from repro.core.tuples import TupleRef, TupleTable
 from repro.sanitize.filters import SanitationConfig, SanitationStats, Sanitizer, TupleDeduper
 
 #: Knuth's multiplicative hash constant; peer ASNs are often assigned in
 #: dense ranges, so a plain modulo would skew the shard load badly.
 _HASH_MULTIPLIER = 2654435761
+
+#: SanitationStats counter fields, snapshot order for the memo delta capture.
+_STAT_FIELDS = tuple(SanitationStats().as_dict())
 
 
 def shard_of(peer_asn: ASN, shards: int) -> int:
@@ -34,7 +38,19 @@ def shard_of(peer_asn: ASN, shards: int) -> int:
 
 
 class ShardWorker:
-    """One partition worker: sanitation plus tuple deduplication."""
+    """One partition worker: sanitation plus tuple deduplication.
+
+    With a shared :class:`~repro.core.tuples.TupleTable` the worker runs in
+    columnar mode: sanitized tuples are interned and both the dedup key and
+    the "new tuple" handed to the classifier are ``(path_id, comm_id)`` id
+    pairs.  Columnar mode also memoises the sanitation outcome per distinct
+    ``(path, comm, peer)`` input — update streams re-announce the same
+    tuples constantly, and sanitation is a pure function of those fields
+    when no mutable allocation context (ASN registry / prefix allocation,
+    which may change mid-stream by design) is attached.  Memo hits replay
+    the recorded per-stat increments, so the sanitation statistics stay
+    event-for-event identical to the unmemoised path.
+    """
 
     def __init__(
         self,
@@ -43,6 +59,7 @@ class ShardWorker:
         asn_registry: Optional[ASNRegistry] = None,
         prefix_allocation: Optional[PrefixAllocation] = None,
         sanitation: Optional[SanitationConfig] = None,
+        table: Optional[TupleTable] = None,
     ) -> None:
         self.shard_id = shard_id
         self.sanitizer = Sanitizer(
@@ -52,6 +69,11 @@ class ShardWorker:
         )
         self.deduper = TupleDeduper()
         self.events_processed = 0
+        self.table = table
+        #: Sanitation memo (columnar mode): input key -> (interned ref or
+        #: ``None`` when dropped, per-stat increments to replay).  Bounded
+        #: by the number of distinct inputs, like the dedup set itself.
+        self._memo: Dict[Tuple, Tuple[Optional[TupleRef], Tuple[Tuple[str, int], ...]]] = {}
 
     def process(
         self, observation: RouteObservation
@@ -62,14 +84,63 @@ class ShardWorker:
         ``(tuple_key, new_tuple)`` where ``new_tuple`` is the observation's
         ``(path, comm)`` tuple if it is new to this shard (``None`` for a
         duplicate).  The key is returned for duplicates too so the engine
-        can refresh sliding-window retention timestamps.
+        can refresh sliding-window retention timestamps.  In columnar mode
+        both the key and the new tuple are interned ``(path_id, comm_id)``
+        refs instead of object pairs.
         """
         self.events_processed += 1
+        if self.table is not None:
+            return self._process_columnar(observation)
         sanitized = self.sanitizer.sanitize_observation(observation)
         if sanitized is None:
             return None
         key = (sanitized.path, sanitized.communities)
         return key, self.deduper.add(sanitized)
+
+    def _process_columnar(
+        self, observation: RouteObservation
+    ) -> Optional[Tuple[TupleRef, Optional[TupleRef]]]:
+        sanitizer = self.sanitizer
+        # The registry / allocation objects are mutable mid-stream by design
+        # (their lookups are deliberately uncached); memoising is only sound
+        # without them.
+        if sanitizer.asn_registry is None and sanitizer.prefix_allocation is None:
+            memo_key = (
+                observation.path,
+                observation.communities,
+                observation.peer_asn,
+                observation.path.has_as_set,
+            )
+            hit = self._memo.get(memo_key)
+            if hit is None:
+                hit = self._memo[memo_key] = self._sanitize_interned(observation)
+            else:
+                stats = sanitizer.stats
+                for name, increment in hit[1]:
+                    setattr(stats, name, getattr(stats, name) + increment)
+            ref = hit[0]
+        else:
+            ref = self._sanitize_interned(observation)[0]
+        if ref is None:
+            return None
+        return ref, (ref if self.deduper.add_key(ref) else None)
+
+    def _sanitize_interned(
+        self, observation: RouteObservation
+    ) -> Tuple[Optional[TupleRef], Tuple[Tuple[str, int], ...]]:
+        """Run full sanitation once; capture the stat increments it made."""
+        stats = self.sanitizer.stats
+        before = [getattr(stats, name) for name in _STAT_FIELDS]
+        sanitized = self.sanitizer.sanitize_observation(observation)
+        deltas = tuple(
+            (name, delta)
+            for name, previous in zip(_STAT_FIELDS, before)
+            if (delta := getattr(stats, name) - previous)
+        )
+        if sanitized is None:
+            return None, deltas
+        assert self.table is not None
+        return self.table.intern(sanitized.path, sanitized.communities), deltas
 
     def evict(self, keys: Iterable[Tuple]) -> int:
         """Forget expired tuple keys so they may re-enter later."""
@@ -95,6 +166,9 @@ class ShardWorker:
         self.deduper = TupleDeduper.from_state(set(state["seen"]))
         self.sanitizer.stats = state["sanitation_stats"]
         self.events_processed = state["events_processed"]
+        # Memoised refs may point at ids interned after the checkpoint was
+        # written; a restore rewinds the shared table, so drop them.
+        self._memo.clear()
 
 
 class ShardRouter:
@@ -107,6 +181,7 @@ class ShardRouter:
         asn_registry: Optional[ASNRegistry] = None,
         prefix_allocation: Optional[PrefixAllocation] = None,
         sanitation: Optional[SanitationConfig] = None,
+        table: Optional[TupleTable] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -116,6 +191,7 @@ class ShardRouter:
                 asn_registry=asn_registry,
                 prefix_allocation=prefix_allocation,
                 sanitation=sanitation,
+                table=table,
             )
             for shard_id in range(shards)
         ]

@@ -1,0 +1,203 @@
+"""Columnar streaming: engine conformance, memoised sanitation, dedup state.
+
+The streaming engine may run either representation; everything observable —
+window snapshots, sanitation statistics, checkpoints, final classification —
+must be identical.  These tests drive both representations over the same
+feeds and compare the lot, plus the checkpoint/restore and worker-memo
+machinery specific to columnar mode.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp.announcement import PathCommTuple, RouteObservation
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.path import ASPath
+from repro.bgp.prefix import Prefix, PrefixAllocation
+from repro.core.tuples import TupleTable
+from repro.parallel.stream import ParallelStreamEngine
+from repro.sanitize.filters import TupleDeduper
+from repro.stream.checkpoint import CheckpointManager
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.sharding import ShardWorker
+from repro.stream.sources import ScenarioSource
+from repro.stream.window import WindowPolicy, WindowSpec
+
+
+def _random_tuples(rng: random.Random, count: int) -> list:
+    tuples = []
+    for _ in range(count):
+        asns = tuple(rng.randint(100, 130) for _ in range(rng.randint(1, 6)))
+        comms = [
+            Community(rng.choice(list(asns) + [999]), rng.randint(0, 50))
+            for _ in range(rng.randint(0, 4))
+        ]
+        tuples.append(PathCommTuple(ASPath(asns), CommunitySet(comms)))
+    return tuples
+
+
+def _snapshot_key(engine: StreamEngine) -> list:
+    return [
+        (
+            snapshot.window_start,
+            snapshot.window_end,
+            snapshot.events_total,
+            snapshot.unique_tuples,
+            snapshot.result.store.state_dict(),
+            sorted(snapshot.result.observed_ases),
+            dict(snapshot.changed),
+        )
+        for snapshot in engine.snapshots
+    ]
+
+
+class TestEngineConformance:
+    @pytest.mark.parametrize("policy", [WindowPolicy.CUMULATIVE, WindowPolicy.SLIDING])
+    @pytest.mark.parametrize("algorithm", ["column", "row"])
+    def test_columnar_equals_object(self, policy, algorithm):
+        rng = random.Random(11)
+        source = list(
+            ScenarioSource(_random_tuples(rng, 30), duration=3600, repeat=3)
+        )
+        spec = WindowSpec(
+            size=300,
+            policy=policy,
+            horizon=600 if policy is WindowPolicy.SLIDING else None,
+        )
+        outcomes = {}
+        for representation in ("object", "columnar"):
+            config = StreamConfig(
+                window=spec, shards=3, algorithm=algorithm, representation=representation
+            )
+            engine = StreamEngine(config)
+            final = engine.run(iter(source))
+            outcomes[representation] = (
+                final.store.state_dict(),
+                sorted(final.observed_ases),
+                _snapshot_key(engine),
+                engine.sanitation_stats().as_dict(),
+                engine.unique_tuples,
+            )
+        assert outcomes["columnar"] == outcomes["object"]
+
+    def test_checkpoint_restore_mid_stream(self, tmp_path):
+        rng = random.Random(12)
+        source = list(
+            ScenarioSource(_random_tuples(rng, 25), duration=3600, repeat=3)
+        )
+        spec = WindowSpec(size=300, policy=WindowPolicy.SLIDING, horizon=600)
+        config = StreamConfig(
+            window=spec, shards=2, algorithm="column", representation="columnar"
+        )
+
+        uninterrupted = StreamEngine(config)
+        expected = uninterrupted.run(iter(source))
+
+        manager = CheckpointManager(tmp_path)
+        engine = StreamEngine(config, checkpoints=manager)
+        cut = len(source) // 2
+        for observation in source[:cut]:
+            engine.ingest(observation)
+        engine.checkpoint()
+        restored = StreamEngine.restore(manager)
+        assert restored.config.representation == "columnar"
+        for observation in source[cut:]:
+            restored.ingest(observation)
+        final = restored.finish()
+        assert final.store.state_dict() == expected.store.state_dict()
+        assert final.observed_ases == expected.observed_ases
+
+    def test_pre_representation_checkpoint_defaults_to_object(self):
+        config = StreamConfig()
+        # Simulate a checkpoint written before the representation field
+        # existed: old pickled StreamConfig instances lack the attribute.
+        del config.__dict__["representation"]
+        engine = StreamEngine(config)
+        assert engine._table is None
+
+    def test_parallel_engine_rejects_columnar(self):
+        config = StreamConfig(representation="columnar")
+        with pytest.raises(ValueError, match="columnar"):
+            ParallelStreamEngine(config)
+
+    def test_config_rejects_unknown_representation(self):
+        with pytest.raises(ValueError):
+            StreamConfig(representation="sparse")
+
+
+def _observation(item: PathCommTuple, timestamp: int) -> RouteObservation:
+    return RouteObservation(
+        collector="test",
+        peer_asn=item.peer,
+        prefix=Prefix.ipv4((20 << 24) | ((item.origin % 65536) << 8), 24),
+        path=item.path,
+        communities=item.communities,
+        timestamp=timestamp,
+    )
+
+
+class TestShardWorkerMemo:
+    def test_memo_replays_stats_event_for_event(self):
+        rng = random.Random(13)
+        tuples = _random_tuples(rng, 20)
+        observations = [
+            _observation(item, 100 + index)
+            for index, item in enumerate(tuples * 3)  # 2/3 duplicates: memo hits
+        ]
+        plain = ShardWorker(0)
+        columnar = ShardWorker(0, table=TupleTable())
+        for observation in observations:
+            plain.process(observation)
+            columnar.process(observation)
+        assert columnar.sanitizer.stats.as_dict() == plain.sanitizer.stats.as_dict()
+        assert columnar.events_processed == plain.events_processed
+        assert columnar.unique_tuples == plain.unique_tuples
+
+    def test_memo_disabled_with_mutable_allocation_context(self):
+        allocation = PrefixAllocation.default_internet()
+        worker = ShardWorker(0, table=TupleTable(), prefix_allocation=allocation)
+        item = PathCommTuple(ASPath((101, 102)), CommunitySet())
+        worker.process(_observation(item, 1))
+        worker.process(_observation(item, 2))
+        assert not worker._memo  # lookups stay live against the registry
+        assert worker.sanitizer.stats.observations_in == 2
+
+    def test_memo_cleared_on_state_restore(self):
+        worker = ShardWorker(0, table=TupleTable())
+        item = PathCommTuple(ASPath((101, 102)), CommunitySet())
+        worker.process(_observation(item, 1))
+        assert worker._memo
+        worker.load_state_dict(worker.state_dict())
+        assert not worker._memo
+
+
+class TestTupleDeduperSnapshots:
+    def test_snapshot_stays_frozen_after_further_adds(self):
+        """Regression: state_dict() once returned the live seen-set, so
+        tuples added after a checkpoint leaked into the written snapshot."""
+        deduper = TupleDeduper()
+        first = PathCommTuple(ASPath((1, 2)), CommunitySet())
+        second = PathCommTuple(ASPath((3, 4)), CommunitySet())
+        deduper.add(_observation(first, 1))
+        snapshot = deduper.state_dict()
+        assert len(snapshot) == 1
+        deduper.add(_observation(second, 2))
+        assert len(snapshot) == 1  # must not grow with the live deduper
+        assert len(deduper) == 2
+
+    def test_from_state_does_not_adopt_callers_set(self):
+        seen = {(ASPath((1, 2)), CommunitySet())}
+        deduper = TupleDeduper.from_state(seen)
+        seen.clear()
+        assert len(deduper) == 1
+
+    def test_add_key_dedupes_arbitrary_keys(self):
+        deduper = TupleDeduper()
+        assert deduper.add_key((0, 0)) is True
+        assert deduper.add_key((0, 0)) is False
+        assert (0, 0) in deduper
+        assert deduper.discard([(0, 0)]) == 1
+        assert deduper.add_key((0, 0)) is True

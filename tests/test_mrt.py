@@ -165,3 +165,57 @@ class TestDecoderErrors:
         list(decoder)
         assert decoder.peer_table is not None
         assert len(decoder.peer_table.peers) == 2
+
+
+class TestZeroCopyDecoding:
+    """The memoryview fast path decodes identically to the copying path."""
+
+    def _mixed_blob(self, attributes):
+        encoder = MRTEncoder()
+        encoder.write_peer_index_table([3356, 1299], timestamp=9, view_name="rrc00")
+        encoder.write_rib_entry(
+            parse_prefix("8.8.8.0/24"), [(3356, 111, attributes)], sequence=1
+        )
+        encoder.write_rib_entry(
+            parse_prefix("2001:db8::/32"), [(1299, 222, attributes)], sequence=2
+        )
+        for peer in (3356, 1299):
+            encoder.write_update(
+                BGPUpdate(
+                    peer_asn=peer,
+                    timestamp=1621382400,
+                    announced=(parse_prefix("8.8.8.0/24"), parse_prefix("9.9.0.0/16")),
+                    withdrawn=(parse_prefix("1.2.3.0/24"),),
+                    attributes=attributes,
+                )
+            )
+        return encoder.getvalue()
+
+    def test_matches_copying_decode(self, attributes):
+        blob = self._mixed_blob(attributes)
+        assert decode_records(blob, zero_copy=True) == decode_records(blob, zero_copy=False)
+
+    def test_records_do_not_retain_views(self, attributes):
+        """Decoded records must not keep the input buffer alive via views."""
+        blob = bytearray(self._mixed_blob(attributes))
+        records = decode_records(blob, zero_copy=True)
+        # Releasing the buffer would raise if any exported view survived.
+        del records
+        blob.clear()
+
+    def test_accepts_memoryview_input(self, attributes):
+        blob = self._mixed_blob(attributes)
+        assert decode_records(memoryview(blob)) == decode_records(blob)
+
+    def test_view_name_is_plain_str(self):
+        encoder = MRTEncoder()
+        encoder.write_peer_index_table([10], view_name="rrc01")
+        (table,) = decode_records(encoder.getvalue())
+        assert table.view_name == "rrc01"
+        assert type(table.view_name) is str
+
+    def test_truncated_stream_rejected_in_both_modes(self, attributes):
+        blob = self._mixed_blob(attributes)
+        for zero_copy in (True, False):
+            with pytest.raises(MRTDecodeError):
+                decode_records(blob[:-3], zero_copy=zero_copy)

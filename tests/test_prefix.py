@@ -1,7 +1,11 @@
-"""Unit tests for repro.bgp.prefix."""
+"""Unit tests for repro.bgp.prefix and the covering-lookup trie."""
+
+import pickle
+import random
 
 import pytest
 
+from repro.bgp.prefixtrie import PrefixTrie
 from repro.bgp.prefix import (
     Prefix,
     PrefixAllocation,
@@ -125,3 +129,114 @@ class TestPrefixGenerator:
 
     def test_default_length_is_24(self):
         assert PrefixGenerator().next_prefix().length == 24
+
+
+class TestPrefixTrie:
+    def _blocks(self):
+        return [
+            parse_prefix("10.0.0.0/8"),
+            parse_prefix("10.1.0.0/16"),
+            parse_prefix("192.0.2.0/24"),
+            parse_prefix("2001:db8::/32"),
+        ]
+
+    def _trie(self):
+        return PrefixTrie(self._blocks())
+
+    def test_len_and_iteration(self):
+        trie = self._trie()
+        assert len(trie) == 4
+        assert sorted(map(str, trie)) == sorted(map(str, self._blocks()))
+
+    def test_exact_membership(self):
+        trie = self._trie()
+        assert parse_prefix("10.1.0.0/16") in trie
+        assert parse_prefix("10.2.0.0/16") not in trie  # covered but not stored
+        assert parse_prefix("10.0.0.0/9") not in trie
+
+    def test_covering_returns_most_specific(self):
+        trie = self._trie()
+        assert trie.covering(parse_prefix("10.1.2.0/24")) == parse_prefix("10.1.0.0/16")
+        assert trie.covering(parse_prefix("10.200.0.0/16")) == parse_prefix("10.0.0.0/8")
+        assert trie.covering(parse_prefix("11.0.0.0/8")) is None
+
+    def test_has_covering_respects_address_family(self):
+        trie = self._trie()
+        assert trie.has_covering(parse_prefix("2001:db8:1::/48"))
+        # Same leading bits, different AFI: must not match the IPv4 space.
+        assert not trie.has_covering(parse_prefix("2000::/3"))
+
+    def test_less_specific_is_not_covered(self):
+        trie = self._trie()
+        assert not trie.has_covering(parse_prefix("192.0.0.0/16"))
+
+    def test_insert_is_idempotent(self):
+        trie = self._trie()
+        trie.insert(parse_prefix("10.0.0.0/8"))
+        assert len(trie) == 4
+
+    def test_default_route_covers_everything(self):
+        trie = PrefixTrie([parse_prefix("0.0.0.0/0")])
+        assert trie.has_covering(parse_prefix("203.0.113.0/24"))
+        assert trie.has_covering(parse_prefix("0.0.0.0/0"))
+
+    def test_pickle_round_trip(self):
+        restored = pickle.loads(pickle.dumps(self._trie()))
+        assert sorted(map(str, restored)) == sorted(map(str, self._blocks()))
+        assert restored.covering(parse_prefix("10.1.2.0/24")) == parse_prefix("10.1.0.0/16")
+
+    def test_matches_linear_scan(self):
+        rng = random.Random(42)
+        blocks = [
+            Prefix.ipv4(rng.getrandbits(8 + length) << (24 - length), 8 + length)
+            for length in (0, 4, 8, 12, 16)
+            for _ in range(20)
+        ]
+        trie = PrefixTrie(blocks)
+        for _ in range(2000):
+            probe_len = rng.randint(1, 32)
+            probe = Prefix.ipv4(
+                (rng.getrandbits(probe_len) << (32 - probe_len)) & 0xFFFFFFFF, probe_len
+            )
+            expected = any(block.covers(probe) for block in blocks)
+            assert trie.has_covering(probe) == expected
+            found = trie.covering(probe)
+            if expected:
+                assert found is not None and found.covers(probe)
+                # Most specific among all covering blocks.
+                assert found.length == max(
+                    block.length for block in blocks if block.covers(probe)
+                )
+            else:
+                assert found is None
+
+
+class TestAllocationTrieCompat:
+    def test_allocation_pickle_round_trip(self):
+        allocation = PrefixAllocation.default_internet()
+        restored = pickle.loads(pickle.dumps(allocation))
+        assert restored.is_allocated(parse_prefix("1.2.3.0/24"))
+        assert not restored.is_allocated(parse_prefix("240.0.0.0/8"))
+
+    def test_pre_trie_pickle_rebuilds_lazily(self):
+        """Checkpoints written before the trie existed lack ``_trie``."""
+        allocation = PrefixAllocation.default_internet()
+        legacy = PrefixAllocation.__new__(PrefixAllocation)
+        legacy.__dict__ = {
+            "blocks": list(allocation.blocks),
+            "_by_afi": dict(allocation._by_afi),
+        }
+        assert legacy.is_allocated(parse_prefix("1.2.3.0/24"))
+        assert not legacy.is_allocated(parse_prefix("10.1.0.0/16"))
+        legacy.register(parse_prefix("10.0.0.0/8"))  # still special-use: stays out
+        assert not legacy.is_allocated(parse_prefix("10.1.0.0/16"))
+
+    def test_allocation_matches_linear_scan(self):
+        allocation = PrefixAllocation.default_internet()
+        rng = random.Random(7)
+        for _ in range(2000):
+            probe = Prefix.ipv4(rng.getrandbits(32), rng.randint(8, 32))
+            linear = not is_special_use(probe) and any(
+                block.covers(probe) for block in allocation.blocks
+            )
+            assert allocation.is_allocated(probe) == linear

@@ -1,19 +1,24 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import pickle
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.bgp.announcement import PathCommTuple
+from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.community import Community, CommunitySet, LargeCommunity
 from repro.bgp.messages import BGPUpdate, PathAttributes
 from repro.bgp.path import ASPath
 from repro.bgp.prefix import Prefix
 from repro.core.classes import ForwardingClass, TaggingClass
 from repro.core.column import ColumnInference
-from repro.core.counters import ASCounters, CounterStore
+from repro.core.counters import ASCounters, CounterStore, PackedCounterStore
+from repro.core.row import RowInference
 from repro.core.thresholds import Thresholds
 from repro.mrt.decoder import decode_path_attributes, decode_records
 from repro.mrt.encoder import encode_path_attributes, encode_records
+from repro.stream.engine import StreamConfig, StreamEngine
+from repro.stream.window import WindowPolicy, WindowSpec
 from repro.usage.propagation import CommunityPropagator
 from repro.usage.roles import RoleAssignment, UsageRole
 
@@ -234,6 +239,31 @@ class TestInferenceProperties:
         for asn in result.store:
             assert asn in observed
 
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(public_16bit_asns, min_size=1, max_size=5),
+                st.lists(st.integers(1, 64000), max_size=3),
+            ),
+            max_size=25,
+        )
+    )
+    def test_columnar_batch_inference_matches_object(self, raw):
+        """The interned/packed counting path is a pure representation change."""
+        tuples = [
+            PathCommTuple(
+                ASPath(asns), CommunitySet(Community(upper, 1) for upper in uppers)
+            )
+            for asns, uppers in raw
+        ]
+        for cls in (ColumnInference, RowInference):
+            obj = cls().run(tuples)
+            col = cls(representation="columnar").run(tuples)
+            assert col.store.state_dict() == obj.store.state_dict()
+            assert col.observed_ases == obj.observed_ases
+            assert col.as_code_map() == obj.as_code_map()
+
     @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
     @given(st.data())
     def test_perfect_precision_on_random_consistent_roles(self, data):
@@ -258,3 +288,138 @@ class TestInferenceProperties:
                 assert roles[asn].is_forward
             if classification.forwarding is ForwardingClass.CLEANER:
                 assert roles[asn].is_cleaner
+
+
+# ---------------------------------------------------------------------------
+# Columnar streaming conformance properties
+# ---------------------------------------------------------------------------
+
+#: Raw observation streams: (asns, comm-uppers, timestamp-gap) per event.
+#: Small AS universe so duplicates, retractions, and dedup hits all occur.
+observation_streams = st.lists(
+    st.tuples(
+        st.lists(st.integers(10, 40), min_size=1, max_size=5),
+        st.lists(st.integers(10, 45), max_size=3),
+        st.integers(0, 400),
+    ),
+    max_size=30,
+)
+
+
+def _build_observations(raw):
+    observations = []
+    clock = 0
+    for index, (asns, uppers, gap) in enumerate(raw):
+        clock += gap
+        observations.append(
+            RouteObservation(
+                collector="prop",
+                peer_asn=asns[0],
+                prefix=Prefix.ipv4((20 << 24) | (index << 8), 24),
+                path=ASPath(asns),
+                communities=CommunitySet(Community(upper, 1) for upper in uppers),
+                timestamp=clock,
+            )
+        )
+    return observations
+
+
+def _engine_outcome(engine):
+    result = engine.finish()
+    return (
+        result.store.state_dict(),
+        sorted(result.observed_ases),
+        [
+            (s.window_start, s.window_end, s.events_total, s.result.store.state_dict())
+            for s in engine.snapshots
+        ],
+        engine.sanitation_stats().as_dict(),
+    )
+
+
+class TestColumnarStreamProperties:
+    """Representation choice must be observationally invisible end to end."""
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(observation_streams, st.sampled_from(["column", "row"]))
+    def test_sliding_stream_matches_object(self, raw, algorithm):
+        """Sliding windows evict (retract) tuples; both paths must agree."""
+        observations = _build_observations(raw)
+        spec = WindowSpec(size=200, policy=WindowPolicy.SLIDING, horizon=400)
+        outcomes = []
+        for representation in ("object", "columnar"):
+            config = StreamConfig(
+                window=spec, shards=2, algorithm=algorithm, representation=representation
+            )
+            engine = StreamEngine(config)
+            for observation in observations:
+                engine.ingest(observation)
+            outcomes.append(_engine_outcome(engine))
+        assert outcomes[0] == outcomes[1]
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(observation_streams, st.data())
+    def test_checkpoint_restore_is_transparent(self, raw, data):
+        """Pickling state mid-stream and resuming changes nothing."""
+        observations = _build_observations(raw)
+        cut = data.draw(st.integers(0, len(observations)))
+        spec = WindowSpec(size=200, policy=WindowPolicy.SLIDING, horizon=400)
+        config = StreamConfig(
+            window=spec, shards=2, algorithm="column", representation="columnar"
+        )
+
+        straight = StreamEngine(config)
+        for observation in observations:
+            straight.ingest(observation)
+
+        engine = StreamEngine(config)
+        for observation in observations[:cut]:
+            engine.ingest(observation)
+        state = pickle.loads(pickle.dumps(engine.state_dict()))
+        resumed = StreamEngine(config)
+        resumed.load_state_dict(state)
+        for observation in observations[cut:]:
+            resumed.ingest(observation)
+        resumed_outcome = _engine_outcome(resumed)
+        straight_outcome = _engine_outcome(straight)
+        # Snapshot *history* is in-memory only (not checkpointed), so the
+        # resumed engine holds a suffix of the uninterrupted run's snapshots.
+        assert resumed_outcome[:2] == straight_outcome[:2]
+        resumed_snapshots, straight_snapshots = resumed_outcome[2], straight_outcome[2]
+        if resumed_snapshots:
+            assert straight_snapshots[-len(resumed_snapshots):] == resumed_snapshots
+        assert resumed_outcome[3] == straight_outcome[3]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 15),
+            st.tuples(*(st.integers(0, 1000) for _ in range(4))).map(list),
+            max_size=16,
+        ),
+        st.lists(st.floats(0.05, 0.95), max_size=4),
+    )
+    def test_packed_decay_matches_object_decay(self, deltas, factors):
+        as_values = tuple(range(100, 116))
+        packed = PackedCounterStore(slots=len(as_values))
+        store = CounterStore()
+        packed.apply_delta(deltas)
+        store.apply_delta({as_values[idx]: delta for idx, delta in deltas.items()})
+        for factor in factors:
+            packed.decay(factor)
+            store.decay(factor)
+            assert packed.state_dict(as_values) == store.state_dict()
+
+
+class TestDecoderZeroCopyProperties:
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    @given(as_paths, community_sets, st.lists(ipv4_prefixes, min_size=1, max_size=3, unique=True))
+    def test_zero_copy_decode_matches_copying_decode(self, path, communities_set, prefixes):
+        update = BGPUpdate(
+            peer_asn=path.peer,
+            timestamp=1621382400,
+            announced=tuple(prefixes),
+            attributes=PathAttributes(as_path=path, communities=communities_set),
+        )
+        blob = encode_records([path.peer], updates=[update])
+        assert decode_records(blob, zero_copy=True) == decode_records(blob, zero_copy=False)

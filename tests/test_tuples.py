@@ -1,0 +1,336 @@
+"""The interned tuple store and the packed counting hot path.
+
+The columnar representation is only allowed to exist because it is
+*byte-identical* to the object path; these tests pin down the interning
+invariants, the packed counter store's parity with :class:`CounterStore`,
+and full-inference conformance on the shared scenario fixtures.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.bgp.announcement import PathCommTuple
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.path import ASPath
+from repro.core import matrix
+from repro.core.column import (
+    ColumnInference,
+    count_forwarding_phase_packed,
+    count_tagging_phase_packed,
+)
+from repro.core.counters import CounterStore, PackedCounterStore
+from repro.core.matrix import GroupList, GroupMatrix
+from repro.core.pipeline import InferencePipeline
+from repro.core.row import RowInference, count_row_phase_packed
+from repro.core.thresholds import Thresholds
+from repro.core.tuples import (
+    ColumnarBatch,
+    TupleTable,
+    materialize_groups,
+    merge_group_counts,
+)
+from repro.parallel.inference import ParallelColumnInference, ParallelRowInference
+
+
+def _random_tuples(rng: random.Random, count: int) -> list:
+    tuples = []
+    for _ in range(count):
+        asns = tuple(rng.randint(100, 140) for _ in range(rng.randint(1, 7)))
+        comms = [
+            Community(rng.choice(list(asns) + [999, 888]), rng.randint(0, 40))
+            for _ in range(rng.randint(0, 4))
+        ]
+        tuples.append(PathCommTuple(ASPath(asns), CommunitySet(comms)))
+    return tuples
+
+
+class TestTupleTable:
+    def test_interning_is_idempotent(self):
+        table = TupleTable()
+        item = PathCommTuple(ASPath((10, 20, 30)), CommunitySet([Community(20, 1)]))
+        ref1 = table.intern_tuple(item)
+        ref2 = table.intern(item.path, item.communities)
+        assert ref1 == ref2
+        assert len(table) == 1
+        assert table.path_count == 1 and table.comm_count == 1
+
+    def test_ids_are_dense_in_first_intern_order(self):
+        table = TupleTable()
+        a = PathCommTuple(ASPath((1, 2)), CommunitySet())
+        b = PathCommTuple(ASPath((3, 4)), CommunitySet([Community(3, 0)]))
+        ref_a = table.intern_tuple(a)
+        ref_b = table.intern_tuple(b)
+        assert ref_a[0] == 0 and ref_b[0] == 1
+        assert ref_a[1] == 0 and ref_b[1] == 1
+
+    def test_tuple_of_round_trips(self):
+        table = TupleTable()
+        rng = random.Random(1)
+        items = _random_tuples(rng, 50)
+        refs = [table.intern_tuple(item) for item in items]
+        for item, ref in zip(items, refs):
+            back = table.tuple_of(ref)
+            assert back.path == item.path
+            assert back.communities == item.communities
+
+    def test_hits_bitmask_matches_membership(self):
+        table = TupleTable()
+        rng = random.Random(2)
+        for item in _random_tuples(rng, 200):
+            path_id, comm_id = table.intern_tuple(item)
+            hits = table.hits_of(path_id, comm_id)
+            uppers = item.communities.upper_fields()
+            for position, asn in enumerate(item.path.asns):
+                assert bool((hits >> position) & 1) == (asn in uppers)
+
+    def test_state_round_trip_assigns_identical_ids(self):
+        rng = random.Random(3)
+        items = _random_tuples(rng, 80)
+        table = TupleTable()
+        refs = [table.intern_tuple(item) for item in items]
+
+        restored = TupleTable.from_state(table.state_dict())
+        assert restored.as_values() == table.as_values()
+        assert restored.path_count == table.path_count
+        assert restored.comm_count == table.comm_count
+        # Re-interning the same tuples yields the same ids — the property
+        # checkpoint restore relies on.
+        for item, ref in zip(items, refs):
+            assert restored.intern_tuple(item) == ref
+
+    def test_load_state_mutates_in_place(self):
+        table = TupleTable()
+        holder = table  # simulates a worker holding the shared table
+        table.intern_tuple(PathCommTuple(ASPath((1, 2)), CommunitySet()))
+        snapshot = table.state_dict()
+        table.intern_tuple(PathCommTuple(ASPath((9, 8)), CommunitySet()))
+        table.load_state(snapshot)
+        assert holder.path_count == 1  # the alias sees the restored content
+
+
+class TestColumnarBatch:
+    def test_group_counts_multiplicity(self):
+        table = TupleTable()
+        batch = ColumnarBatch(table)
+        item = PathCommTuple(ASPath((5, 6)), CommunitySet([Community(6, 1)]))
+        other = PathCommTuple(ASPath((5, 6)), CommunitySet())
+        ref = batch.add_tuple(item)
+        batch.append(ref)
+        batch.add_tuple(other)
+        groups = batch.counting_groups()
+        assert sorted(count for _, _, count in groups) == [1, 2]
+        merged = {}
+        merge_group_counts(merged, batch.group_counts())
+        assert sum(merged.values()) == 3
+        assert materialize_groups(table, merged)
+
+    def test_state_round_trip(self):
+        table = TupleTable()
+        batch = ColumnarBatch(table)
+        rng = random.Random(4)
+        for item in _random_tuples(rng, 40):
+            batch.add_tuple(item)
+        restored = ColumnarBatch.from_state(table, batch.state_dict())
+        assert list(restored.refs()) == list(batch.refs())
+        assert restored.group_counts() == batch.group_counts()
+        assert restored.observed_ases() == batch.observed_ases()
+
+
+class TestPackedCounterStore:
+    def test_parity_with_object_store(self):
+        rng = random.Random(5)
+        thresholds = Thresholds()
+        as_values = tuple(range(100, 130))
+        packed = PackedCounterStore(thresholds, slots=len(as_values))
+        store = CounterStore(thresholds)
+        for _ in range(200):
+            idx = rng.randrange(len(as_values))
+            delta = [rng.randint(0, 5) for _ in range(4)]
+            packed.apply_delta({idx: delta})
+            store.apply_delta({as_values[idx]: delta})
+        assert packed.state_dict(as_values) == store.state_dict()
+        assert packed.to_store(as_values).state_dict() == store.state_dict()
+        view = packed.decision_view(as_values)
+        assert view.tagger_ases == store.decision_view().tagger_ases
+        assert view.forward_ases == store.decision_view().forward_ases
+
+    def test_decay_parity(self):
+        rng = random.Random(6)
+        as_values = tuple(range(50, 70))
+        packed = PackedCounterStore(slots=len(as_values))
+        store = CounterStore()
+        for idx in range(len(as_values)):
+            delta = [rng.randint(0, 9) for _ in range(4)]
+            packed.apply_delta({idx: delta})
+            store.apply_delta({as_values[idx]: delta})
+        for factor in (0.5, 0.25, 0.1):
+            packed.decay(factor)
+            store.decay(factor)
+            assert packed.state_dict(as_values) == store.state_dict()
+
+    def test_zero_slots_read_as_absent(self):
+        packed = PackedCounterStore(slots=4)
+        packed.apply_delta({2: [1, 0, 0, 0]})
+        assert set(packed.state_dict((10, 11, 12, 13))) == {12}
+
+    def test_arrays_state_round_trip(self):
+        packed = PackedCounterStore(slots=3)
+        packed.apply_delta({0: [1, 2, 3, 4], 2: [5, 6, 7, 8]})
+        restored = PackedCounterStore.from_arrays_state(packed.arrays_state())
+        assert restored.state_dict((1, 2, 3)) == packed.state_dict((1, 2, 3))
+
+
+class TestBatchConformance:
+    """Columnar and object inference agree tuple-for-tuple."""
+
+    @pytest.mark.parametrize("algorithm", ["column", "row"])
+    def test_fixture_conformance(self, random_dataset, algorithm):
+        tuples = random_dataset.tuples
+        cls = ColumnInference if algorithm == "column" else RowInference
+        obj = cls()
+        col = cls(representation="columnar")
+        obj_result = obj.run(tuples)
+        col_result = col.run(tuples)
+        assert col_result.store.state_dict() == obj_result.store.state_dict()
+        assert col_result.observed_ases == obj_result.observed_ases
+        assert col_result.as_code_map() == obj_result.as_code_map()
+        if algorithm == "column":
+            assert col.report.tagging_counts_per_column == obj.report.tagging_counts_per_column
+            assert (
+                col.report.forwarding_counts_per_column
+                == obj.report.forwarding_counts_per_column
+            )
+
+    def test_random_conformance(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            tuples = _random_tuples(rng, rng.randint(0, 60))
+            for cls in (ColumnInference, RowInference):
+                obj = cls().run(tuples)
+                col = cls(representation="columnar").run(tuples)
+                assert col.store.state_dict() == obj.store.state_dict()
+                assert col.observed_ases == obj.observed_ases
+
+    def test_pipeline_representation(self, random_dataset):
+        tuples = random_dataset.tuples[:200]
+        obj = InferencePipeline(representation="object").run_from_tuples(tuples)
+        col = InferencePipeline(representation="columnar").run_from_tuples(tuples)
+        assert col.result.store.state_dict() == obj.result.store.state_dict()
+
+    def test_pipeline_rejects_unknown_representation(self):
+        with pytest.raises(ValueError):
+            InferencePipeline(representation="sparse")
+
+
+class TestParallelConformance:
+    def test_parallel_columnar_matches_serial_object(self, random_dataset):
+        tuples = random_dataset.tuples[:600]
+        serial = ColumnInference()
+        serial_result = serial.run(tuples)
+        parallel = ParallelColumnInference(workers=2, representation="columnar")
+        parallel_result = parallel.run(tuples)
+        assert parallel_result.store.state_dict() == serial_result.store.state_dict()
+        assert parallel_result.observed_ases == serial_result.observed_ases
+        assert (
+            parallel.report.tagging_counts_per_column
+            == serial.report.tagging_counts_per_column
+        )
+
+    def test_parallel_row_columnar_matches_serial_object(self, random_dataset):
+        tuples = random_dataset.tuples[:600]
+        serial = RowInference().run(tuples)
+        parallel = ParallelRowInference(workers=2, representation="columnar").run(tuples)
+        assert parallel.store.state_dict() == serial.store.state_dict()
+
+
+class TestMatrixKernels:
+    """The numpy bucket kernels must match the scalar packed kernels."""
+
+    @staticmethod
+    def _random_groups(rng: random.Random, count: int, *, max_length: int = 8) -> GroupList:
+        groups = GroupList()
+        for _ in range(count):
+            length = rng.randint(1, max_length)
+            row = tuple(rng.randrange(40) for _ in range(length))
+            hits = rng.getrandbits(length)
+            groups.append((row, hits, rng.randint(1, 5)))
+        return groups
+
+    @staticmethod
+    def _random_flags(rng: random.Random, slots: int = 40):
+        tagger = bytearray(rng.randint(0, 1) for _ in range(slots))
+        forward = bytearray(
+            max(t, rng.randint(0, 1)) for t in tagger
+        )  # taggers forward, like converged decisions
+        return tagger, forward
+
+    def _dispatch_both(self, monkeypatch, kernel, *args):
+        monkeypatch.setattr(matrix, "MIN_MATRIX_GROUPS", 10**9)
+        scalar = kernel(*args)
+        monkeypatch.setattr(matrix, "MIN_MATRIX_GROUPS", 1)
+        vectorised = kernel(*args)
+        return scalar, vectorised
+
+    @pytest.mark.skipif(not matrix.HAVE_NUMPY, reason="numpy unavailable")
+    @pytest.mark.parametrize("column", [1, 2, 3, 9])
+    def test_column_kernels_match_scalar(self, monkeypatch, column):
+        rng = random.Random(7)
+        groups = self._random_groups(rng, 400)
+        tagger, forward = self._random_flags(rng)
+        for kernel in (count_tagging_phase_packed, count_forwarding_phase_packed):
+            scalar, vectorised = self._dispatch_both(
+                monkeypatch, kernel, groups, column, tagger, forward
+            )
+            assert vectorised == scalar
+
+    @pytest.mark.skipif(not matrix.HAVE_NUMPY, reason="numpy unavailable")
+    def test_row_kernel_matches_scalar(self, monkeypatch):
+        groups = self._random_groups(random.Random(11), 400)
+        scalar, vectorised = self._dispatch_both(
+            monkeypatch, count_row_phase_packed, groups
+        )
+        assert vectorised == scalar
+
+    @pytest.mark.skipif(not matrix.HAVE_NUMPY, reason="numpy unavailable")
+    def test_overflow_groups_take_the_scalar_path(self, monkeypatch):
+        rng = random.Random(13)
+        groups = self._random_groups(rng, 64)
+        long_row = tuple(rng.randrange(40) for _ in range(matrix.MAX_MATRIX_LENGTH + 8))
+        groups.append((long_row, (1 << len(long_row)) - 1, 2))
+        assert len(GroupMatrix(groups).overflow) == 1
+        tagger, forward = self._random_flags(rng)
+        for column in (1, matrix.MAX_MATRIX_LENGTH + 4):
+            scalar, vectorised = self._dispatch_both(
+                monkeypatch,
+                count_forwarding_phase_packed,
+                groups,
+                column,
+                tagger,
+                forward,
+            )
+            assert vectorised == scalar
+        scalar, vectorised = self._dispatch_both(
+            monkeypatch, count_row_phase_packed, groups
+        )
+        assert vectorised == scalar
+
+    @pytest.mark.skipif(not matrix.HAVE_NUMPY, reason="numpy unavailable")
+    def test_column_beyond_every_length_is_empty(self, monkeypatch):
+        monkeypatch.setattr(matrix, "MIN_MATRIX_GROUPS", 1)
+        groups = self._random_groups(random.Random(17), 32, max_length=4)
+        tagger, forward = self._random_flags(random.Random(17))
+        assert count_tagging_phase_packed(groups, 5, tagger, forward) == ({}, 0)
+        assert count_forwarding_phase_packed(groups, 4, tagger, forward) == ({}, 0)
+
+    def test_grouplist_pickle_drops_matrix_cache(self):
+        groups = self._random_groups(random.Random(19), 8)
+        if matrix.HAVE_NUMPY:
+            assert groups.matrix() is not None
+        clone = pickle.loads(pickle.dumps(groups))
+        assert type(clone) is GroupList
+        assert list(clone) == list(groups)
+        assert getattr(clone, "_matrix", None) is None
