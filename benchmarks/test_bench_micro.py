@@ -27,6 +27,7 @@ from repro.mrt.decoder import decode_records
 from repro.mrt.encoder import MRTEncoder
 from repro.bgp.messages import PathAttributes
 from repro.sanitize.filters import Sanitizer
+from repro.stream import MemorySource, ScenarioSource, StreamConfig, StreamEngine, WindowSpec
 from repro.topology.cone import CustomerCones
 from repro.topology.routing import RoutingEngine
 
@@ -107,6 +108,50 @@ def test_bench_column_inference_aggregate(benchmark, run_once, context):
     tuples = context.aggregate_tuples
     result = run_once(benchmark, ColumnInference().run, tuples)
     assert result.summary()["tagger"] > 0
+
+
+@pytest.mark.benchmark(group="micro")
+@pytest.mark.parametrize("block_size", [1, 64, 4096])
+def test_bench_ingest_block_size_sweep(benchmark, context, block_size):
+    """How ingest throughput scales with block size on the columnar path.
+
+    Block size 1 is the per-event baseline (every event pays full dispatch
+    cost); 64 and 4096 show how sanitation, interning, and shard-partition
+    costs amortize.  The sweep records events/sec per size in extra_info so
+    the trajectory JSON exposes the amortization curve; it asserts only
+    conformance (identical classification at every size), never a ratio —
+    relative timings on shared runners are too noisy to gate.
+    """
+    tuples = context.aggregate_tuples
+    events = list(ScenarioSource(tuples, duration=86400, repeat=2))
+
+    def config():
+        return StreamConfig(
+            window=WindowSpec(size=3600),
+            shards=4,
+            representation="columnar",
+            ingest_block_size=block_size,
+        )
+
+    def drain():
+        engine = StreamEngine(config())
+        engine.run(MemorySource(events))
+        return engine
+
+    engine = benchmark.pedantic(drain, rounds=3, iterations=1, warmup_rounds=1)
+    assert engine.stats.events_in == len(events)
+    assert engine.stats.blocks_in == -(-len(events) // block_size)
+
+    baseline = StreamEngine(config())
+    for event in events:
+        baseline.ingest(event)
+    assert engine.result().as_code_map() == baseline.finish().as_code_map()
+
+    benchmark.extra_info["block_size"] = block_size
+    benchmark.extra_info["events"] = len(events)
+    benchmark.extra_info["events_per_sec"] = round(
+        len(events) / benchmark.stats.stats.min
+    )
 
 
 #: Acceptance floor for the columnar-over-object counting speedup (0 disables).

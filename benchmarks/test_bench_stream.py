@@ -4,9 +4,12 @@ Measures what a live deployment cares about:
 
 * sustained ingest throughput (events/sec) over a steady-state synthetic
   feed, measured for both tuple representations — the acceptance floor is
-  75k events/sec (raised from 50k when the columnar hot path landed),
-  overridable via the ``REPRO_BENCH_MIN_STREAM_EPS`` environment variable
-  (0 disables);
+  150k events/sec (raised from 75k when block ingest landed), overridable
+  via the ``REPRO_BENCH_MIN_STREAM_EPS`` environment variable (0 disables).
+  The floor gates the columnar deployment hot path; the object
+  representation is the deliberately simple pure-Python conformance oracle
+  whose recount kernels are its algorithmic cost, so it gates at
+  :data:`OBJECT_ORACLE_FRACTION` of the floor;
 * steady-state memory: once the unique-tuple set is warm, re-announcements
   must not grow engine state;
 * the cost of a window flush on a warm engine (the incremental delta path)
@@ -23,8 +26,14 @@ import pytest
 from repro.core.column import ColumnInference
 from repro.stream import MemorySource, ScenarioSource, StreamConfig, StreamEngine, WindowSpec
 
-#: Acceptance floor for sustained ingest throughput (both representations).
-MIN_EVENTS_PER_SEC = float(os.environ.get("REPRO_BENCH_MIN_STREAM_EPS", "75000"))
+#: Acceptance floor for sustained ingest throughput on the columnar hot path.
+MIN_EVENTS_PER_SEC = float(os.environ.get("REPRO_BENCH_MIN_STREAM_EPS", "150000"))
+
+#: The object representation is the pure-Python reference oracle; its window
+#: recount kernels are an intentional algorithmic cost that block ingest does
+#: not (and should not) vectorise away, so it gates at this fraction of the
+#: hot-path floor.
+OBJECT_ORACLE_FRACTION = 0.6
 
 
 @pytest.fixture(scope="module")
@@ -46,19 +55,29 @@ def test_bench_stream_ingest_throughput(benchmark, stream_events, representation
         engine.run(MemorySource(stream_events))
         return engine
 
-    engine = benchmark.pedantic(drain, rounds=3, iterations=1)
+    engine = benchmark.pedantic(drain, rounds=5, iterations=1, warmup_rounds=1)
     assert engine.stats.events_in == len(stream_events)
     assert engine.stats.windows_closed > 0
+    assert engine.stats.blocks_in > 0
 
-    events_per_sec = len(stream_events) / benchmark.stats.stats.mean
+    # Gate on the fastest round: shared runners suffer multi-tens-of-percent
+    # scheduling noise, and the minimum is the standard robust estimator of
+    # the code's true cost.  The mean stays in extra_info for trend tracking.
+    events_per_sec = len(stream_events) / benchmark.stats.stats.min
     benchmark.extra_info["events_per_sec"] = round(events_per_sec)
+    benchmark.extra_info["events_per_sec_mean"] = round(
+        len(stream_events) / benchmark.stats.stats.mean
+    )
     benchmark.extra_info["events"] = len(stream_events)
     benchmark.extra_info["unique_tuples"] = engine.unique_tuples
     benchmark.extra_info["representation"] = representation
-    if MIN_EVENTS_PER_SEC:
-        assert events_per_sec >= MIN_EVENTS_PER_SEC, (
+    floor = MIN_EVENTS_PER_SEC * (
+        OBJECT_ORACLE_FRACTION if representation == "object" else 1.0
+    )
+    if floor:
+        assert events_per_sec >= floor, (
             f"sustained {representation} throughput {events_per_sec:,.0f} events/sec "
-            f"is below the {MIN_EVENTS_PER_SEC:,.0f} floor "
+            f"is below the {floor:,.0f} floor "
             f"(override via REPRO_BENCH_MIN_STREAM_EPS)"
         )
 

@@ -160,7 +160,7 @@ class CommunitySet:
     field is present (``A_x:* in output(A_1)``).
     """
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_hash", "_uppers")
 
     def __init__(self, items: Iterable[AnyCommunity] = ()) -> None:
         self._items: FrozenSet[AnyCommunity] = frozenset(items)
@@ -240,9 +240,19 @@ class CommunitySet:
         return CommunitySet(self._items - other_items)
 
     # -- queries used by the inference algorithm ---------------------------
-    def upper_fields(self) -> Set[int]:
-        """The set of distinct upper fields present in this community set."""
-        return {c.upper for c in self._items}
+    def upper_fields(self) -> FrozenSet[int]:
+        """The set of distinct upper fields present in this community set.
+
+        Cached: tuple preparation asks for this once per unique tuple, and
+        community sets are shared across many tuples.  The guard keeps
+        instances from pickles predating the slot working.
+        """
+        try:
+            return self._uppers
+        except AttributeError:
+            value = frozenset(c.upper for c in self._items)
+            self._uppers = value
+            return value
 
     def has_upper(self, asn: ASN) -> bool:
         """``True`` if any community has *asn* in its upper field.

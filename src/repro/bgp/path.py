@@ -180,6 +180,10 @@ class ASPath:
     def has_prepending(self) -> bool:
         """``True`` if the same ASN appears in immediate succession."""
         asns = self._asns
+        # All-distinct paths (the common case) are settled by one C-level
+        # set build instead of a Python walk over the elements.
+        if len(set(asns)) == len(asns):
+            return False
         for i in range(1, len(asns)):
             if asns[i] == asns[i - 1]:
                 return True
@@ -188,9 +192,12 @@ class ASPath:
     @property
     def has_loop(self) -> bool:
         """``True`` if an ASN re-appears non-consecutively (a path loop)."""
+        asns = self._asns
+        if len(set(asns)) == len(asns):
+            return False
         seen: Set[ASN] = set()
         previous: Optional[ASN] = None
-        for asn in self._asns:
+        for asn in asns:
             if asn == previous:
                 previous = asn
                 continue

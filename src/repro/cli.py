@@ -79,6 +79,7 @@ def cmd_classify(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         workers=args.workers,
         representation=args.representation,
+        ingest_block_size=args.ingest_block_size,
     )
     outcome = pipeline.run_from_mrt(blobs)
     database = ClassificationDatabase.from_result(outcome.result)
@@ -105,6 +106,12 @@ def cmd_stream(args: argparse.Namespace) -> int:
         WindowSpec,
     )
 
+    if args.ingest_block_size < 1:
+        print(
+            f"error: --ingest-block-size must be >= 1, got {args.ingest_block_size}",
+            file=sys.stderr,
+        )
+        return 2
     source = MRTReplaySource.from_files(args.inputs, order=args.order)
     manager = CheckpointManager(args.checkpoint_dir) if args.checkpoint_dir else None
     workers = args.workers
@@ -144,6 +151,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
         resumed = args.resume and manager is not None and manager.latest() is not None
         if resumed:
             engine = engine_cls.restore(manager, on_window=report)
+            # Block size is a runtime throughput knob, not checkpointed
+            # state: a resumed engine honours the flag of *this* invocation.
+            engine.config.ingest_block_size = args.ingest_block_size
             if workers > 1:
                 engine.workers = workers
                 if engine.config.shards < workers:
@@ -168,6 +178,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 thresholds=Thresholds.uniform(args.threshold),
                 checkpoint_every=args.checkpoint_every,
                 representation=args.representation,
+                ingest_block_size=args.ingest_block_size,
             )
             if workers > 1:
                 engine = engine_cls(
@@ -663,6 +674,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also materialize the result into this snapshot store "
         "(path, sqlite:path, or memory:)",
     )
+    classify.add_argument(
+        "--ingest-block-size",
+        type=int,
+        default=4096,
+        help="observations sanitized per block (>= 1); a pure throughput "
+        "knob that never changes the classification",
+    )
     classify.set_defaults(handler=cmd_classify)
 
     stream = subparsers.add_parser(
@@ -729,6 +747,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --store-retention: archive pruned snapshots into segment "
         "files under this directory instead of deleting them",
+    )
+    stream.add_argument(
+        "--ingest-block-size",
+        type=int,
+        default=4096,
+        help="events ingested per block (>= 1); blocks are split at window "
+        "cuts so snapshots are identical at any size — this only trades "
+        "per-event dispatch overhead against ingest latency",
     )
     stream.set_defaults(handler=cmd_stream)
 

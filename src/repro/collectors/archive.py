@@ -267,6 +267,31 @@ def iter_observations_from_mrt(blob: bytes, collector: str) -> Iterator[RouteObs
                 )
 
 
+def iter_observation_blocks_from_mrt(
+    blob: bytes, collector: str, size: int
+) -> Iterator[List[RouteObservation]]:
+    """Lazily decode one collector's MRT blob into observation blocks.
+
+    Yields the observations of :func:`iter_observations_from_mrt` in the same
+    order, grouped into blocks of up to *size* (the final block may be
+    short).  Like the event iterator, only one block is materialised at a
+    time, so arbitrarily large archives stream through in bounded memory
+    while block consumers amortize their per-event dispatch.
+    """
+    if size < 1:
+        raise ValueError(f"block size must be >= 1, got {size}")
+    block: List[RouteObservation] = []
+    append = block.append
+    for observation in iter_observations_from_mrt(blob, collector):
+        append(observation)
+        if len(block) >= size:
+            yield block
+            block = []
+            append = block.append
+    if block:
+        yield block
+
+
 def observations_from_mrt(blob: bytes, collector: str) -> List[RouteObservation]:
     """Decode one collector's MRT blob back into route observations."""
     return list(iter_observations_from_mrt(blob, collector))

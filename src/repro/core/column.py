@@ -47,7 +47,7 @@ PhaseDelta = Dict[ASN, List[int]]
 
 def prepare_tuple(item: PathCommTuple) -> PreparedTuple:
     """Pre-compute the membership-test form of one ``(path, comm)`` tuple."""
-    return (item.path.asns, frozenset(item.communities.upper_fields()))
+    return (item.path.asns, item.communities.upper_fields())
 
 
 def prepare_tuples(tuples: Iterable[PathCommTuple]) -> List[PreparedTuple]:
@@ -91,6 +91,7 @@ def count_tagging_phase(
     ``[dt, ds]`` deltas and the number of increments (the stall signal).
     """
     delta: PhaseDelta = {}
+    delta_get = delta.get
     increments = 0
     forward_ases = decisions.forward_ases
     check_cond1 = column > 1
@@ -107,7 +108,7 @@ def count_tagging_phase(
             if not qualified:
                 continue
         asn = asns[column - 1]
-        entry = delta.get(asn)
+        entry = delta_get(asn)
         if entry is None:
             entry = delta[asn] = [0, 0]
         if asn in uppers:
@@ -129,6 +130,7 @@ def count_forwarding_phase(
     ``[df, dc]`` deltas and the number of increments (the stall signal).
     """
     delta: PhaseDelta = {}
+    delta_get = delta.get
     increments = 0
     tagger_ases = decisions.tagger_ases
     forward_ases = decisions.forward_ases
@@ -156,7 +158,7 @@ def count_forwarding_phase(
         if tagger_asn is None:
             continue
         asn = asns[column - 1]
-        entry = delta.get(asn)
+        entry = delta_get(asn)
         if entry is None:
             entry = delta[asn] = [0, 0]
         if tagger_asn in uppers:
@@ -215,6 +217,7 @@ def _count_tagging_groups(
     """Scalar tagging kernel (also the conformance oracle for the matrix)."""
     del tagger_flags  # same signature as the forwarding kernel
     delta: Dict[int, List[int]] = {}
+    delta_get = delta.get
     increments = 0
     check_cond1 = column > 1
     position = column - 1
@@ -231,7 +234,7 @@ def _count_tagging_groups(
             if not qualified:
                 continue
         index = row[position]
-        entry = delta.get(index)
+        entry = delta_get(index)
         if entry is None:
             entry = delta[index] = [0, 0]
         if hits & bit:
@@ -281,6 +284,7 @@ def _count_forwarding_groups(
 ) -> Tuple[Dict[int, List[int]], int]:
     """Scalar forwarding kernel (also the matrix kernel's overflow path)."""
     delta: Dict[int, List[int]] = {}
+    delta_get = delta.get
     increments = 0
     check_cond1 = column > 1
     position = column - 1
@@ -306,7 +310,7 @@ def _count_forwarding_groups(
         if tagger_position < 0:
             continue
         index = row[position]
-        entry = delta.get(index)
+        entry = delta_get(index)
         if entry is None:
             entry = delta[index] = [0, 0]
         if (hits >> tagger_position) & 1:
@@ -372,7 +376,7 @@ class ColumnInference:
         for item in tuples:
             asns = item.path.asns
             observed.update(asns)
-            prepared.append((asns, frozenset(item.communities.upper_fields())))
+            prepared.append((asns, item.communities.upper_fields()))
             if len(asns) > max_length:
                 max_length = len(asns)
 

@@ -57,6 +57,22 @@ class GroupList(list):
             matrix = self._matrix = GroupMatrix(self)
         return matrix
 
+    def extend_merged(self, other: "GroupList") -> None:
+        """Append *other*'s groups, folding its matrix into the cached one.
+
+        The appended rows may duplicate ``(row, hits)`` keys already present;
+        kernels sum group contributions commutatively and emit deltas in
+        ascending AS-index order, so duplicated rows are indistinguishable
+        from merged multiplicities.  Keeping the matrix incrementally beats
+        rebuilding it from Python tuples on every streaming update.
+        """
+        matrix = getattr(self, "_matrix", None)
+        self.extend(other)
+        if matrix is not None:
+            extra = other.matrix()
+            if extra is not None:
+                matrix.extend(extra)
+
     def __reduce__(self):
         return (GroupList, (list(self),))
 
@@ -88,6 +104,25 @@ class GroupMatrix:
                 _np.array([g[1] for g in bucket], dtype=_np.int64),
                 _np.array([g[2] for g in bucket], dtype=_np.int64),
             )
+
+    def extend(self, other: "GroupMatrix") -> None:
+        """Concatenate *other*'s buckets onto this matrix in place.
+
+        Sound because every kernel reduces buckets with commutative sums;
+        row order within a bucket never reaches the output.
+        """
+        buckets = self.buckets
+        for length, (rows, hits, counts) in other.buckets.items():
+            mine = buckets.get(length)
+            if mine is None:
+                buckets[length] = (rows, hits, counts)
+            else:
+                buckets[length] = (
+                    _np.concatenate((mine[0], rows)),
+                    _np.concatenate((mine[1], hits)),
+                    _np.concatenate((mine[2], counts)),
+                )
+        self.overflow.extend(other.overflow)
 
 
 def _flags_array(flags) -> "_np.ndarray":

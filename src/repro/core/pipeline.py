@@ -77,6 +77,7 @@ class InferencePipeline:
         algorithm: str = "column",
         workers: int = 1,
         representation: str = "object",
+        ingest_block_size: int = 4096,
     ) -> None:
         if algorithm not in ("column", "row"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -84,6 +85,8 @@ class InferencePipeline:
             raise ValueError(f"need at least one worker, got {workers}")
         if representation not in REPRESENTATIONS:
             raise ValueError(f"unknown representation {representation!r}")
+        if ingest_block_size < 1:
+            raise ValueError(f"ingest_block_size must be >= 1, got {ingest_block_size}")
         self.thresholds = thresholds or Thresholds()
         self.asn_registry = asn_registry
         self.prefix_allocation = prefix_allocation
@@ -91,6 +94,10 @@ class InferencePipeline:
         self.algorithm = algorithm
         self.workers = workers
         self.representation = representation
+        #: Observations sanitized per block on the single-process path
+        #: (mirrors :attr:`repro.stream.engine.StreamConfig.ingest_block_size`;
+        #: purely a throughput knob, never changes the output).
+        self.ingest_block_size = ingest_block_size
 
     # -- stage helpers --------------------------------------------------------------------
     def _make_sanitizer(self) -> Sanitizer:
@@ -120,10 +127,11 @@ class InferencePipeline:
         """Sanitize, deduplicate, and classify observations.
 
         *observations* may be any iterable, including a lazy generator: the
-        input is streamed through the sanitizer one observation at a time, so
-        only the deduplicated unique tuples are ever held in memory.  With
-        ``workers > 1`` the stream is partitioned by collector-peer AS
-        across worker processes; the output is identical.
+        input is streamed through the sanitizer in blocks of
+        :attr:`ingest_block_size`, so only one block plus the deduplicated
+        unique tuples are ever held in memory.  With ``workers > 1`` the
+        stream is partitioned by collector-peer AS across worker processes;
+        the output is identical either way.
         """
         if self.workers > 1:
             from repro.parallel.batch import parallel_unique_tuples
@@ -137,7 +145,11 @@ class InferencePipeline:
             )
         else:
             sanitizer = self._make_sanitizer()
-            tuples = sanitizer.to_unique_tuples(observations)
+            tuples = list(
+                sanitizer.iter_unique_tuples_blocked(
+                    observations, self.ingest_block_size
+                )
+            )
             stats = sanitizer.stats
         inference = self._make_inference()
         result = inference.run(tuples)

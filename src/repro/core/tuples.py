@@ -166,7 +166,7 @@ class TupleTable:
         if comm_id is None:
             comm_id = self._comm_ids[communities] = len(self._comm_sets)
             self._comm_sets.append(communities)
-            self._comm_uppers.append(frozenset(communities.upper_fields()))
+            self._comm_uppers.append(communities.upper_fields())
         return comm_id
 
     def intern(self, path: ASPath, communities: CommunitySet) -> TupleRef:
@@ -259,7 +259,7 @@ class TupleTable:
         for comm_id, communities in enumerate(comm_sets):  # type: ignore[arg-type]
             self._comm_ids[communities] = comm_id
             self._comm_sets.append(communities)
-            self._comm_uppers.append(frozenset(communities.upper_fields()))
+            self._comm_uppers.append(communities.upper_fields())
         # Hits bitmasks are derived data; recomputed lazily on demand.
         self.max_path_length = state["max_path_length"]  # type: ignore[assignment]
 

@@ -55,10 +55,23 @@ def _worker_loop(conn, shard_ids, asn_registry, prefix_allocation, sanitation) -
             message = conn.recv()
             command = message[0]
             if command == "process":
-                results: List[WorkResult] = [
-                    (seq, shard_id, workers[shard_id].process(observation))
-                    for seq, shard_id, observation in message[1]
-                ]
+                # One block pass per owned shard instead of one call per
+                # event: the shard workers' block path is where the memo and
+                # dedup dispatch is amortised.  Outcomes are identical to
+                # per-event calls; the parent re-sorts by seq anyway.
+                by_shard: Dict[int, Tuple[List[int], List[RouteObservation]]] = {}
+                for seq, shard_id, observation in message[1]:
+                    group = by_shard.get(shard_id)
+                    if group is None:
+                        group = by_shard[shard_id] = ([], [])
+                    group[0].append(seq)
+                    group[1].append(observation)
+                results: List[WorkResult] = []
+                for shard_id, (seqs, observations) in by_shard.items():
+                    results.extend(
+                        zip(seqs, [shard_id] * len(seqs),
+                            workers[shard_id].process_block(observations))
+                    )
                 gauges = {
                     shard_id: (worker.unique_tuples, worker.events_processed)
                     for shard_id, worker in workers.items()

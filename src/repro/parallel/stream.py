@@ -3,11 +3,13 @@
 :class:`ParallelStreamEngine` keeps the windowing, classification, and
 checkpoint logic of :class:`~repro.stream.engine.StreamEngine` in the main
 process and moves only the per-shard sanitation + dedup state into a
-:class:`~repro.parallel.pool.ShardProcessPool`.  Events are read in batches;
-when an event's timestamp crosses a window boundary the in-flight batch is
-drained (scatter/gather) *before* the window flushes, so every window
-snapshot — and the fully drained final classification — is identical to the
-synchronous engine's, event for event.
+:class:`~repro.parallel.pool.ShardProcessPool`.  Events are read in blocks
+(one scatter/gather round-trip per block, one block pass per shard inside
+each worker process); when an event's timestamp crosses a window boundary
+the block is split and everything before the crossing event is drained
+*before* the window flushes, so every window snapshot — and the fully
+drained final classification — is identical to the synchronous engine's,
+event for event.
 
 The one intentional divergence: ``checkpoint_every`` auto-checkpoints are
 deferred to the next batch boundary, where the pool state and the classifier
@@ -22,6 +24,7 @@ from repro.bgp.announcement import RouteObservation
 from repro.core.results import ClassificationResult
 from repro.sanitize.filters import SanitationStats
 from repro.stream.engine import StreamConfig, StreamEngine, TupleKey
+from repro.stream.sources import iter_event_blocks
 from repro.parallel.pool import ShardProcessPool
 
 #: Events shipped to the worker fleet per scatter/gather round-trip.
@@ -80,20 +83,22 @@ class ParallelStreamEngine(StreamEngine):
         try:
             # Hand any restored shard state to the processes.
             pool.load_state_dicts([worker.state_dict() for worker in self.router.workers])
-            batch: List[RouteObservation] = []
-            for observation in source:
-                closed = self.clock.advance(observation.timestamp)
-                if closed is not None:
-                    # The crossing event belongs to the *next* window: absorb
-                    # everything before it, flush, then start a new batch.
-                    self._drain(batch)
-                    batch = []
+            # One scatter/gather round-trip per event block.  The clock
+            # advances block-at-a-time exactly like the synchronous engine;
+            # a window cut splits the block so everything before the
+            # crossing event is drained (and flushed) first.
+            for block in iter_event_blocks(source, self.batch_size):
+                self._note_block(len(block))
+                closes = self.clock.advance_block(
+                    [event.timestamp for event in block]
+                )
+                start = 0
+                for position, closed in closes:
+                    if position > start:
+                        self._drain(block[start:position])
                     self._flush(closed)
-                batch.append(observation)
-                if len(batch) >= self.batch_size:
-                    self._drain(batch)
-                    batch = []
-            self._drain(batch)
+                    start = position
+                self._drain(block[start:] if start else block)
             self._sync_router_state()
             if finish:
                 return self.finish()

@@ -9,7 +9,7 @@ of Section 4.1 and recording statistics about what was dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.asn import ASN, ASNRegistry, is_public_asn
@@ -34,6 +34,18 @@ class SanitationConfig:
     prepend_peer_asn: bool = True
     collapse_prepending: bool = True
     max_path_length: Optional[int] = None
+
+
+#: Path-level counters replayed when a block memo hit skips :meth:`sanitize_path`.
+_PATH_STAT_FIELDS: Tuple[str, ...] = (
+    "dropped_as_set",
+    "dropped_empty_path",
+    "peer_prepended",
+    "prepending_collapsed",
+    "dropped_loop",
+    "dropped_unallocated_asn",
+    "dropped_too_long",
+)
 
 
 @dataclass
@@ -157,6 +169,113 @@ class Sanitizer:
             timestamp=observation.timestamp,
             from_rib=observation.from_rib,
         )
+
+    # -- block path -----------------------------------------------------------
+    def sanitize_block(
+        self, observations: Sequence[RouteObservation]
+    ) -> List[Optional[RouteObservation]]:
+        """Sanitize one decoded block; return a mask-aligned result list.
+
+        The returned list has one entry per input observation — the sanitized
+        observation, or ``None`` where a filter dropped it — so callers can
+        keep block positions (timestamps, shard assignments) aligned.  Within
+        the block, path sanitation is memoized per ``(path, peer_asn)`` with
+        the recorded stat increments replayed on each hit, so the counters
+        stay event-for-event identical to the per-observation path.  The memo
+        lives only for this call: registries and allocations cannot mutate
+        mid-call, so hits are always consistent, and nothing goes stale
+        across calls.
+        """
+        stats = self.stats
+        allocation = self.prefix_allocation
+        check_prefix = self.config.drop_unallocated_prefixes
+        fields = _PATH_STAT_FIELDS
+        memo: Dict[
+            Tuple[ASPath, Optional[ASN]], Tuple[Optional[ASPath], Tuple[int, ...]]
+        ] = {}
+        out: List[Optional[RouteObservation]] = []
+        append = out.append
+        for observation in observations:
+            stats.observations_in += 1
+            if (
+                check_prefix
+                and allocation is not None
+                and not allocation.is_allocated(observation.prefix)
+            ):
+                stats.dropped_unallocated_prefix += 1
+                append(None)
+                continue
+            key = (observation.path, observation.peer_asn)
+            hit = memo.get(key)
+            if hit is None:
+                before = [getattr(stats, name) for name in fields]
+                path = self.sanitize_path(observation.path, observation.peer_asn)
+                memo[key] = (
+                    path,
+                    tuple(
+                        getattr(stats, name) - prior
+                        for name, prior in zip(fields, before)
+                    ),
+                )
+            else:
+                path, deltas = hit
+                for name, delta in zip(fields, deltas):
+                    if delta:
+                        setattr(stats, name, getattr(stats, name) + delta)
+            if path is None:
+                append(None)
+                continue
+            stats.observations_out += 1
+            if path is observation.path:
+                append(observation)
+            else:
+                append(
+                    RouteObservation(
+                        collector=observation.collector,
+                        peer_asn=observation.peer_asn,
+                        prefix=observation.prefix,
+                        path=path,
+                        communities=observation.communities,
+                        timestamp=observation.timestamp,
+                        from_rib=observation.from_rib,
+                    )
+                )
+        return out
+
+    def iter_unique_tuples_blocked(
+        self,
+        observations: Iterable[RouteObservation],
+        block_size: int,
+        deduper: Optional["TupleDeduper"] = None,
+    ) -> Iterator[PathCommTuple]:
+        """Blocked variant of :meth:`iter_unique_tuples`.
+
+        Buffers *observations* into blocks of *block_size* and runs
+        :meth:`sanitize_block` over each, amortizing per-event dispatch while
+        yielding exactly the same unique tuples in the same order.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        deduper = deduper if deduper is not None else TupleDeduper()
+        block: List[RouteObservation] = []
+        append = block.append
+        for observation in observations:
+            append(observation)
+            if len(block) >= block_size:
+                yield from self._unique_from_block(block, deduper)
+                block = []
+                append = block.append
+        if block:
+            yield from self._unique_from_block(block, deduper)
+
+    def _unique_from_block(
+        self, block: Sequence[RouteObservation], deduper: "TupleDeduper"
+    ) -> Iterator[PathCommTuple]:
+        for sanitized in self.sanitize_block(block):
+            if sanitized is not None:
+                unique = deduper.add(sanitized)
+                if unique is not None:
+                    yield unique
 
     # -- bulk paths -----------------------------------------------------------
     def sanitize_observations(

@@ -666,3 +666,11 @@ class TieredBackend(SnapshotBackend):
             "hot": hot_stats,
             "archive": archive_stats,
         }
+
+    # -- ingest telemetry ---------------------------------------------------------------
+    def set_ingest_stats(self, stats: Dict[str, object]) -> None:
+        """Delegate to the hot tier (durable there when the hot tier is)."""
+        self.hot.set_ingest_stats(stats)
+
+    def ingest_stats(self) -> Optional[Dict[str, object]]:
+        return self.hot.ingest_stats()

@@ -410,6 +410,23 @@ class SnapshotBackend(ABC):
     def stats(self) -> Dict[str, object]:
         """Store-level statistics for ``/v1/stats`` and operations."""
 
+    # -- ingest telemetry ---------------------------------------------------------------
+    def set_ingest_stats(self, stats: Dict[str, object]) -> None:
+        """Record the producing engine's ingest-batching telemetry.
+
+        Deliberately non-abstract: telemetry is additive and backends that
+        predate it (or don't care, like read-only replicas) inherit this
+        in-memory default.  Durable backends may override to persist the
+        payload so a scrape after a server restart still sees the last
+        producer's counters.  The payload is the engine's
+        :meth:`~repro.stream.engine.StreamEngine.ingest_stats` dict.
+        """
+        self._ingest_stats = dict(stats)
+
+    def ingest_stats(self) -> Optional[Dict[str, object]]:
+        """The last recorded ingest telemetry, or ``None`` if never set."""
+        return getattr(self, "_ingest_stats", None)
+
 
 def records_of(snapshot: WindowSnapshot) -> List[Tuple[int, str, int, int, int, int]]:
     """Flatten a snapshot into the per-AS record rows every backend persists."""

@@ -837,6 +837,37 @@ class SnapshotStore(SnapshotBackend):
             "leader_epoch": self.leader_epoch(),
         }
 
+    # -- ingest telemetry ---------------------------------------------------------------
+    def set_ingest_stats(self, stats: Dict[str, object]) -> None:
+        """Persist the producer's ingest telemetry as JSON in the meta table.
+
+        A meta-only write like :meth:`set_applied_generation`: the store
+        generation does not move, so server read caches stay valid across
+        telemetry refreshes.
+        """
+        payload = json.dumps(stats, sort_keys=True)
+        with self._write_lock:
+            connection = self._conn()
+            with connection:
+                connection.execute(
+                    "INSERT INTO meta (key, value) VALUES ('ingest_stats', ?)"
+                    " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                    (payload,),
+                )
+
+    def ingest_stats(self) -> Optional[Dict[str, object]]:
+        """The last persisted ingest telemetry, surviving server restarts."""
+        row = self._conn().execute(
+            "SELECT value FROM meta WHERE key = 'ingest_stats'"
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
 
 #: The SQLite backend under its interface-era name.
 SQLiteBackend = SnapshotStore

@@ -280,13 +280,17 @@ def render_metrics(
     churn_total: int,
     churn_top: Iterable[Tuple[int, int]],
     workers: Optional[int] = None,
+    ingest: Optional[Mapping[str, object]] = None,
 ) -> str:
     """Render one scrape of the whole service as Prometheus text.
 
     *endpoints* is the per-endpoint aggregate (local recorder or fleet
     board), *store_stats* the backend's :meth:`stats` dict, *followers* the
     merged lag tracker snapshot, and *churn* the per-AS classification
-    change counts derived from the persisted change maps.
+    change counts derived from the persisted change maps.  *ingest* is the
+    producing engine's ingest-batching telemetry
+    (:meth:`~repro.stream.engine.StreamEngine.ingest_stats`) as last
+    recorded in the store -- ``None`` when no producer ever published.
     """
     out = _Lines()
 
@@ -419,6 +423,68 @@ def render_metrics(
             {"follower": follower},
             float(followers[follower].get("lag", 0.0)),
         )
+
+    if ingest is not None:
+        out.declare(
+            "repro_ingest_blocks_total",
+            "counter",
+            "Event blocks the producing engine absorbed.",
+        )
+        out.sample(
+            "repro_ingest_blocks_total", None, float(ingest.get("blocks_total", 0))  # type: ignore[arg-type]
+        )
+        out.declare(
+            "repro_ingest_events_total",
+            "counter",
+            "Events the producing engine ingested.",
+        )
+        out.sample(
+            "repro_ingest_events_total", None, float(ingest.get("events_total", 0))  # type: ignore[arg-type]
+        )
+        bounds = ingest.get("events_per_block_bounds")
+        buckets = ingest.get("events_per_block_buckets")
+        if isinstance(bounds, list) and isinstance(buckets, list):
+            out.declare(
+                "repro_ingest_events_per_block",
+                "histogram",
+                "Events per absorbed ingest block.",
+            )
+            cumulative = 0
+            for bound, count in zip(bounds, buckets):
+                cumulative += int(count)
+                out.sample(
+                    "repro_ingest_events_per_block_bucket",
+                    {"le": str(bound)},
+                    float(cumulative),
+                )
+            if len(buckets) > len(bounds):
+                cumulative += int(buckets[len(bounds)])
+            out.sample(
+                "repro_ingest_events_per_block_bucket", {"le": "+Inf"}, float(cumulative)
+            )
+            # Every block observation's value is its event count, so the
+            # histogram sum is exactly the events-ingested counter.
+            out.sample(
+                "repro_ingest_events_per_block_sum",
+                None,
+                float(ingest.get("events_total", 0)),  # type: ignore[arg-type]
+            )
+            out.sample(
+                "repro_ingest_events_per_block_count", None, float(cumulative)
+            )
+        dropped = ingest.get("dropped")
+        if isinstance(dropped, Mapping):
+            out.declare(
+                "repro_ingest_sanitation_dropped_total",
+                "counter",
+                "Observations dropped by sanitation, by drop reason.",
+            )
+            for reason in sorted(dropped):
+                out.sample(
+                    "repro_ingest_sanitation_dropped_total",
+                    {"reason": str(reason)},
+                    float(dropped[reason]),  # type: ignore[arg-type]
+                )
 
     out.declare(
         "repro_classification_churn_total",

@@ -27,7 +27,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.bgp.asn import ASN
 from repro.core.results import ClassificationResult
-from repro.service.backends.base import SnapshotBackend
+from repro.service.backends.base import SnapshotBackend, StoreError
 from repro.stream.engine import StreamEngine, WindowSnapshot
 
 #: Signature of an ``on_window`` engine callback.
@@ -92,6 +92,11 @@ class SnapshotPublisher:
         #: Highest window_end this publisher has durably confirmed; engines
         #: record it in their checkpoints (see StreamEngine.state_dict).
         self.published_through: Optional[int] = None
+        #: Optional zero-argument callable returning the producer's ingest
+        #: telemetry dict; refreshed into the store after every publish so
+        #: ``/metrics`` scrapes see block/drop counters that are at most one
+        #: window stale.  Wired by :func:`attach_store`.
+        self.ingest_source: Optional[Callable[[], Dict[str, object]]] = None
         if resume:
             self.resume_window_end = store.latest_window_end(kind)
             self.published_through = self.resume_window_end
@@ -123,6 +128,12 @@ class SnapshotPublisher:
             self.published += 1
         if self.published_through is None or snapshot.window_end > self.published_through:
             self.published_through = snapshot.window_end
+        if self.ingest_source is not None:
+            try:
+                self.store.set_ingest_stats(self.ingest_source())
+            except StoreError:
+                # Telemetry must never fail the window publish it rides on.
+                pass
         if self.forward is not None:
             self.forward(snapshot)
 
@@ -146,6 +157,7 @@ def attach_store(
     what was skipped (``deduplicated``).
     """
     publisher = SnapshotPublisher(store, forward=engine.on_window, resume=resume)
+    publisher.ingest_source = engine.ingest_stats
     if resume:
         checkpointed = engine.restored_published_through
         if checkpointed is not None and (

@@ -470,6 +470,7 @@ class ClassificationService:
             churn_total=churn_total,
             churn_top=churn_top,
             workers=workers,
+            ingest=self.store.ingest_stats(),
         )
 
     def _latest_or_404(self) -> int:

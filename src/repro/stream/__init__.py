@@ -7,20 +7,34 @@ BGP update feeds.  See :mod:`repro.stream.engine` for the orchestration and
 """
 
 from repro.stream.checkpoint import CheckpointError, CheckpointManager
-from repro.stream.engine import StreamConfig, StreamEngine, StreamStats, WindowSnapshot
+from repro.stream.engine import (
+    DEFAULT_INGEST_BLOCK_SIZE,
+    StreamConfig,
+    StreamEngine,
+    StreamStats,
+    WindowSnapshot,
+)
 from repro.stream.incremental import (
     IncrementalColumnClassifier,
     IncrementalRowClassifier,
     IncrementalStats,
 )
 from repro.stream.sharding import ShardRouter, ShardWorker, shard_of
-from repro.stream.sources import MemorySource, MRTReplaySource, ScenarioSource
+from repro.stream.sources import (
+    BlockSource,
+    MemorySource,
+    MRTReplaySource,
+    ScenarioSource,
+    iter_event_blocks,
+)
 from repro.stream.window import ClosedWindow, WindowClock, WindowPolicy, WindowSpec
 
 __all__ = [
+    "BlockSource",
     "CheckpointError",
     "CheckpointManager",
     "ClosedWindow",
+    "DEFAULT_INGEST_BLOCK_SIZE",
     "IncrementalColumnClassifier",
     "IncrementalRowClassifier",
     "IncrementalStats",
@@ -36,5 +50,6 @@ __all__ = [
     "WindowPolicy",
     "WindowSnapshot",
     "WindowSpec",
+    "iter_event_blocks",
     "shard_of",
 ]

@@ -28,7 +28,7 @@ retracted* with exact per-tuple deltas (no recounts, ever).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.announcement import PathCommTuple
 from repro.bgp.asn import ASN
@@ -141,6 +141,21 @@ class IncrementalColumnClassifier:
         if len(asns) > self._max_length:
             self._max_length = len(asns)
         self._pending.append(prepared)
+        self.stats.tuples_added += 1
+
+    def add_key(self, key: Tuple) -> None:
+        """Queue one new unique tuple given as a raw ``(path, comm)`` pair.
+
+        Identical to :meth:`add_tuple` without the intermediate
+        :class:`PathCommTuple` construction — the shard workers' dedup key
+        already carries both fields, so block ingest hands it over directly.
+        """
+        path, communities = key
+        asns = path.asns
+        self._observed.update(asns)
+        if len(asns) > self._max_length:
+            self._max_length = len(asns)
+        self._pending.append((asns, communities.upper_fields()))
         self.stats.tuples_added += 1
 
     def add_tuples(self, items: Iterable[PathCommTuple]) -> None:
@@ -315,6 +330,16 @@ class IncrementalRowClassifier:
     def add_tuple(self, item: PathCommTuple) -> None:
         """Fold one new unique tuple into the counters immediately."""
         prepared = prepare_tuple(item)
+        self._observed.update(prepared[0])
+        self._store.apply_delta(row_tuple_delta(prepared))
+        self._tuple_count += 1
+        self.stats.tuples_added += 1
+        self.stats.delta_phases += 1
+
+    def add_key(self, key: Tuple) -> None:
+        """Fold one new unique tuple given as a raw ``(path, comm)`` pair."""
+        path, communities = key
+        prepared = (path.asns, communities.upper_fields())
         self._observed.update(prepared[0])
         self._store.apply_delta(row_tuple_delta(prepared))
         self._tuple_count += 1
@@ -549,7 +574,13 @@ class ColumnarColumnClassifier:
         )
         if pending_counts:
             merge_group_counts(self._groups, pending_counts)
-            self._counted_cache = None
+            cache = self._counted_cache
+            if cache is not None:
+                # Fold the pending groups (and their matrix buckets) into the
+                # cached kernel form instead of rebuilding it from scratch.
+                # Appended rows may duplicate keys already counted — kernel
+                # sums commute, so that is equivalent to merged counts.
+                cache.extend_merged(pending)
         self._counted_tuples += self._pending_tuples
         self._pending_tuples = 0
 

@@ -17,11 +17,75 @@ with the engine, mirroring how a deployment would be fed:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 from repro.bgp.announcement import PathCommTuple, RouteObservation
 from repro.bgp.prefix import Prefix
-from repro.collectors.archive import DEFAULT_EPOCH, iter_observations_from_mrt
+from repro.collectors.archive import (
+    DEFAULT_EPOCH,
+    iter_observation_blocks_from_mrt,
+    iter_observations_from_mrt,
+)
+
+
+@runtime_checkable
+class BlockSource(Protocol):
+    """An event source that can also hand out whole event blocks.
+
+    ``iter_blocks(size)`` must yield the exact events of ``__iter__`` in the
+    exact same order, grouped into lists of at most *size* (blocks may come
+    up short, e.g. at collector boundaries).  The engine prefers this path —
+    one block flows through decode, sanitation, and sharding as a unit — and
+    falls back to chunking ``__iter__`` for plain iterables via
+    :func:`iter_event_blocks`.
+    """
+
+    def __iter__(self) -> Iterator[RouteObservation]: ...
+
+    def iter_blocks(self, size: int) -> Iterator[List[RouteObservation]]: ...
+
+
+def _chunk_events(
+    events: Iterable[RouteObservation], size: int
+) -> Iterator[List[RouteObservation]]:
+    """Group an event iterable into blocks of up to *size*, order-preserving."""
+    block: List[RouteObservation] = []
+    append = block.append
+    for event in events:
+        append(event)
+        if len(block) >= size:
+            yield block
+            block = []
+            append = block.append
+    if block:
+        yield block
+
+
+def iter_event_blocks(
+    source: Iterable[RouteObservation], size: int
+) -> Iterator[List[RouteObservation]]:
+    """Drive any event source as a block stream.
+
+    Sources conforming to :class:`BlockSource` yield their own blocks (lazy
+    decode, slice fast paths); any other iterable is chunked.  Either way the
+    concatenated blocks replay ``iter(source)`` exactly.
+    """
+    if size < 1:
+        raise ValueError(f"block size must be >= 1, got {size}")
+    iter_blocks = getattr(source, "iter_blocks", None)
+    if iter_blocks is not None:
+        return iter_blocks(size)
+    return _chunk_events(source, size)
 
 
 class MemorySource:
@@ -49,6 +113,14 @@ class MemorySource:
     def __iter__(self) -> Iterator[RouteObservation]:
         return iter(self._events)
 
+    def iter_blocks(self, size: int) -> Iterator[List[RouteObservation]]:
+        """Yield the buffer as list slices (the zero-copy block fast path)."""
+        if size < 1:
+            raise ValueError(f"block size must be >= 1, got {size}")
+        events = self._events
+        for start in range(0, len(events), size):
+            yield events[start : start + size]
+
 
 class MRTReplaySource:
     """Replays per-collector MRT blobs as an event stream.
@@ -56,18 +128,24 @@ class MRTReplaySource:
     Decoding is lazy per collector.  ``order`` selects how the per-collector
     streams are interleaved:
 
-    * ``"archive"`` (default) -- one collector after the other, in stored
-      record order; constant memory, matches how archives are processed in
-      batch;
-    * ``"time"`` -- a global sort by timestamp; this materialises all
-      observations once and is meant for demos and window-boundary tests,
-      not for production replays of huge archives.
+    * ``"archive"`` (default) -- one collector after the other, collectors in
+      sorted-name order, each in stored record order; constant memory,
+      matches how archives are processed in batch;
+    * ``"time"`` -- a deterministic interleaved merge sorted by
+      ``(timestamp, collector name)`` with equal keys keeping their stored
+      record order; this materialises all observations once and is meant for
+      demos and window-boundary tests, not for production replays of huge
+      archives.
+
+    Both orders are fully determined by the blob *contents* — never by the
+    mapping's insertion order — so block iteration (:meth:`iter_blocks`) can
+    never reorder events relative to the event iterator.
     """
 
     def __init__(self, blobs: Mapping[str, bytes], *, order: str = "archive") -> None:
         if order not in ("archive", "time"):
             raise ValueError(f"unknown replay order {order!r}")
-        self.blobs = dict(blobs)
+        self.blobs = dict(sorted(blobs.items()))
         self.order = order
 
     @classmethod
@@ -84,19 +162,42 @@ class MRTReplaySource:
             for collector, blob in self.blobs.items()
         ]
 
+    def _merged_by_time(self) -> List[RouteObservation]:
+        merged: List[RouteObservation] = []
+        for stream in self._collector_streams():
+            merged.extend(stream)
+        # Stable sort on (timestamp, collector): ties across collectors break
+        # on the collector name, ties within one collector keep record order.
+        merged.sort(key=lambda observation: (observation.timestamp, observation.collector))
+        return merged
+
     def __iter__(self) -> Iterator[RouteObservation]:
         if self.order == "time":
-            merged: List[RouteObservation] = []
-            for stream in self._collector_streams():
-                merged.extend(stream)
-            merged.sort(key=lambda observation: observation.timestamp)
-            return iter(merged)
+            return iter(self._merged_by_time())
 
         def chained() -> Iterator[RouteObservation]:
             for stream in self._collector_streams():
                 yield from stream
 
         return chained()
+
+    def iter_blocks(self, size: int) -> Iterator[List[RouteObservation]]:
+        """Yield observation blocks in exactly the event-iterator order.
+
+        ``"archive"`` order decodes lazily block-by-block per collector
+        (blocks never span collectors, so the tail block of each archive may
+        be short); ``"time"`` order chunks the same materialised merge that
+        ``__iter__`` replays.
+        """
+        if size < 1:
+            raise ValueError(f"block size must be >= 1, got {size}")
+        if self.order == "time":
+            merged = self._merged_by_time()
+            for start in range(0, len(merged), size):
+                yield merged[start : start + size]
+            return
+        for collector, blob in self.blobs.items():
+            yield from iter_observation_blocks_from_mrt(blob, collector, size)
 
 
 def _prefix_for_origin(origin: int) -> Prefix:
@@ -155,3 +256,7 @@ class ScenarioSource:
                     timestamp=timestamp,
                     from_rib=False,
                 )
+
+    def iter_blocks(self, size: int) -> Iterator[List[RouteObservation]]:
+        """Generate the timed feed in blocks of up to *size*."""
+        return _chunk_events(self, size)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class WindowPolicy(str, enum.Enum):
@@ -132,6 +132,56 @@ class WindowClock:
         self._next_index = closable
         start, end = self.spec.bounds(closed_index)
         return ClosedWindow(start=start, end=end, skipped=skipped)
+
+    def advance_block(self, timestamps: Sequence[int]) -> List[Tuple[int, ClosedWindow]]:
+        """Feed a block of event timestamps in one pass.
+
+        Returns ``(position, closed)`` pairs: the event at ``position`` is the
+        one whose arrival closed *closed*, and — exactly as with per-event
+        :meth:`advance` — it belongs to the *next* window, so callers must
+        flush before processing ``timestamps[position:]``.  Equivalent to
+        calling :meth:`advance` once per timestamp (same watermark, same
+        late-event count, same collapsed closes), just without the per-event
+        call overhead.
+        """
+        closes: List[Tuple[int, ClosedWindow]] = []
+        spec = self.spec
+        size = spec.size
+        lateness = spec.allowed_lateness
+        max_timestamp = self.max_timestamp
+        next_index = self._next_index
+        late = 0
+        for position, timestamp in enumerate(timestamps):
+            if max_timestamp is None:
+                max_timestamp = timestamp
+                next_index = max(0, timestamp - lateness) // size
+                continue
+            watermark = max_timestamp - lateness
+            if timestamp > max_timestamp:
+                max_timestamp = timestamp
+                watermark = timestamp - lateness
+            elif timestamp < watermark:
+                late += 1
+            closable = watermark // size
+            if closable > next_index:
+                closed_index = closable - 1
+                skipped = closed_index - next_index
+                next_index = closable
+                closes.append(
+                    (
+                        position,
+                        ClosedWindow(
+                            start=closed_index * size,
+                            end=(closed_index + 1) * size,
+                            skipped=skipped,
+                        ),
+                    )
+                )
+        self.max_timestamp = max_timestamp
+        self._next_index = next_index
+        if late:
+            self.late_events += late
+        return closes
 
     def close_current(self) -> Optional[ClosedWindow]:
         """Close the in-progress window (end of stream / final drain).
